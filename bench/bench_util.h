@@ -1,0 +1,172 @@
+// Shared helpers for the BionicDB benchmark harness: canned workload runs
+// returning the metrics the paper's figures report, plus table printing.
+//
+// Benchmarks run deterministic simulations, so the interesting output is
+// the *simulated* throughput/energy/breakdown, not host wall time. Each
+// binary registers google-benchmark entries (one iteration each) whose
+// counters carry the simulated results, and prints a paper-style table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "engine/engine.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+
+namespace bionicdb::bench {
+
+struct RunResult {
+  double txn_per_sec = 0;
+  double uj_per_txn = 0;        ///< microjoules per committed transaction
+  double mean_latency_us = 0;
+  double p95_latency_us = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  hw::Breakdown breakdown;
+  double cpu_utilization = 0;   ///< fraction of core-time busy
+  uint64_t pcie_bytes = 0;
+};
+
+struct WorkloadScale {
+  uint64_t tatp_subscribers = 5000;
+  int tpcc_items = 500;
+  int tpcc_customers = 60;
+  int tpcc_districts = 10;
+  /// Enough concurrency to keep agents awake and group commit amortized.
+  int clients = 32;
+  /// Enough warmup to heat the buffer pool (cold 5 ms SAS reads otherwise
+  /// dominate and convoy DORA partitions).
+  uint64_t warmup_txns = 2500;
+  uint64_t measured_txns = 4000;
+};
+
+inline RunResult CollectResult(engine::Engine& engine,
+                               const WorkloadScale& scale) {
+  RunResult r;
+  const auto& m = engine.metrics();
+  r.txn_per_sec = m.TxnPerSecond();
+  r.uj_per_txn = m.MicrojoulesPerTxn();
+  r.mean_latency_us = m.latency.Mean() / 1e3;
+  r.p95_latency_us = static_cast<double>(m.latency.Percentile(95)) / 1e3;
+  r.commits = m.commits;
+  r.aborts = m.aborts;
+  r.breakdown = engine.breakdown();
+  r.cpu_utilization = engine.platform().TotalCpuUtilization(m.elapsed_ns);
+  r.pcie_bytes = engine.platform().pcie().bytes_transferred();
+  return r;
+}
+
+/// TATP standard mix on the given engine configuration.
+inline RunResult RunTatpMix(const engine::EngineConfig& config,
+                            const WorkloadScale& scale = {}) {
+  sim::Simulator sim;
+  engine::Engine engine(&sim, config);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = scale.tatp_subscribers;
+  workload::TatpWorkload tatp(&engine, wcfg);
+  BIONICDB_CHECK(tatp.Load().ok());
+  workload::DriverConfig dcfg;
+  dcfg.clients = scale.clients;
+  dcfg.warmup_txns = scale.warmup_txns;
+  dcfg.measured_txns = scale.measured_txns;
+  sim.Spawn(workload::RunClosedLoop(
+      &engine, [&]() { return tatp.NextTransaction(); }, dcfg, nullptr));
+  sim.Run();
+  return CollectResult(engine, scale);
+}
+
+/// A single TATP transaction type, repeated.
+inline RunResult RunTatpSingle(const engine::EngineConfig& config,
+                               workload::TatpTxnType type,
+                               const WorkloadScale& scale = {}) {
+  sim::Simulator sim;
+  engine::Engine engine(&sim, config);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = scale.tatp_subscribers;
+  workload::TatpWorkload tatp(&engine, wcfg);
+  BIONICDB_CHECK(tatp.Load().ok());
+  auto next = [&]() -> engine::Engine::TxnSpec {
+    const uint64_t s = tatp.RandomSubscriber();
+    switch (type) {
+      case workload::TatpTxnType::kGetSubscriberData:
+        return tatp.MakeGetSubscriberData(s);
+      case workload::TatpTxnType::kUpdateSubscriberData:
+        return tatp.MakeUpdateSubscriberData(s);
+      case workload::TatpTxnType::kUpdateLocation:
+        return tatp.MakeUpdateLocation(tatp.SubNbr(s), 1234);
+      case workload::TatpTxnType::kGetAccessData:
+        return tatp.MakeGetAccessData(s);
+      default:
+        return tatp.MakeGetSubscriberData(s);
+    }
+  };
+  workload::DriverConfig dcfg;
+  dcfg.clients = scale.clients;
+  dcfg.warmup_txns = scale.warmup_txns;
+  dcfg.measured_txns = scale.measured_txns;
+  sim.Spawn(workload::RunClosedLoop(&engine, next, dcfg, nullptr));
+  sim.Run();
+  return CollectResult(engine, scale);
+}
+
+/// TPC-C mix (or a single type when `only` is set).
+inline RunResult RunTpcc(const engine::EngineConfig& config,
+                         const WorkloadScale& scale = {},
+                         const workload::TpccTxnType* only = nullptr) {
+  sim::Simulator sim;
+  engine::Engine engine(&sim, config);
+  workload::TpccConfig wcfg;
+  wcfg.items = scale.tpcc_items;
+  wcfg.customers_per_district = scale.tpcc_customers;
+  wcfg.districts_per_warehouse = scale.tpcc_districts;
+  workload::TpccWorkload tpcc(&engine, wcfg);
+  BIONICDB_CHECK(tpcc.Load().ok());
+  auto next = [&]() -> engine::Engine::TxnSpec {
+    if (only == nullptr) return tpcc.NextTransaction();
+    switch (*only) {
+      case workload::TpccTxnType::kStockLevel:
+        return tpcc.MakeStockLevel(
+            0, sim.rng().Uniform(static_cast<uint64_t>(scale.tpcc_districts)),
+            15);
+      case workload::TpccTxnType::kNewOrder:
+        return tpcc.MakeNewOrder(
+            0, sim.rng().Uniform(static_cast<uint64_t>(scale.tpcc_districts)));
+      case workload::TpccTxnType::kPayment:
+        return tpcc.MakePayment(
+            0, sim.rng().Uniform(static_cast<uint64_t>(scale.tpcc_districts)),
+            sim.rng().Uniform(static_cast<uint64_t>(scale.tpcc_customers)));
+      default:
+        return tpcc.NextTransaction();
+    }
+  };
+  workload::DriverConfig dcfg;
+  dcfg.clients = scale.clients;
+  dcfg.warmup_txns = scale.warmup_txns;
+  dcfg.measured_txns = scale.measured_txns;
+  sim.Spawn(workload::RunClosedLoop(&engine, next, dcfg, nullptr));
+  sim.Run();
+  return CollectResult(engine, scale);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+inline void PrintResultRow(const std::string& label, const RunResult& r) {
+  std::printf("%-28s %10.0f txn/s  %8.2f uJ/txn  %8.1f us p95  cpu %4.0f%%\n",
+              label.c_str(), r.txn_per_sec, r.uj_per_txn, r.p95_latency_us,
+              r.cpu_utilization * 100.0);
+}
+
+inline void PrintBreakdown(const std::string& label, const RunResult& r) {
+  std::printf("%s\n%s", label.c_str(), r.breakdown.ToTable().c_str());
+}
+
+}  // namespace bionicdb::bench

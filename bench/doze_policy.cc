@@ -1,0 +1,87 @@
+// E11 (extension of E9) — §5.5: "The main challenges are scheduling-
+// related, such as ... knowing when to deschedule an idle agent thread with
+// an empty input queue (a wrong choice can hold up an entire chain of
+// queues, leading to convoys) ... while hardware will undoubtedly reduce
+// overheads, it will not magically solve the scheduling problem."
+//
+// Two sweeps on the DORA engine (TATP mix):
+//  1. Doze eagerness: spin-poll budget before descheduling, with the
+//     software wakeup latency (4 us futex-scale) — eager dozing saves idle
+//     CPU burn but pays wakeups; at low load the wrong choice convoys.
+//  2. Wakeup latency: software (4 us) vs hardware doorbell (0.5 us, the
+//     queue engine) at the eager-doze setting — hardware shrinks the
+//     penalty of dozing but the *policy* question remains, exactly as the
+//     paper says.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bionicdb;
+using bench::RunResult;
+using bench::WorkloadScale;
+
+namespace {
+
+RunResult RunDoze(int spin_polls, bool hw_queues, int clients) {
+  engine::EngineConfig config = hw_queues ? engine::EngineConfig::Bionic()
+                                          : engine::EngineConfig::Dora();
+  if (hw_queues) {
+    // Isolate the queue engine: all other units off.
+    config.offload = engine::OffloadConfig::AllOff();
+    config.offload.queueing = true;
+  }
+  config.doze.spin_polls = spin_polls;
+  WorkloadScale scale;
+  scale.clients = clients;
+  return bench::RunTatpMix(config, scale);
+}
+
+void PrintDoze() {
+  bench::PrintHeader(
+      "S5.5 doze policy: when should an idle agent deschedule?");
+  std::printf("Sweep 1: spin-poll budget (software wakeup, 4 us), TATP\n");
+  std::printf("%-14s %-16s %-16s %-14s %-14s\n", "spin polls",
+              "txn/s (4 cli)", "txn/s (32 cli)", "uJ/txn (4)", "uJ/txn (32)");
+  for (int polls : {1, 4, 16, 64, 256}) {
+    RunResult low = RunDoze(polls, false, 4);
+    RunResult high = RunDoze(polls, false, 32);
+    std::printf("%-14d %16.0f %16.0f %14.1f %14.1f\n", polls,
+                low.txn_per_sec, high.txn_per_sec, low.uj_per_txn,
+                high.uj_per_txn);
+  }
+  std::printf("\nSweep 2: wakeup mechanism at eager dozing (spin=4)\n");
+  std::printf("%-26s %-16s %-14s\n", "wakeup", "txn/s (4 cli)", "uJ/txn");
+  {
+    RunResult sw = RunDoze(4, false, 4);
+    std::printf("%-26s %16.0f %14.1f\n", "software futex (4 us)",
+                sw.txn_per_sec, sw.uj_per_txn);
+    RunResult hw = RunDoze(4, true, 4);
+    std::printf("%-26s %16.0f %14.1f\n", "hardware doorbell (0.5 us)",
+                hw.txn_per_sec, hw.uj_per_txn);
+  }
+  std::printf("\nReading: at high load the policy barely matters (queues\n"
+              "stay full); at low load eager dozing costs throughput via\n"
+              "wakeup chains. The doorbell shrinks — but does not erase —\n"
+              "that cost: scheduling remains software's problem (S5.5).\n");
+}
+
+void BM_DozePolicy(benchmark::State& state) {
+  for (auto _ : state) {
+    RunResult r = RunDoze(static_cast<int>(state.range(0)),
+                          state.range(1) != 0, 4);
+    state.counters["txn_per_sec"] = r.txn_per_sec;
+    state.counters["uJ_per_txn"] = r.uj_per_txn;
+  }
+}
+BENCHMARK(BM_DozePolicy)->Args({4, 0})->Args({64, 0})->Args({4, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDoze();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E4 — Figure 4 / §5 end-to-end: the three architectures on TATP and TPC-C
+// mixes. The paper's prediction is NOT that the bionic engine is faster —
+// "effective hardware support need not always increase raw performance; the
+// true goal is to reduce net energy use" — so the decisive column is
+// microjoules per transaction, with throughput at least competitive and
+// CPU utilization dropping sharply as work moves to the FPGA units.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bionicdb;
+using bench::RunResult;
+using bench::WorkloadScale;
+
+namespace {
+
+engine::EngineConfig ConfigFor(engine::EngineMode mode) {
+  switch (mode) {
+    case engine::EngineMode::kConventional:
+      return engine::EngineConfig::Conventional();
+    case engine::EngineMode::kDora:
+      return engine::EngineConfig::Dora();
+    case engine::EngineMode::kBionic:
+      return engine::EngineConfig::Bionic();
+  }
+  return engine::EngineConfig::Dora();
+}
+
+void PrintFigure4() {
+  bench::PrintHeader(
+      "Figure 4 / S5: Conventional vs DORA vs Bionic (TATP mix)");
+  WorkloadScale scale;
+  RunResult results[3];
+  const engine::EngineMode modes[] = {engine::EngineMode::kConventional,
+                                      engine::EngineMode::kDora,
+                                      engine::EngineMode::kBionic};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = bench::RunTatpMix(ConfigFor(modes[i]), scale);
+    bench::PrintResultRow(engine::EngineModeName(modes[i]), results[i]);
+  }
+  std::printf("\nEnergy: bionic uses %.1fx less energy per txn than DORA, "
+              "%.1fx less than conventional\n",
+              results[1].uj_per_txn / results[2].uj_per_txn,
+              results[0].uj_per_txn / results[2].uj_per_txn);
+
+  std::printf("\nPer-architecture CPU-time breakdowns (TATP mix):\n");
+  for (int i = 0; i < 3; ++i) {
+    bench::PrintBreakdown(engine::EngineModeName(modes[i]), results[i]);
+  }
+
+  bench::PrintHeader(
+      "Figure 4 / S5: Conventional vs DORA vs Bionic (TPC-C mix)");
+  WorkloadScale tscale;
+  tscale.measured_txns = 1500;
+  for (int i = 0; i < 3; ++i) {
+    RunResult r = bench::RunTpcc(ConfigFor(modes[i]), tscale);
+    bench::PrintResultRow(engine::EngineModeName(modes[i]), r);
+  }
+}
+
+void BM_Fig4_Tatp(benchmark::State& state) {
+  const auto mode = static_cast<engine::EngineMode>(state.range(0));
+  for (auto _ : state) {
+    RunResult r = bench::RunTatpMix(ConfigFor(mode));
+    state.counters["txn_per_sec"] = r.txn_per_sec;
+    state.counters["uJ_per_txn"] = r.uj_per_txn;
+    state.counters["p95_us"] = r.p95_latency_us;
+    state.counters["cpu_util"] = r.cpu_utilization;
+  }
+  state.SetLabel(engine::EngineModeName(mode));
+}
+BENCHMARK(BM_Fig4_Tatp)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

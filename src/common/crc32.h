@@ -1,0 +1,24 @@
+// CRC-32C (Castagnoli), software table-driven; protects log records and
+// page images.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bionicdb {
+
+/// Computes CRC-32C over `data[0..n)`, continuing from `crc` (pass 0 to
+/// start a fresh checksum).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+/// Masked CRC (RocksDB idiom) so that CRCs stored alongside the data they
+/// cover do not produce degenerate self-verifying patterns.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace bionicdb

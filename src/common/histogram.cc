@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace bionicdb {
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+}
+
+int Histogram::BucketFor(int64_t v) {
+  if (v < kSub) return static_cast<int>(v);  // exact for tiny values
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+  const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kSub - 1));
+  const int bucket = (msb - kSubBits + 1) * kSub + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSub) return bucket;
+  const int range = bucket / kSub;  // >= 1
+  const int sub = bucket % kSub;
+  const int msb = range + kSubBits - 1;
+  return ((static_cast<int64_t>(kSub) + sub + 1) << (msb - kSubBits)) - 1;
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                FormatNanos(Mean()).c_str(),
+                FormatNanos(static_cast<double>(Percentile(50))).c_str(),
+                FormatNanos(static_cast<double>(Percentile(95))).c_str(),
+                FormatNanos(static_cast<double>(Percentile(99))).c_str(),
+                FormatNanos(static_cast<double>(max())).c_str());
+  return buf;
+}
+
+std::string FormatNanos(double ns) {
+  char buf[48];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace bionicdb

@@ -1,0 +1,56 @@
+// Histogram for latency distributions: log-bucketed, constant memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bionicdb {
+
+/// Records non-negative samples (typically virtual nanoseconds) into
+/// power-of-two-spaced sub-bucketed bins; supports mean and percentile
+/// queries with bounded (~3%) relative error. Constant space.
+class Histogram {
+ public:
+  Histogram() { Reset(); }
+
+  void Reset();
+
+  /// Adds a sample. Negative values are clamped to zero.
+  void Add(int64_t value);
+
+  /// Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate value at percentile p in [0, 100].
+  int64_t Percentile(double p) const;
+
+  /// One-line summary, e.g. "n=1000 mean=1.2us p50=1.1us p99=4.0us".
+  std::string Summary() const;
+
+ private:
+  // 64 power-of-two ranges x 16 linear sub-buckets each.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 64 * kSub;
+
+  static int BucketFor(int64_t v);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::array<uint64_t, kBuckets> buckets_;
+  uint64_t count_;
+  double sum_;
+  int64_t min_;
+  int64_t max_;
+};
+
+/// Formats a nanosecond quantity with an adaptive unit ("412ns", "1.3us",
+/// "2.5ms", "1.2s").
+std::string FormatNanos(double ns);
+
+}  // namespace bionicdb

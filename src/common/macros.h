@@ -1,0 +1,43 @@
+// Assertion and class-property macros used across BionicDB.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// invariant violations in a database engine must never be silently ignored.
+#define BIONICDB_CHECK(cond)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "BIONICDB_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Like BIONICDB_CHECK but with a printf-style explanation.
+#define BIONICDB_CHECK_MSG(cond, ...)                                         \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "BIONICDB_CHECK failed: %s at %s:%d: ", #cond,     \
+                   __FILE__, __LINE__);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Debug-only check; compiled out in release hot paths.
+#ifdef NDEBUG
+#define BIONICDB_DCHECK(cond) ((void)0)
+#else
+#define BIONICDB_DCHECK(cond) BIONICDB_CHECK(cond)
+#endif
+
+#define BIONICDB_DISALLOW_COPY_AND_ASSIGN(T) \
+  T(const T&) = delete;                      \
+  T& operator=(const T&) = delete
+
+#define BIONICDB_DISALLOW_MOVE(T) \
+  T(T&&) = delete;                \
+  T& operator=(T&&) = delete

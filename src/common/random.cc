@@ -1,0 +1,59 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace bionicdb {
+
+std::string Rng::AlphaString(int min_len, int max_len) {
+  static const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  const int len = static_cast<int>(UniformRange(min_len, max_len));
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  BIONICDB_CHECK(n > 0);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t item = static_cast<uint64_t>(v);
+  if (item >= n_) item = n_ - 1;
+  return item;
+}
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng* rng) {
+  std::vector<uint32_t> p(n);
+  for (uint32_t i = 0; i < n; ++i) p[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(rng->Uniform(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace bionicdb

@@ -1,0 +1,72 @@
+// Result<T>: a value or a Status (Arrow's Result / abseil's StatusOr idiom).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace bionicdb {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a checked program error (BIONICDB_CHECK), never UB.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, mirroring `return value;` in functions that
+  /// declare `Result<T>`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error Status. Constructing from an OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {
+    BIONICDB_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  T& value() & {
+    BIONICDB_CHECK_MSG(ok(), "Result::value on error: %s",
+                       status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const& {
+    BIONICDB_CHECK_MSG(ok(), "Result::value on error: %s",
+                       status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    BIONICDB_CHECK_MSG(ok(), "Result::value on error: %s",
+                       status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value into `lhs` (which must be declared by the caller).
+#define BIONICDB_ASSIGN_OR_RETURN(lhs, expr)        \
+  do {                                              \
+    auto _res = (expr);                             \
+    if (!_res.ok()) return _res.status();           \
+    lhs = std::move(_res).value();                  \
+  } while (0)
+
+}  // namespace bionicdb

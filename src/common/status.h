@@ -1,0 +1,113 @@
+// Status: cheap, exception-free error propagation (RocksDB/Arrow idiom).
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace bionicdb {
+
+/// Error taxonomy for every fallible BionicDB operation.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound,          ///< Key / page / object does not exist.
+  kAlreadyExists,     ///< Unique-key violation or duplicate creation.
+  kAborted,           ///< Transaction aborted (deadlock, conflict, HW abort).
+  kBusy,              ///< Resource temporarily unavailable; caller may retry.
+  kInvalidArgument,   ///< Caller passed something nonsensical.
+  kNotSupported,      ///< Operation not implemented for this configuration.
+  kIOError,           ///< Simulated device error or short read/write.
+  kCorruption,        ///< Checksum mismatch / malformed on-disk structure.
+  kResourceExhausted, ///< Out of pages, queue slots, log space, ...
+  kOutOfMemory,       ///< Overlay / index does not fit in device memory
+                      ///< (hardware units abort with this; software retries).
+};
+
+/// Returns a static, human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is either OK (cheap: one byte, no allocation) or an error code
+/// with an optional message. Functions that can fail return Status or
+/// Result<T>; exceptions are not used on engine paths.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "") {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define BIONICDB_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::bionicdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Coroutine variant (plain `return` is illegal inside coroutines).
+#define BIONICDB_CO_RETURN_NOT_OK(expr)           \
+  do {                                            \
+    ::bionicdb::Status _st = (expr);              \
+    if (!_st.ok()) co_return _st;                 \
+  } while (0)
+
+}  // namespace bionicdb

@@ -1,0 +1,26 @@
+// Virtual-time and size unit helpers shared by the simulator and models.
+#pragma once
+
+#include <cstdint>
+
+namespace bionicdb {
+
+/// Virtual simulation time, in nanoseconds. All engine latencies, device
+/// waits, and energy integrals are expressed over this clock.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Converts a bandwidth in GB/s (decimal) to nanoseconds per byte.
+constexpr double NsPerByte(double gigabytes_per_second) {
+  return 1.0 / gigabytes_per_second;  // 1 GB/s == 1 byte/ns
+}
+
+}  // namespace bionicdb

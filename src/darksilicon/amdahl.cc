@@ -1,0 +1,62 @@
+#include "darksilicon/amdahl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bionicdb::darksilicon {
+
+double AmdahlSpeedup(double serial_fraction, double cores) {
+  BIONICDB_CHECK(serial_fraction >= 0.0 && serial_fraction <= 1.0);
+  BIONICDB_CHECK(cores >= 1.0);
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / cores);
+}
+
+double AmdahlUtilization(double serial_fraction, double cores) {
+  return AmdahlSpeedup(serial_fraction, cores) / cores;
+}
+
+double HillMartyPerf(double r_bces) {
+  BIONICDB_CHECK(r_bces >= 1.0);
+  return std::sqrt(r_bces);
+}
+
+double HillMartySymmetricSpeedup(double serial_fraction, double n_bces,
+                                 double r_bces) {
+  BIONICDB_CHECK(r_bces >= 1.0 && r_bces <= n_bces);
+  const double perf = HillMartyPerf(r_bces);
+  const double cores = n_bces / r_bces;
+  return 1.0 / (serial_fraction / perf +
+                (1.0 - serial_fraction) / (perf * cores));
+}
+
+double HillMartyAsymmetricSpeedup(double serial_fraction, double n_bces,
+                                  double r_bces) {
+  BIONICDB_CHECK(r_bces >= 1.0 && r_bces <= n_bces);
+  const double perf = HillMartyPerf(r_bces);
+  // Parallel phase: big core + (n - r) small cores all contribute.
+  return 1.0 / (serial_fraction / perf +
+                (1.0 - serial_fraction) / (perf + (n_bces - r_bces)));
+}
+
+double HillMartyDynamicSpeedup(double serial_fraction, double n_bces) {
+  BIONICDB_CHECK(n_bces >= 1.0);
+  return 1.0 / (serial_fraction / HillMartyPerf(n_bces) +
+                (1.0 - serial_fraction) / n_bces);
+}
+
+double BestAsymmetricBigCore(double serial_fraction, double n_bces) {
+  double best_r = 1.0;
+  double best_s = 0.0;
+  for (double r = 1.0; r <= n_bces; r += 1.0) {
+    const double s = HillMartyAsymmetricSpeedup(serial_fraction, n_bces, r);
+    if (s > best_s) {
+      best_s = s;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+}  // namespace bionicdb::darksilicon

@@ -1,0 +1,44 @@
+// Amdahl / Hill-Marty multicore speedup models behind the paper's §2 and
+// Figure 1 ("fraction of chip utilized at various degrees of parallelism").
+//
+// References (as cited by the paper):
+//   [6] Hill & Marty, "Amdahl's law in the multicore era", Computer 41, 2008.
+//   [3] Esmaeilzadeh et al., "Dark silicon and the end of multicore
+//       scaling", ISCA 2011.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bionicdb::darksilicon {
+
+/// Classic Amdahl speedup of a workload with serial fraction `s` on `n`
+/// identical cores: S = 1 / (s + (1-s)/n).
+double AmdahlSpeedup(double serial_fraction, double cores);
+
+/// Fraction of an n-core chip doing useful work under Amdahl:
+/// U = S(s, n) / n. This is exactly what Figure 1 plots (the area from the
+/// top-left to each labeled line).
+double AmdahlUtilization(double serial_fraction, double cores);
+
+/// Hill-Marty models. A chip has a budget of `n` base-core equivalents
+/// (BCEs); a "big" core built from r BCEs has perf(r) = sqrt(r).
+double HillMartyPerf(double r_bces);
+
+/// Symmetric: all cores are r-BCE cores (n/r of them).
+double HillMartySymmetricSpeedup(double serial_fraction, double n_bces,
+                                 double r_bces);
+
+/// Asymmetric: one r-BCE big core plus (n - r) single-BCE small cores.
+double HillMartyAsymmetricSpeedup(double serial_fraction, double n_bces,
+                                  double r_bces);
+
+/// Dynamic: the serial phase harnesses all n BCEs as one perf(n) core, the
+/// parallel phase runs n single-BCE cores (upper bound on both).
+double HillMartyDynamicSpeedup(double serial_fraction, double n_bces);
+
+/// Returns the r (big-core size in BCEs) maximizing asymmetric speedup,
+/// scanning integer r in [1, n].
+double BestAsymmetricBigCore(double serial_fraction, double n_bces);
+
+}  // namespace bionicdb::darksilicon

@@ -1,0 +1,56 @@
+#include "darksilicon/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "darksilicon/amdahl.h"
+
+namespace bionicdb::darksilicon {
+
+std::vector<Generation> DarkSiliconModel::Project(int last_year) const {
+  std::vector<Generation> gens;
+  int cores = 64;
+  for (int year = 2011; year <= last_year; year += 2, cores *= 2) {
+    gens.push_back(Generation{year, cores, PowerableFraction(year)});
+  }
+  return gens;
+}
+
+double DarkSiliconModel::PowerableFraction(int year) const {
+  if (year < 2018) {
+    // Interpolate gently from fully powerable in 2011 down to 80% in 2018.
+    if (year <= 2011) return 1.0;
+    const double t = static_cast<double>(year - 2011) / (2018 - 2011);
+    return 1.0 - 0.2 * t;
+  }
+  // 80% at 2018, then shrink by shrink_per_gen_ per 2-year generation.
+  const int gens_after = (year - 2018) / 2;
+  return 0.8 * std::pow(1.0 - shrink_per_gen_, gens_after);
+}
+
+double DarkSiliconModel::EffectiveUtilization(double serial_fraction,
+                                              int cores, int year) const {
+  const double powerable = PowerableFraction(year);
+  const double powered_cores =
+      std::max(1.0, std::floor(static_cast<double>(cores) * powerable));
+  const double amdahl_util = AmdahlUtilization(serial_fraction, powered_cores);
+  // Utilization is expressed as a fraction of the whole chip: the Amdahl
+  // utilization of the powered region, scaled by the powered fraction.
+  return amdahl_util * powered_cores / static_cast<double>(cores);
+}
+
+std::vector<Figure1Row> ComputeFigure1(const DarkSiliconModel& model) {
+  const double kSerialFractions[] = {0.10, 0.01, 0.001, 0.0001};
+  std::vector<Figure1Row> rows;
+  for (double s : kSerialFractions) {
+    Figure1Row row;
+    row.serial_fraction = s;
+    row.utilization_2011_64c = model.EffectiveUtilization(s, 64, 2011);
+    row.utilization_2018_1024c = model.EffectiveUtilization(s, 1024, 2018);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace bionicdb::darksilicon

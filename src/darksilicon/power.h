@@ -1,0 +1,59 @@
+// Dark-silicon power-budget model: which fraction of a chip can be lit at
+// all, per hardware generation (§2: "a conservative calculation puts
+// perhaps 20% of transistors outside of the 2018 power envelope, with the
+// usable fraction shrinking by 30-50% each hardware generation after").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bionicdb::darksilicon {
+
+/// One hardware generation in the utilization-wall projection.
+struct Generation {
+  int year;
+  int cores;               ///< Homogeneous core count at this node.
+  double powerable_fraction;  ///< Fraction of the chip inside the envelope.
+};
+
+/// Dark-silicon projection anchored at the paper's two reference points:
+/// 2011 (64 cores, fully powerable) and 2018 (1024 cores, 80% powerable),
+/// with the powerable fraction shrinking by `shrink_per_gen` (default 0.4,
+/// the middle of the paper's 30-50% band) every 2-year generation after.
+class DarkSiliconModel {
+ public:
+  explicit DarkSiliconModel(double shrink_per_gen = 0.4)
+      : shrink_per_gen_(shrink_per_gen) {}
+
+  /// Projected generation table starting at 2011, doubling cores every
+  /// generation (2 years) up to and including `last_year`.
+  std::vector<Generation> Project(int last_year) const;
+
+  /// Powerable fraction of the chip in `year` (1.0 before 2018).
+  double PowerableFraction(int year) const;
+
+  /// Effective chip utilization for a workload with `serial_fraction`,
+  /// combining Amdahl utilization with the power cap: software cannot use
+  /// cores the envelope cannot light.
+  ///   U = min( Amdahl-utilization(s, powered_cores), powerable )
+  /// where powered_cores = cores * powerable.
+  double EffectiveUtilization(double serial_fraction, int cores,
+                              int year) const;
+
+ private:
+  double shrink_per_gen_;
+};
+
+/// Row of the Figure-1 reproduction: utilization per serial fraction.
+struct Figure1Row {
+  double serial_fraction;
+  double utilization_2011_64c;   ///< Fraction of 64-core 2011 chip utilized.
+  double utilization_2018_1024c; ///< Fraction of 1024-core 2018 chip
+                                 ///< utilized (power envelope applied).
+};
+
+/// Computes the Figure-1 table for the paper's serial fractions
+/// {10%, 1%, 0.1%, 0.01%}.
+std::vector<Figure1Row> ComputeFigure1(const DarkSiliconModel& model);
+
+}  // namespace bionicdb::darksilicon

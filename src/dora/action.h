@@ -1,0 +1,76 @@
+// Actions and rendezvous points: the units of data-oriented execution
+// ([10, 11], the paper's §5 starting point).
+//
+// A transaction is decomposed into actions, each touching data of exactly
+// one logical partition. Actions of one phase run in parallel on their
+// partitions and join at a rendezvous point (RVP); the next phase launches
+// when the RVP fires. At most one agent thread ever touches a partition's
+// data, so actions need no latches — only cheap partition-local locks held
+// until commit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "txn/xct.h"
+
+namespace bionicdb::dora {
+
+class Partition;
+
+/// Joins `count` actions; the awaiting coroutine (the transaction driver)
+/// resumes when the last arrives. The first non-OK status wins.
+class Rvp {
+ public:
+  Rvp(sim::Simulator* sim, int count)
+      : remaining_(count), done_(sim) {
+    if (count == 0) done_.Set();  // empty phases complete immediately
+  }
+
+  /// Called by the executing agent when an action finishes.
+  void Arrive(Status st) {
+    if (!st.ok() && agg_.ok()) agg_ = st;
+    if (--remaining_ == 0) done_.Set();
+  }
+
+  /// Awaited by the transaction driver.
+  sim::Task<Status> Wait() {
+    co_await done_.Wait();
+    co_return agg_;
+  }
+
+  int remaining() const { return remaining_; }
+
+ private:
+  int remaining_;
+  Status agg_;
+  sim::Completion done_;
+};
+
+/// Execution context handed to an action body by the partition agent.
+struct ActionContext {
+  txn::Xct* xct = nullptr;
+  Partition* partition = nullptr;
+  int socket = 0;
+};
+
+using ActionFn = std::function<sim::Task<Status>(ActionContext&)>;
+
+/// One unit of partitioned work.
+struct Action {
+  txn::Xct* xct = nullptr;
+  /// Partition-local lock keys this action needs (all-or-nothing; held
+  /// until the transaction finishes).
+  std::vector<std::string> lock_keys;
+  /// Shared (read) locks instead of exclusive ones.
+  bool shared_locks = false;
+  ActionFn fn;
+  Rvp* rvp = nullptr;
+  int socket = 0;
+};
+
+}  // namespace bionicdb::dora

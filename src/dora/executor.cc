@@ -1,0 +1,175 @@
+#include "dora/executor.h"
+
+namespace bionicdb::dora {
+
+Executor::Executor(hw::Platform* platform, const ExecutorConfig& config,
+                   hw::QueueEngine* queue_engine, hw::Breakdown* breakdown)
+    : platform_(platform), config_(config), queue_engine_(queue_engine),
+      breakdown_(breakdown) {
+  BIONICDB_CHECK(config.num_partitions > 0);
+  BIONICDB_CHECK(!config.hw_queues || queue_engine != nullptr);
+  for (int i = 0; i < config.num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>(
+        platform->simulator(), static_cast<uint32_t>(i),
+        config.queue_capacity));
+  }
+}
+
+SimTime Executor::QueueOpCost() const {
+  if (config_.hw_queues) return queue_engine_->CpuPostCost();
+  return static_cast<SimTime>(platform_->cost().QueueOpNs());
+}
+
+void Executor::Start() {
+  BIONICDB_CHECK(!running_);
+  running_ = true;
+  for (auto& p : partitions_) {
+    platform_->simulator()->Spawn(AgentLoop(p.get()));
+  }
+}
+
+sim::Task<void> Executor::Drain() {
+  BIONICDB_CHECK(running_);
+  for (auto& p : partitions_) {
+    BIONICDB_CHECK_MSG(p->parked_actions() == 0,
+                       "drain with %zu parked actions in partition %u",
+                       p->parked_actions(), p->id());
+    co_await p->queue().Push(nullptr);  // poison
+  }
+  running_ = false;
+}
+
+sim::Task<void> Executor::Dispatch(Action* action) {
+  BIONICDB_CHECK(!action->lock_keys.empty());
+  // Routing decision + enqueue, charged to the Dora component. Dispatch
+  // runs on the front-end side (driver coroutine); it burns CPU energy but
+  // does not contend for an agent core.
+  const SimTime route_ns =
+      static_cast<SimTime>(platform_->cost().InstrNs(60));
+  const SimTime cost = route_ns + QueueOpCost();
+  co_await sim::Delay{platform_->simulator(), cost};
+  platform_->meter().ChargeBusy(platform_->cpu_component(), cost, 0);
+  breakdown_->Charge(hw::Component::kDora, cost);
+  if (config_.hw_queues) co_await queue_engine_->Operate();
+
+  std::hash<std::string> hasher;
+  Partition* p = partitions_[Route(hasher(action->lock_keys.front()))].get();
+  // Cross-socket dispatch: the queue's cachelines bounce between sockets
+  // (§5.4's "socket-to-socket communication latencies").
+  const int agent_socket =
+      static_cast<int>(p->id()) % platform_->spec().cpu_sockets;
+  if (platform_->spec().cpu_sockets > 1 &&
+      agent_socket != action->socket % platform_->spec().cpu_sockets &&
+      !config_.hw_queues) {
+    const SimTime remote =
+        static_cast<SimTime>(2.0 * platform_->cost().remote_miss_ns);
+    co_await sim::Delay{platform_->simulator(), remote};
+    platform_->meter().ChargeBusy(platform_->cpu_component(), remote, 0);
+    breakdown_->Charge(hw::Component::kDora, remote);
+  }
+  ++stats_.dispatched;
+  co_await p->queue().Push(action);
+}
+
+sim::Task<void> Executor::ReleaseTxnLocks(txn::Xct* xct) {
+  std::vector<Action*> ready;
+  for (auto& p : partitions_) {
+    p->ReleaseLocks(xct, &ready);
+  }
+  for (Action* a : ready) {
+    ++stats_.reparks;
+    // Re-enqueue through the owning partition's queue (normal path).
+    std::hash<std::string> hasher;
+    Partition* p = partitions_[Route(hasher(a->lock_keys.front()))].get();
+    co_await p->queue().Push(a);
+  }
+}
+
+sim::Task<void> Executor::AgentLoop(Partition* p) {
+  sim::Simulator* sim = platform_->simulator();
+  // Agents are pinned round-robin across sockets.
+  sim::CorePool& cpu = platform_->cpu(
+      static_cast<int>(p->id()) % platform_->spec().cpu_sockets);
+  const hw::CostModel& cost = platform_->cost();
+  queueing::AgentScheduler sched(config_.doze);
+
+  co_await cpu.Attach();
+  for (;;) {
+    Action* action = nullptr;
+    auto popped = p->queue().TryPop();
+    if (!popped.has_value()) {
+      if (sched.OnEmptyPoll()) {
+        // Doze: give up the core and sleep until work arrives; pay the
+        // wakeup latency (OS futex, or a hardware doorbell when the queue
+        // engine is active).
+        cpu.Detach();
+        action = co_await p->queue().Pop();
+        const SimTime wakeup = config_.hw_queues
+                                   ? queue_engine_->DoorbellLatency()
+                                   : config_.doze.doze_wakeup_ns;
+        co_await sim::Delay{sim, wakeup};
+        co_await cpu.Attach();
+        sched.OnWorkFound(p->queue().size() + 1, /*was_dozing=*/true);
+      } else {
+        co_await cpu.Work(config_.doze.poll_ns);
+        breakdown_->Charge(hw::Component::kDora, config_.doze.poll_ns);
+        continue;
+      }
+    } else {
+      action = *popped;
+      sched.OnWorkFound(p->queue().size() + 1, /*was_dozing=*/false);
+    }
+
+    if (action == nullptr) break;  // poison: shut down
+
+    // Pop bookkeeping cost.
+    const SimTime pop_ns = QueueOpCost();
+    co_await cpu.Work(pop_ns);
+    breakdown_->Charge(hw::Component::kDora, pop_ns);
+    if (config_.hw_queues) co_await queue_engine_->Operate();
+
+    // Partition-local locks (thread-local, latch-free: the Xct component).
+    const SimTime lock_ns = static_cast<SimTime>(
+        cost.InstrNs(cost.local_lock_instrs) *
+        static_cast<double>(action->lock_keys.size()));
+    co_await cpu.Work(lock_ns);
+    breakdown_->Charge(hw::Component::kXct, lock_ns);
+    const LockOutcome lock = p->TryLockAll(action);
+    if (lock == LockOutcome::kParked) {
+      continue;  // parked; re-runs when the conflicting txn releases
+    }
+    if (lock == LockOutcome::kDie) {
+      // Wait-die: fail the action so the (younger) transaction aborts and
+      // retries with a fresh timestamp.
+      action->rvp->Arrive(
+          Status::Aborted("wait-die on partition-local lock"));
+      delete action;
+      continue;
+    }
+
+    if (config_.async_actions) {
+      // Issue-and-continue: the body runs as a detached task; the agent is
+      // free to pop more work while hardware round trips are in flight.
+      sim->Spawn(RunAction(p, action));
+    } else {
+      co_await RunAction(p, action);
+    }
+  }
+  cpu.Detach();
+
+  stats_.dozes += sched.dozes();
+  stats_.convoys += sched.convoys();
+}
+
+sim::Task<void> Executor::RunAction(Partition* p, Action* action) {
+  ActionContext ctx;
+  ctx.xct = action->xct;
+  ctx.partition = p;
+  ctx.socket = action->socket;
+  Status st = co_await action->fn(ctx);
+  ++stats_.executed;
+  action->rvp->Arrive(st);
+  delete action;
+}
+
+}  // namespace bionicdb::dora

@@ -1,0 +1,87 @@
+#include "dora/partition.h"
+
+#include <algorithm>
+
+namespace bionicdb::dora {
+
+LockOutcome Partition::TryLockAll(Action* action) {
+  const txn::TxnId me = action->xct->id;
+  // Pass 1: check compatibility on every key before taking anything.
+  // Wait-die requires examining EVERY conflicting holder: if any is older,
+  // this action must die — parking behind the first (younger) conflict
+  // while an older holder shares the key would form old-waits-for-old
+  // edges and allow deadlock cycles.
+  const std::string* park_key = nullptr;
+  for (const std::string& key : action->lock_keys) {
+    auto it = locks_.find(key);
+    if (it == locks_.end()) continue;
+    for (const Holder& h : it->second.holders) {
+      if (h.txn == me) continue;
+      const bool conflicts = !(h.shared && action->shared_locks);
+      if (!conflicts) continue;
+      if (h.priority < action->xct->priority) {
+        // Older transaction holds it: die (wait-die).
+        ++stats_.wait_die_aborts;
+        return LockOutcome::kDie;
+      }
+      if (park_key == nullptr) park_key = &key;
+    }
+  }
+  if (park_key != nullptr) {
+    // Conflicts only with younger holders: park until one releases.
+    parked_[*park_key].push_back(action);
+    ++stats_.lock_conflicts;
+    return LockOutcome::kParked;
+  }
+  // Pass 2: take them (no suspension between the passes).
+  for (const std::string& key : action->lock_keys) {
+    LockState& ls = locks_[key];
+    Holder* mine = nullptr;
+    for (Holder& h : ls.holders) {
+      if (h.txn == me) mine = &h;
+    }
+    if (mine != nullptr) {
+      // Upgrade S -> X if this action needs exclusivity.
+      if (!action->shared_locks) mine->shared = false;
+      continue;
+    }
+    ls.holders.push_back(Holder{me, action->xct->priority,
+                                action->shared_locks});
+    action->xct->held_locks.emplace_back(id_, key);
+    ++stats_.locks_taken;
+  }
+  return LockOutcome::kGranted;
+}
+
+void Partition::ReleaseLocks(txn::Xct* xct, std::vector<Action*>* ready) {
+  for (auto& [pid, key] : xct->held_locks) {
+    if (pid != id_) continue;
+    auto it = locks_.find(key);
+    if (it == locks_.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [&](const Holder& h) {
+                                   return h.txn == xct->id;
+                                 }),
+                  holders.end());
+    if (holders.empty()) locks_.erase(it);
+    // Wake every action parked on this key on ANY release — not only when
+    // the key frees completely. A parked action re-runs TryLockAll: if an
+    // older holder remains it now correctly dies (the holder set may have
+    // aged since it parked), otherwise it parks again or runs. Without
+    // this, old-parked-behind-young can silently become old-parked-behind-
+    // old and deadlock.
+    auto pit = parked_.find(key);
+    if (pit != parked_.end()) {
+      for (Action* a : pit->second) ready->push_back(a);
+      parked_.erase(pit);
+    }
+  }
+  // Drop this partition's entries from the transaction's lock list.
+  auto& hl = xct->held_locks;
+  hl.erase(std::remove_if(hl.begin(), hl.end(),
+                          [&](const auto& pk) { return pk.first == id_; }),
+           hl.end());
+}
+
+}  // namespace bionicdb::dora

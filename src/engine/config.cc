@@ -1,0 +1,39 @@
+#include "engine/config.h"
+
+namespace bionicdb::engine {
+
+const char* EngineModeName(EngineMode m) {
+  switch (m) {
+    case EngineMode::kConventional:
+      return "Conventional";
+    case EngineMode::kDora:
+      return "DORA";
+    case EngineMode::kBionic:
+      return "Bionic";
+  }
+  return "?";
+}
+
+EngineConfig EngineConfig::Conventional() {
+  EngineConfig c;
+  c.mode = EngineMode::kConventional;
+  c.platform = hw::PlatformSpec::CommodityServer();
+  return c;
+}
+
+EngineConfig EngineConfig::Dora() {
+  EngineConfig c;
+  c.mode = EngineMode::kDora;
+  c.platform = hw::PlatformSpec::CommodityServer();
+  return c;
+}
+
+EngineConfig EngineConfig::Bionic() {
+  EngineConfig c;
+  c.mode = EngineMode::kBionic;
+  c.platform = hw::PlatformSpec::ConveyHC2();
+  c.offload = OffloadConfig::AllOn();
+  return c;
+}
+
+}  // namespace bionicdb::engine

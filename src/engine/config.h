@@ -1,0 +1,75 @@
+// Engine configurations: the three architectures the benchmarks compare.
+//
+//  * Conventional — shared-everything multicore baseline: 2PL lock manager,
+//    latched B+Trees, buffer pool, CAS-contended software log.
+//  * Dora — the data-oriented architecture of [10, 11]: logical partitions,
+//    queues and rendezvous points, thread-local locking; all in software.
+//  * Bionic — the paper's proposal (Figure 4): DORA software structure with
+//    tree probes, logging, queue management, the overlay database, and the
+//    enhanced scanner offloaded to (simulated) reconfigurable hardware.
+#pragma once
+
+#include <string>
+
+#include "hw/log_unit.h"
+#include "hw/platform.h"
+#include "hw/queue_engine.h"
+#include "hw/scanner_unit.h"
+#include "hw/tree_probe_unit.h"
+#include "index/btree.h"
+#include "queueing/scheduler.h"
+
+namespace bionicdb::engine {
+
+enum class EngineMode { kConventional, kDora, kBionic };
+
+const char* EngineModeName(EngineMode m);
+
+/// Per-unit offload switches (the E9 ablation knobs). Only consulted in
+/// kBionic mode.
+struct OffloadConfig {
+  bool tree_probe = true;
+  bool logging = true;
+  bool queueing = true;
+  bool overlay = true;  ///< Overlay database instead of the buffer pool.
+  bool scanner = true;
+
+  static OffloadConfig AllOn() { return OffloadConfig{}; }
+  static OffloadConfig AllOff() {
+    return OffloadConfig{false, false, false, false, false};
+  }
+};
+
+struct EngineConfig {
+  EngineMode mode = EngineMode::kDora;
+  hw::PlatformSpec platform = hw::PlatformSpec::CommodityServer();
+
+  int num_partitions = 6;   ///< DORA logical partitions (== agents).
+  /// Conventional engine: worker-pool size == max in-flight transactions
+  /// (blocked workers do not hold cores, so pools are sized well past the
+  /// core count, as real servers do).
+  int workers = 64;
+  size_t bpool_frames = 16384;
+  int sockets = 1;          ///< Sockets sharing the log (contention knob).
+  double overlay_residency = 1.0;  ///< Fraction of rows resident FPGA-side.
+  /// Overlay entry budget per table (0 == unlimited). Past it, clean rows
+  /// are evicted FIFO and re-fetched from base data on demand (§5.6).
+  size_t overlay_capacity = 0;
+
+  OffloadConfig offload = OffloadConfig::AllOff();
+  index::BTreeConfig index_config;
+  queueing::DozePolicy doze;
+  hw::TreeProbeConfig probe_config;
+  hw::LogUnitConfig log_unit_config;
+  hw::QueueEngineConfig queue_engine_config;
+  hw::ScannerConfig scanner_config;
+
+  /// Shared-everything software baseline on a commodity server.
+  static EngineConfig Conventional();
+  /// Software DORA on a commodity server (the Figure-3 system).
+  static EngineConfig Dora();
+  /// The bionic hybrid on the Convey HC-2 platform, all units offloaded.
+  static EngineConfig Bionic();
+};
+
+}  // namespace bionicdb::engine

@@ -1,0 +1,882 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bionicdb::engine {
+
+using hw::Component;
+
+Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
+    : sim_(sim), config_(config) {
+  platform_ = std::make_unique<hw::Platform>(sim, config.platform);
+
+  // Data lives on the FPGA-side SAS disks (bionic) or the same simulated
+  // spindles on a commodity box; the log SSD is CPU-side in both.
+  data_disk_ = std::make_unique<storage::SimDisk>(sim, &platform_->sas_disk(),
+                                                  "data");
+  log_disk_ = std::make_unique<storage::SimDisk>(sim, &platform_->ssd(),
+                                                 "log");
+  bpool_ = std::make_unique<storage::BufferPool>(sim, data_disk_.get(),
+                                                 config.bpool_frames);
+  db_ = std::make_unique<Database>(data_disk_.get(), config.index_config,
+                                   /*with_overlays=*/config.mode ==
+                                       EngineMode::kBionic,
+                                   config.overlay_capacity);
+
+  const bool fpga = config.platform.has_fpga;
+  if (fpga) {
+    probe_unit_ = std::make_unique<hw::TreeProbeUnit>(platform_.get(),
+                                                      config.probe_config);
+    hw::LogUnitConfig luc = config.log_unit_config;
+    luc.sockets = std::max(luc.sockets, config.sockets);
+    log_unit_ = std::make_unique<hw::LogInsertionUnit>(platform_.get(), luc);
+    queue_engine_ = std::make_unique<hw::QueueEngine>(
+        platform_.get(), config.queue_engine_config);
+    scanner_unit_ = std::make_unique<hw::ScannerUnit>(platform_.get(),
+                                                      config.scanner_config);
+  }
+
+  if (config.mode == EngineMode::kBionic && config.offload.logging) {
+    BIONICDB_CHECK(fpga);
+    log_ = std::make_unique<wal::HardwareLogManager>(
+        platform_.get(), log_unit_.get(), &platform_->ssd());
+  } else {
+    log_ = std::make_unique<wal::SoftwareLogManager>(
+        platform_.get(), &platform_->ssd(), config.sockets);
+  }
+  xm_ = std::make_unique<txn::XctManager>(log_.get());
+
+  if (config.mode == EngineMode::kConventional) {
+    lm_ = std::make_unique<txn::LockManager>(sim);
+    workers_sem_ = std::make_unique<sim::Semaphore>(sim, config.workers);
+  } else {
+    dora::ExecutorConfig ec;
+    ec.num_partitions = config.num_partitions;
+    ec.doze = config.doze;
+    ec.hw_queues =
+        config.mode == EngineMode::kBionic && config.offload.queueing;
+    ec.async_actions = config.mode == EngineMode::kBionic;
+    executor_ = std::make_unique<dora::Executor>(
+        platform_.get(), ec, queue_engine_.get(), &breakdown_);
+  }
+}
+
+Engine::~Engine() = default;
+
+Table* Engine::CreateTable(const std::string& name) {
+  return db_->CreateTable(name);
+}
+
+Status Engine::LoadRow(Table* table, Slice key, Slice record) {
+  const bool resident =
+      !UseOverlay() || sim_->rng().NextDouble() < config_.overlay_residency;
+  return table->LoadRow(key, record, resident);
+}
+
+void Engine::Start() {
+  if (executor_ && !executor_->running()) executor_->Start();
+}
+
+sim::Task<void> Engine::PreheatBufferPool() {
+  if (UseOverlay()) co_return;
+  for (storage::PageId id = 1; id <= data_disk_->num_pages(); ++id) {
+    auto frame = co_await bpool_->Fetch(id);
+    if (frame.ok()) bpool_->Unpin(id, false);
+  }
+}
+
+sim::Task<void> Engine::Shutdown() {
+  if (executor_ && executor_->running()) co_await executor_->Drain();
+}
+
+void Engine::ResetStats() {
+  metrics_ = RunMetrics{};
+  breakdown_ = hw::Breakdown{};
+  platform_->meter().Reset();
+  bpool_->ResetStats();
+  epoch_ = sim_->Now();
+}
+
+void Engine::FinishRun() {
+  metrics_.elapsed_ns = sim_->Now() - epoch_;
+  metrics_.joules = platform_->TotalJoules(metrics_.elapsed_ns);
+}
+
+// --------------------------------------------------------- cost helpers --
+
+sim::Task<void> Engine::CpuWork(ExecContext& ctx, double ns, Component c) {
+  const SimTime t = static_cast<SimTime>(ns);
+  if (t <= 0) co_return;
+  sim::CorePool& cores = platform_->cpu(ctx.socket);
+  if (ctx.core_held) {
+    co_await cores.Work(t);
+  } else {
+    co_await cores.Attach();
+    co_await cores.Work(t);
+    cores.Detach();
+  }
+  platform_->meter().ChargeBusy(platform_->cpu_component(), t, 0);
+  breakdown_.Charge(c, t);
+}
+
+sim::Task<void> Engine::CpuWorkNoCore(double ns, Component c) {
+  const SimTime t = static_cast<SimTime>(ns);
+  if (t <= 0) co_return;
+  co_await sim::Delay{sim_, t};
+  platform_->meter().ChargeBusy(platform_->cpu_component(), t, 0);
+  breakdown_.Charge(c, t);
+}
+
+sim::Task<void> Engine::ProbeCost(ExecContext& ctx, int levels,
+                                  uint32_t key_bytes) {
+  if (UseHwProbe()) {
+    // Post the probe descriptor (tiny CPU cost), then the asynchronous
+    // hardware round trip.
+    co_await CpuWork(ctx, 25.0, Component::kBtree);
+    co_await probe_unit_->ProbeFromHost(levels, key_bytes);
+  } else {
+    // Software comparisons also pay per extra key word.
+    const double extra =
+        key_bytes > 8
+            ? platform_->cost().InstrNs(2.0 * ((key_bytes - 1) / 8)) * levels
+            : 0.0;
+    co_await CpuWork(ctx,
+                     platform_->cost().BtreeProbeNs(
+                         levels, config_.index_config.inner_fanout) +
+                         extra,
+                     Component::kBtree);
+  }
+}
+
+sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
+                                        wal::RecordType type, Table* table,
+                                        Slice key, Slice redo, Slice undo) {
+  const bool hw_log =
+      config_.mode == EngineMode::kBionic && config_.offload.logging;
+  if (hw_log) {
+    // The CPU only posts a descriptor; ordering happens in the unit.
+    co_await CpuWork(ctx, static_cast<double>(log_unit_->CpuSubmitCost()),
+                     Component::kLog);
+    co_return co_await xm_->LogWrite(ctx.xct, type, table->id(),
+                                     key.ToString(), redo.ToString(),
+                                     undo.ToString(), ctx.socket);
+  }
+  // Software log: the caller burns CPU for the whole reserve/copy/release
+  // (plus any contention stall), so the elapsed append time is charged as
+  // CPU work on the Log component.
+  const SimTime t0 = sim_->Now();
+  Status st = co_await xm_->LogWrite(ctx.xct, type, table->id(),
+                                     key.ToString(), redo.ToString(),
+                                     undo.ToString(), ctx.socket);
+  const SimTime elapsed = sim_->Now() - t0;
+  platform_->meter().ChargeBusy(platform_->cpu_component(), elapsed, 0);
+  breakdown_.Charge(Component::kLog, elapsed);
+  co_return st;
+}
+
+// ----------------------------------------------------------- row access --
+
+sim::Task<Result<std::string>> Engine::Read(ExecContext& ctx, Table* table,
+                                            Slice key) {
+  if (UseOverlay()) co_return co_await ReadOverlay(ctx, table, key);
+  co_return co_await ReadPaged(ctx, table, key);
+}
+
+sim::Task<Result<std::string>> Engine::ReadPaged(ExecContext& ctx,
+                                                 Table* table, Slice key) {
+  int visits = 0;
+  auto rid_str = table->primary().GetTraced(key, &visits);
+  co_await ProbeCost(ctx, visits, static_cast<uint32_t>(key.size()));
+  if (!rid_str.ok()) co_return rid_str.status();
+  const storage::Rid rid = index::DecodeRid(*rid_str);
+
+  co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(), Component::kBpool);
+  auto frame = co_await bpool_->Fetch(rid.page_id);
+  if (!frame.ok()) co_return frame.status();
+  auto rec = (*frame)->Get(rid.slot);
+  std::string out = rec.ok() ? rec->ToString() : std::string();
+  bpool_->Unpin(rid.page_id, false);
+  if (!rec.ok()) co_return rec.status();
+  co_await CpuWork(ctx, platform_->cost().TupleReadNs(), Component::kOther);
+  co_return out;
+}
+
+sim::Task<Result<std::string>> Engine::ReadOverlay(ExecContext& ctx,
+                                                   Table* table, Slice key) {
+  Overlay* ov = table->overlay();
+  BIONICDB_CHECK(ov != nullptr);
+  int visits = 0;
+  auto r = ov->GetTraced(key, &visits);
+  co_await ProbeCost(ctx, visits, static_cast<uint32_t>(key.size()));
+  if (r.ok()) {
+    // Record is inline in the overlay leaf: no buffer pool at all.
+    co_await CpuWork(ctx, platform_->cost().InstrNs(20), Component::kOther);
+    co_return std::move(r).value();
+  }
+  if (r.status().IsNotFound()) co_return r.status();  // tombstone
+  BIONICDB_CHECK(r.status().IsOutOfMemory());
+
+  // §5.6: "If disk access is needed, the hardware operation aborts so that
+  // software can trigger a data fetch and then retry." Software fetch:
+  co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(), Component::kBpool);
+  auto rid = table->LookupRid(key);
+  if (!rid.ok()) co_return rid.status();  // genuinely absent
+  storage::Page page;
+  Status io = co_await data_disk_->ReadPage(rid->page_id, &page);
+  if (!io.ok()) co_return io;
+  auto rec = page.Get(rid->slot);
+  if (!rec.ok()) co_return rec.status();
+  ov->InstallClean(key, *rec);
+  // Retry the (now resident) probe.
+  int retry_visits = 0;
+  auto retry = ov->GetTraced(key, &retry_visits);
+  BIONICDB_CHECK(retry.ok());
+  co_await ProbeCost(ctx, retry_visits);
+  co_return std::move(retry).value();
+}
+
+sim::Task<void> Engine::MultiReadOne(ExecContext ctx, Table* table,
+                                     std::string key,
+                                     Result<std::string>* out, int* remaining,
+                                     sim::Completion* done) {
+  *out = co_await Read(ctx, table, key);
+  if (--*remaining == 0) done->Set();
+}
+
+sim::Task<std::vector<Result<std::string>>> Engine::MultiRead(
+    ExecContext& ctx, Table* table, const std::vector<std::string>& keys) {
+  std::vector<Result<std::string>> out(keys.size(),
+                                       Result<std::string>(Status::Busy()));
+  if (!UseHwProbe() || keys.size() <= 1) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = co_await Read(ctx, table, keys[i]);
+    }
+    co_return out;
+  }
+  // Issue every probe concurrently; they overlap inside the probe unit's
+  // contexts while the caller waits for the join.
+  sim::Completion done(sim_);
+  int remaining = static_cast<int>(keys.size());
+  ExecContext sub = ctx;
+  sub.core_held = false;  // detached probes attach cores per work chunk
+  for (size_t i = 0; i < keys.size(); ++i) {
+    sim_->Spawn(
+        MultiReadOne(sub, table, keys[i], &out[i], &remaining, &done));
+  }
+  co_await done.Wait();
+  co_return out;
+}
+
+sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
+                                 Slice record, const std::string* known_old) {
+  std::string before;
+  if (known_old != nullptr) {
+    before = *known_old;
+  } else {
+    auto old = co_await Read(ctx, table, key);
+    if (!old.ok()) co_return old.status();
+    before = std::move(*old);
+  }
+
+  BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
+      ctx, wal::RecordType::kUpdate, table, key, record, Slice(before)));
+
+  if (UseOverlay()) {
+    table->overlay()->Put(key, record);
+  } else {
+    // In-place page update through the buffer pool.
+    auto rid = table->LookupRid(key);
+    BIONICDB_CHECK(rid.ok());
+    co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                     Component::kBpool);
+    auto frame = co_await bpool_->Fetch(rid->page_id);
+    if (!frame.ok()) co_return frame.status();
+    Status st = (*frame)->Update(rid->slot, record);
+    bpool_->Unpin(rid->page_id, true);
+    if (st.IsResourceExhausted()) {
+      // Record grew past its page: functional relocation.
+      st = table->BasePut(key, record);
+    }
+    if (!st.ok()) co_return st;
+  }
+  co_await CpuWork(ctx, platform_->cost().TupleWriteNs(), Component::kOther);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
+                                 Slice record) {
+  // Uniqueness check through the regular probe path.
+  if (UseOverlay()) {
+    int visits = 0;
+    auto existing = table->overlay()->GetTraced(key, &visits);
+    co_await ProbeCost(ctx, visits);
+    if (existing.ok()) co_return Status::AlreadyExists("key exists");
+    if (existing.status().IsOutOfMemory() &&
+        table->LookupRid(key).ok()) {
+      co_return Status::AlreadyExists("key exists in base data");
+    }
+  } else {
+    int visits = 0;
+    auto existing = table->primary().GetTraced(key, &visits);
+    co_await ProbeCost(ctx, visits);
+    if (existing.ok()) co_return Status::AlreadyExists("key exists");
+  }
+
+  BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
+      ctx, wal::RecordType::kInsert, table, key, record, Slice()));
+
+  if (UseOverlay()) {
+    table->overlay()->Put(key, record);
+    // Leaf insert + possible split work.
+    co_await CpuWork(ctx, platform_->cost().InstrNs(60), Component::kBtree);
+  } else {
+    Status st = table->BasePut(key, record);
+    if (!st.ok()) co_return st;
+    // A fresh fill page is materialized in the pool directly (like
+    // NewPage): inserts never cause a device read.
+    auto rid = table->LookupRid(key);
+    if (rid.ok()) (void)co_await bpool_->InstallLoaded(rid->page_id);
+    co_await CpuWork(ctx,
+                     platform_->cost().BtreeNodeVisitNs(
+                         config_.index_config.leaf_capacity, true),
+                     Component::kBtree);
+    co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                     Component::kBpool);
+  }
+  co_await CpuWork(ctx, platform_->cost().TupleWriteNs(), Component::kOther);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Engine::Delete(ExecContext& ctx, Table* table, Slice key) {
+  auto old = co_await Read(ctx, table, key);
+  if (!old.ok()) co_return old.status();
+
+  BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
+      ctx, wal::RecordType::kDelete, table, key, Slice(), Slice(*old)));
+
+  if (UseOverlay()) {
+    table->overlay()->Delete(key);
+  } else {
+    Status st = table->BaseDelete(key);
+    if (!st.ok()) co_return st;
+    co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                     Component::kBpool);
+  }
+  co_await CpuWork(ctx, platform_->cost().TupleWriteNs(), Component::kOther);
+  co_return Status::OK();
+}
+
+sim::Task<Result<std::string>> Engine::ProbeSecondary(
+    ExecContext& ctx, Table* table, const std::string& index_name,
+    Slice skey) {
+  index::BTree* idx = table->secondary(index_name);
+  if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
+  int visits = 0;
+  auto r = idx->GetTraced(skey, &visits);
+  co_await ProbeCost(ctx, visits, static_cast<uint32_t>(skey.size()));
+  if (!r.ok()) co_return r.status();
+  co_return std::move(r).value();
+}
+
+sim::Task<Status> Engine::InsertSecondary(ExecContext& ctx, Table* table,
+                                          const std::string& index_name,
+                                          Slice skey, Slice pkey) {
+  index::BTree* idx = table->secondary(index_name);
+  if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
+  int visits = 0;
+  (void)idx->GetTraced(skey, &visits);  // descend to the leaf
+  co_await ProbeCost(ctx, visits);
+  // Upsert: a retried transaction may re-add the entry its aborted attempt
+  // left behind; identical (skey -> pkey) mappings are harmless.
+  Status st = idx->Insert(skey, pkey, /*overwrite=*/true);
+  if (st.ok() && ctx.xct != nullptr) {
+    txn::UndoEntry undo;
+    undo.type = wal::RecordType::kInsert;
+    undo.table_id = table->id();
+    undo.key = skey.ToString();
+    undo.index_name = index_name;
+    ctx.xct->undo_chain.push_back(std::move(undo));
+  }
+  co_await CpuWork(ctx, platform_->cost().InstrNs(40), Component::kBtree);
+  co_return st;
+}
+
+sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
+                  size_t limit) {
+  // Functional result: base rows in [lo, hi) patched by the overlay.
+  std::map<std::string, std::string> merged;
+  for (auto it = table->primary().SeekRange(lo, hi); it.Valid(); it.Next()) {
+    auto rec = table->BaseGet(it.key());
+    if (rec.ok()) merged[it.key().ToString()] = std::move(*rec);
+  }
+  size_t overlay_rows = 0;
+  if (table->overlay() != nullptr) {
+    const index::BTree& ov = table->overlay()->index();
+    for (auto it = ov.SeekRange(lo, hi); it.Valid(); it.Next()) {
+      ++overlay_rows;
+      Slice tagged = it.value();
+      if (tagged[0] == 'D') {
+        merged.erase(it.key().ToString());
+      } else {
+        Slice rec(tagged.data() + 1, tagged.size() - 1);
+        merged[it.key().ToString()] = rec.ToString();
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (auto& kv : merged) {
+    if (limit != 0 && rows.size() >= limit) break;
+    rows.push_back(kv);
+  }
+
+  // Timing: one probe to locate the start leaf, then per-row costs.
+  int visits = table->primary().height();
+  co_await ProbeCost(ctx, visits);
+  if (UseOverlay()) {
+    // The hardware engine streams leaves FPGA-side; the host receives only
+    // the qualifying rows over PCIe.
+    uint64_t bytes = 0;
+    for (auto& [k, v] : rows) bytes += k.size() + v.size();
+    if (bytes > 0) co_await platform_->pcie().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(12.0) *
+                         static_cast<double>(rows.size()),
+                     Component::kBtree);
+  } else {
+    // Scanned rows are clustered: the buffer pool is charged only when the
+    // scan crosses onto a new page (the frame stays pinned across the
+    // page's rows, as a real scan operator would hold its latch).
+    storage::PageId current_page = storage::kInvalidPageId;
+    for (auto& [k, v] : rows) {
+      co_await CpuWork(ctx, platform_->cost().BtreeScanEntryNs(),
+                       Component::kBtree);
+      auto rid = table->LookupRid(k);
+      if (rid.ok() && rid->page_id != current_page) {
+        current_page = rid->page_id;
+        co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                         Component::kBpool);
+        auto frame = co_await bpool_->Fetch(rid->page_id);
+        if (frame.ok()) bpool_->Unpin(rid->page_id, false);
+      }
+      co_await CpuWork(ctx, platform_->cost().TupleScanNs(),
+                       Component::kOther);
+    }
+  }
+  co_return rows;
+}
+
+sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+Engine::RangeReadIndex(ExecContext& ctx, Table* table,
+                       const std::string& index_name, Slice lo, Slice hi,
+                       size_t limit) {
+  index::BTree* idx = table->secondary(index_name);
+  if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (auto it = idx->SeekRange(lo, hi); it.Valid(); it.Next()) {
+    if (limit != 0 && rows.size() >= limit) break;
+    rows.emplace_back(it.key().ToString(), it.value().ToString());
+  }
+  // One probe to the start leaf, then an entry walk.
+  co_await ProbeCost(ctx, idx->height());
+  if (UseHwProbe()) {
+    uint64_t bytes = 0;
+    for (auto& [k, v] : rows) bytes += k.size() + v.size();
+    if (bytes > 0) co_await platform_->pcie().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(12.0) *
+                         static_cast<double>(rows.size()),
+                     Component::kBtree);
+  } else {
+    co_await CpuWork(ctx,
+                     platform_->cost().BtreeScanEntryNs() *
+                         static_cast<double>(rows.size()),
+                     Component::kBtree);
+  }
+  co_return rows;
+}
+
+// ------------------------------------------------------------- analytics --
+
+sim::Task<Result<uint64_t>> Engine::ScanCount(
+    ExecContext& ctx, Table* table, const std::function<bool(Slice)>& pred) {
+  // Functional answer over the live logical table.
+  auto rows = table->ScanAll();
+  uint64_t matches = 0;
+  uint64_t bytes = 0;
+  for (auto& [key, rec] : rows) {
+    bytes += rec.size();
+    if (pred(Slice(rec))) ++matches;
+  }
+  const double selectivity =
+      rows.empty() ? 0.0
+                   : static_cast<double>(matches) /
+                         static_cast<double>(rows.size());
+
+  const bool hw_scan =
+      config_.mode == EngineMode::kBionic && config_.offload.scanner;
+  if (hw_scan) {
+    // Netezza-style filtering at the FPGA: only qualifying bytes cross PCIe.
+    (void)co_await scanner_unit_->Scan(bytes, selectivity);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(6.0) *
+                         static_cast<double>(matches),
+                     Component::kOther);
+  } else if (config_.platform.has_fpga) {
+    // Data is FPGA-side but filtering is not offloaded: everything crosses
+    // the PCI bus, then the CPU filters.
+    co_await platform_->pcie().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(10.0) *
+                         static_cast<double>(rows.size()),
+                     Component::kOther);
+  } else {
+    // Commodity: stream from host memory, filter on the CPU.
+    co_await platform_->host_dram().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(10.0) *
+                         static_cast<double>(rows.size()),
+                     Component::kOther);
+  }
+  co_return matches;
+}
+
+sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
+    ExecContext& ctx, Table* table, const std::string& projection_name,
+    const std::function<bool(int64_t)>& pred) {
+  const Table::Projection* proj = table->projection(projection_name);
+  if (proj == nullptr) {
+    co_return Status::NotFound("no projection " + projection_name);
+  }
+  // Functional answer: projection values patched with the overlay delta.
+  ProjectionAggregate agg;
+  std::map<std::string, std::optional<std::string>> delta;
+  if (table->overlay() != nullptr) {
+    for (auto& [k, rec] : table->overlay()->DirtySnapshot()) delta[k] = rec;
+  }
+  uint64_t patched = 0;
+  for (size_t i = 0; i < proj->keys.size(); ++i) {
+    int64_t v = proj->values[i];
+    auto it = delta.find(proj->keys[i]);
+    if (it != delta.end()) {
+      ++patched;
+      if (!it->second.has_value()) continue;  // deleted since the merge
+      v = proj->extractor(Slice(*it->second));
+      delta.erase(it);
+    }
+    if (!pred || pred(v)) {
+      ++agg.matches;
+      agg.sum += v;
+    }
+  }
+  // Rows inserted since the merge exist only in the delta.
+  for (auto& [k, rec] : delta) {
+    if (!rec.has_value()) continue;
+    ++patched;
+    const int64_t v = proj->extractor(Slice(*rec));
+    if (!pred || pred(v)) {
+      ++agg.matches;
+      agg.sum += v;
+    }
+  }
+
+  // Timing: the column (8 bytes/row) streams through the scanner or the
+  // host; aggregation ships only the result. Patching costs CPU per
+  // delta row.
+  const uint64_t bytes = proj->SizeBytes();
+  const bool hw_scan =
+      config_.mode == EngineMode::kBionic && config_.offload.scanner;
+  if (hw_scan) {
+    (void)co_await scanner_unit_->Scan(bytes, 0.0);
+  } else if (config_.platform.has_fpga) {
+    co_await platform_->pcie().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(3.0) *
+                         static_cast<double>(proj->values.size()),
+                     Component::kOther);
+  } else {
+    co_await platform_->host_dram().Transfer(bytes);
+    co_await CpuWork(ctx,
+                     platform_->cost().InstrNs(3.0) *
+                         static_cast<double>(proj->values.size()),
+                     Component::kOther);
+  }
+  co_await CpuWork(ctx,
+                   platform_->cost().TupleReadNs() *
+                       static_cast<double>(patched),
+                   Component::kOther);
+  co_return agg;
+}
+
+// ------------------------------------------------------------ maintenance --
+
+sim::Task<Status> Engine::BulkMerge(ExecContext& ctx, Table* table) {
+  Overlay* ov = table->overlay();
+  if (ov == nullptr) co_return Status::NotSupported("table has no overlay");
+  auto delta = ov->TakeDirty();
+  uint64_t bytes = 0;
+  for (auto& [key, rec] : delta) {
+    if (rec.has_value()) {
+      bytes += rec->size();
+      BIONICDB_CO_RETURN_NOT_OK(table->BasePut(key, *rec));
+    } else {
+      Status st = table->BaseDelete(key);
+      if (!st.ok() && !st.IsNotFound()) co_return st;
+    }
+    co_await CpuWorkNoCore(platform_->cost().InstrNs(40.0),
+                           Component::kBpool);
+  }
+  // Sorted bulk write back to the data disk.
+  if (bytes > 0) {
+    Status st = co_await data_disk_->AppendRaw(bytes);
+    if (!st.ok()) co_return st;
+  }
+  // Projections track base data: rebuild them now that base moved.
+  table->RefreshProjections();
+  co_return Status::OK();
+}
+
+sim::Task<Status> Engine::Checkpoint(ExecContext& ctx) {
+  // 1. Make base data reflect everything logged so far.
+  for (uint32_t i = 0; i < db_->num_tables(); ++i) {
+    Table* table = db_->GetTable(i);
+    if (table->overlay() != nullptr) {
+      BIONICDB_CO_RETURN_NOT_OK(co_await BulkMerge(ctx, table));
+    }
+  }
+  if (!UseOverlay()) {
+    BIONICDB_CO_RETURN_NOT_OK(co_await bpool_->FlushAll());
+  }
+  // 2. Mark the log: replay after a crash starts here.
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kCheckpoint;
+  rec.prev_lsn = log_->current_lsn();
+  const wal::Lsn lsn = co_await log_->Append(std::move(rec), ctx.socket);
+  co_return co_await log_->WaitDurable(lsn + 1);
+}
+
+sim::Task<Status> Engine::ReorganizeIndex(ExecContext& ctx, Table* table) {
+  index::BTree& idx = table->primary();
+  const size_t entries = idx.size();
+  Status st = idx.Rebuild();
+  if (!st.ok()) co_return st;
+  // Sequential rebuild: sorted leaf fill at memory bandwidth-ish cost.
+  co_await CpuWorkNoCore(platform_->cost().InstrNs(30.0) *
+                             static_cast<double>(entries),
+                         Component::kBtree);
+  co_return Status::OK();
+}
+
+// ------------------------------------------------------------ txn driving --
+
+std::string Engine::QualifiedKey(const Table* table, Slice key) {
+  std::string q = "t";
+  q += std::to_string(table->id());
+  q += ":";
+  q.append(key.data(), key.size());
+  return q;
+}
+
+void Engine::ApplyUndo(const txn::UndoEntry& entry) {
+  Table* table = db_->GetTable(entry.table_id);
+  BIONICDB_CHECK(table != nullptr);
+  if (!entry.index_name.empty()) {
+    // Secondary-index maintenance: remove the derived entry.
+    index::BTree* idx = table->secondary(entry.index_name);
+    BIONICDB_CHECK(idx != nullptr);
+    (void)idx->Delete(entry.key);
+    return;
+  }
+  if (UseOverlay()) {
+    Overlay* ov = table->overlay();
+    switch (entry.type) {
+      case wal::RecordType::kInsert:
+        ov->RemoveEntry(entry.key);
+        break;
+      case wal::RecordType::kUpdate:
+      case wal::RecordType::kDelete:
+        ov->Put(entry.key, entry.before);
+        break;
+      default:
+        BIONICDB_CHECK_MSG(false, "bad undo entry type");
+    }
+    return;
+  }
+  switch (entry.type) {
+    case wal::RecordType::kInsert:
+      BIONICDB_CHECK(table->BaseDelete(entry.key).ok());
+      break;
+    case wal::RecordType::kUpdate:
+    case wal::RecordType::kDelete:
+      BIONICDB_CHECK(table->BasePut(entry.key, entry.before).ok());
+      break;
+    default:
+      BIONICDB_CHECK_MSG(false, "bad undo entry type");
+  }
+}
+
+sim::Task<void> Engine::ReleaseAllLocks(txn::Xct* xct) {
+  if (config_.mode == EngineMode::kConventional) {
+    lm_->ReleaseAll(xct);
+  } else {
+    co_await executor_->ReleaseTxnLocks(xct);
+  }
+}
+
+sim::Task<Status> Engine::CommitTxn(ExecContext& ctx, txn::Xct* xct) {
+  co_await CpuWorkNoCore(platform_->cost().XctCommitNs(), Component::kXct);
+  // The commit-record append is CPU work on the software log; the
+  // durability wait afterwards is idle time and is deliberately not
+  // charged to the breakdown.
+  const SimTime t0 = sim_->Now();
+  const wal::Lsn commit_lsn = co_await xm_->AppendCommitRecord(xct,
+                                                               ctx.socket);
+  const SimTime append_elapsed = sim_->Now() - t0;
+  const bool hw_log =
+      config_.mode == EngineMode::kBionic && config_.offload.logging;
+  if (!hw_log && append_elapsed > 0) {
+    platform_->meter().ChargeBusy(platform_->cpu_component(), append_elapsed,
+                                  0);
+    breakdown_.Charge(Component::kLog, append_elapsed);
+  }
+  Status st = co_await xm_->WaitCommitDurable(xct, commit_lsn);
+  co_await ReleaseAllLocks(xct);
+  co_return st;
+}
+
+sim::Task<Status> Engine::AbortTxn(ExecContext& ctx, txn::Xct* xct) {
+  // Undo is CPU work proportional to the number of reverted actions.
+  co_await CpuWorkNoCore(platform_->cost().TupleWriteNs() *
+                             static_cast<double>(xct->undo_chain.size()),
+                         Component::kXct);
+  Status st = co_await xm_->Abort(
+      xct, [this](const txn::UndoEntry& e) { ApplyUndo(e); }, ctx.socket);
+  co_await ReleaseAllLocks(xct);
+  co_return st;
+}
+
+sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
+                                  uint64_t* priority) {
+  const SimTime start = sim_->Now();
+  // Conventional engine: admission waits for a worker-pool slot.
+  if (workers_sem_) co_await workers_sem_->Acquire();
+  co_await CpuWorkNoCore(platform_->cost().FrontendDispatchNs(),
+                         Component::kFrontend);
+
+  auto xct = xm_->Begin();
+  if (priority != nullptr) {
+    if (*priority == 0) {
+      *priority = xct->priority;
+    } else {
+      xct->priority = *priority;
+    }
+  }
+  ExecContext ctx;
+  ctx.engine = this;
+  ctx.xct = xct.get();
+  ctx.socket = socket;
+  ctx.core_held = false;
+  co_await CpuWorkNoCore(platform_->cost().XctBeginNs(), Component::kXct);
+
+  Status st = co_await RunAllPhases(spec, ctx);
+
+  if (st.ok()) {
+    st = co_await CommitTxn(ctx, xct.get());
+    if (st.ok()) {
+      ++metrics_.commits;
+    } else {
+      ++metrics_.aborts;
+    }
+  } else {
+    Status abort_st = co_await AbortTxn(ctx, xct.get());
+    BIONICDB_CHECK(abort_st.ok());
+    ++metrics_.aborts;
+  }
+  metrics_.latency.Add(sim_->Now() - start);
+  if (workers_sem_) workers_sem_->Release();
+  co_return st;
+}
+
+sim::Task<Status> Engine::RunAllPhases(TxnSpec& spec, ExecContext& ctx) {
+  // Note: no `cond ? co_await a : co_await b` here — GCC 12 miscompiles
+  // co_await inside the conditional operator (frame-temporary lifetime).
+  const bool conventional = config_.mode == EngineMode::kConventional;
+  for (Phase& phase : spec.phases) {
+    Status st;
+    if (conventional) {
+      st = co_await RunPhaseConventional(phase, ctx);
+    } else {
+      st = co_await RunPhaseDora(phase, ctx);
+    }
+    if (!st.ok()) co_return st;
+  }
+  if (spec.dynamic_phases) {
+    for (int i = 0;; ++i) {
+      Phase phase;
+      if (!spec.dynamic_phases(i, &phase)) break;
+      Status st;
+      if (conventional) {
+        st = co_await RunPhaseConventional(phase, ctx);
+      } else {
+        st = co_await RunPhaseDora(phase, ctx);
+      }
+      if (!st.ok()) co_return st;
+    }
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Engine::RunPhaseConventional(Phase& phase,
+                                               ExecContext& ctx) {
+  for (TxnStep& step : phase) {
+    // 2PL: centralized lock manager, row locks, wait-die on conflict.
+    for (const std::string& key : step.keys) {
+      co_await CpuWork(ctx, platform_->cost().LockAcquireNs(),
+                       Component::kXct);
+      Status st = co_await lm_->Acquire(
+          ctx.xct, QualifiedKey(step.table, key),
+          step.read_only ? txn::LockMode::kShared
+                         : txn::LockMode::kExclusive);
+      if (!st.ok()) co_return st;
+    }
+    Status st = co_await step.fn(ctx);
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Engine::RunPhaseDora(Phase& phase, ExecContext& ctx) {
+  const bool async = config_.mode == EngineMode::kBionic;
+  dora::Rvp rvp(sim_, static_cast<int>(phase.size()));
+  for (TxnStep& step : phase) {
+    auto* action = new dora::Action();
+    action->xct = ctx.xct;
+    action->rvp = &rvp;
+    action->socket = ctx.socket;
+    action->shared_locks = step.read_only;
+    action->lock_keys.reserve(step.keys.size());
+    for (const std::string& key : step.keys) {
+      action->lock_keys.push_back(QualifiedKey(step.table, key));
+    }
+    std::sort(action->lock_keys.begin(), action->lock_keys.end());
+    Engine* self = this;
+    auto fn = step.fn;
+    const int socket = ctx.socket;
+    action->fn = [self, fn, socket,
+                  async](dora::ActionContext& actx) -> sim::Task<Status> {
+      ExecContext ectx;
+      ectx.engine = self;
+      ectx.xct = actx.xct;
+      ectx.socket = socket;
+      // Synchronous agents hold their core through the body; async
+      // bodies attach per work chunk.
+      ectx.core_held = !async;
+      co_return co_await fn(ectx);
+    };
+    co_await executor_->Dispatch(action);
+  }
+  co_return co_await rvp.Wait();
+}
+
+}  // namespace bionicdb::engine

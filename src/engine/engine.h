@@ -1,0 +1,291 @@
+// Engine: the bionic DBMS facade. Wires the simulated platform, storage,
+// indexes, WAL, transaction management, DORA execution, and the four
+// hardware units into one of three architectures (see config.h), and
+// exposes the transactional and analytic API the workloads run against.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "dora/executor.h"
+#include "engine/config.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "hw/cost_model.h"
+#include "hw/log_unit.h"
+#include "hw/platform.h"
+#include "hw/queue_engine.h"
+#include "hw/scanner_unit.h"
+#include "hw/tree_probe_unit.h"
+#include "index/btree.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "txn/lock_manager.h"
+#include "txn/xct_manager.h"
+#include "wal/log_manager.h"
+
+namespace bionicdb::engine {
+
+class Engine {
+ public:
+  Engine(sim::Simulator* sim, const EngineConfig& config);
+  ~Engine();
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  // ------------------------------------------------------------- context --
+  /// Carried through every timed operation. `core_held` tells the cost
+  /// helpers whether the caller already occupies a CPU core (DORA agents
+  /// in synchronous mode) or must attach per work chunk.
+  struct ExecContext {
+    Engine* engine = nullptr;
+    txn::Xct* xct = nullptr;
+    int socket = 0;
+    bool core_held = false;
+  };
+
+  // ------------------------------------------------------- setup & state --
+  Table* CreateTable(const std::string& name);
+  /// Untimed bulk load; overlay residency is drawn per row from the
+  /// configured fraction (deterministic under the simulator seed).
+  Status LoadRow(Table* table, Slice key, Slice record);
+
+  Database& db() { return *db_; }
+  hw::Platform& platform() { return *platform_; }
+  sim::Simulator* simulator() { return sim_; }
+  const EngineConfig& config() const { return config_; }
+
+  // --------------------------------------------------- row operations ----
+  // All are timed: they charge CPU cost-model work to the Figure-3
+  // components, occupy devices, and may await hardware units.
+  sim::Task<Result<std::string>> Read(ExecContext& ctx, Table* table,
+                                      Slice key);
+
+  /// Batched point reads. On the hardware probe path all probes are issued
+  /// concurrently and overlap in the pipelined tree probe unit ("no need
+  /// for those requests to arrive simultaneously" — §5.3); in software they
+  /// execute back-to-back. Results are positionally aligned with `keys`.
+  sim::Task<std::vector<Result<std::string>>> MultiRead(
+      ExecContext& ctx, Table* table, const std::vector<std::string>& keys);
+
+  /// Updates a row. `known_old` (optional) supplies the before-image when
+  /// the caller just read the row — skipping the second index probe, as an
+  /// engine that keeps the located leaf position would.
+  sim::Task<Status> Update(ExecContext& ctx, Table* table, Slice key,
+                           Slice record, const std::string* known_old = nullptr);
+  sim::Task<Status> Insert(ExecContext& ctx, Table* table, Slice key,
+                           Slice record);
+  sim::Task<Status> Delete(ExecContext& ctx, Table* table, Slice key);
+
+  /// Secondary-index probe: skey -> primary key.
+  sim::Task<Result<std::string>> ProbeSecondary(ExecContext& ctx, Table* table,
+                                                const std::string& index_name,
+                                                Slice skey);
+  /// Secondary-index maintenance (timed; functional insert).
+  sim::Task<Status> InsertSecondary(ExecContext& ctx, Table* table,
+                                    const std::string& index_name, Slice skey,
+                                    Slice pkey);
+
+  /// Primary-key range read over [lo, hi), up to `limit` rows (0 ==
+  /// unlimited). Returns (key, record) pairs merged across base + overlay.
+  sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+  RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi, size_t limit);
+
+  /// Secondary-index range read over [lo, hi): returns (skey, pkey) pairs
+  /// in index order, up to `limit` (0 == unlimited). Timed like a primary
+  /// range probe; secondary indexes live beside the primary in the same
+  /// (overlay or host) memory.
+  sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+  RangeReadIndex(ExecContext& ctx, Table* table,
+                 const std::string& index_name, Slice lo, Slice hi,
+                 size_t limit);
+
+  // ----------------------------------------------------------- analytics --
+  /// Full-table predicate count: the enhanced-scanner path (§5.2) when
+  /// offloaded, a CPU scan otherwise. Overlay deltas are patched in.
+  sim::Task<Result<uint64_t>> ScanCount(ExecContext& ctx, Table* table,
+                                        const std::function<bool(Slice)>& pred);
+
+  /// Aggregate over a named columnar projection (Figure 4's "Columnar
+  /// database"): count and sum of values matching `pred` (null == all).
+  /// The projection is as of the last bulk merge; the overlay's dirty
+  /// delta is patched in at query time, so results reflect live data.
+  struct ProjectionAggregate {
+    uint64_t matches = 0;
+    int64_t sum = 0;
+  };
+  sim::Task<Result<ProjectionAggregate>> ScanProjection(
+      ExecContext& ctx, Table* table, const std::string& projection_name,
+      const std::function<bool(int64_t)>& pred = nullptr);
+
+  // ---------------------------------------------------------- maintenance --
+  /// Bulk-merges a table's overlay delta back to base storage (§5.6) and
+  /// refreshes its columnar projections.
+  sim::Task<Status> BulkMerge(ExecContext& ctx, Table* table);
+
+  /// Quiescent checkpoint: bulk-merges every overlay (or flushes the
+  /// buffer pool), then appends a durable kCheckpoint record. Recovery
+  /// replays only the log suffix after it. Call between transactions (no
+  /// in-flight writers).
+  sim::Task<Status> Checkpoint(ExecContext& ctx);
+
+  /// Rebuilds a table's primary index at optimal fill ("Tree SMO & reorg"
+  /// stays in software in Figure 4). Timed per-entry; call when churn has
+  /// hollowed the tree.
+  sim::Task<Status> ReorganizeIndex(ExecContext& ctx, Table* table);
+
+  // ---------------------------------------------------------- transactions --
+  struct TxnStep {
+    Table* table = nullptr;
+    /// Keys this step locks (2PL row locks / DORA partition-local locks).
+    /// keys[0] also routes the step to its partition.
+    std::vector<std::string> keys;
+    bool read_only = false;
+    std::function<sim::Task<Status>(ExecContext&)> fn;
+  };
+  using Phase = std::vector<TxnStep>;
+  struct TxnSpec {
+    std::vector<Phase> phases;
+    /// Optional generator for phases whose shape is only known at run time
+    /// (e.g. TPC-C StockLevel probes the stock of whatever items the
+    /// order-line scan returned). Invoked with 0, 1, ... after the static
+    /// phases; fills `*out` and returns true, or returns false when done.
+    std::function<bool(int, Phase*)> dynamic_phases;
+  };
+
+  /// Runs one transaction to commit or abort. Conventional mode executes
+  /// steps inline under 2PL; DORA/Bionic dispatch each phase's steps as
+  /// actions and join at an RVP. Records metrics.
+  ///
+  /// `priority` (optional): wait-die timestamp carried across retries. On
+  /// entry *priority == 0 assigns a fresh timestamp and writes it back;
+  /// a retry passes the same pointer so the transaction ages instead of
+  /// forever dying to older peers.
+  sim::Task<Status> Execute(TxnSpec spec, int socket = 0,
+                            uint64_t* priority = nullptr);
+
+  // ------------------------------------------------------------ lifecycle --
+  /// Spawns DORA agents (no-op for the conventional engine).
+  void Start();
+
+  /// Reads every table's pages through the buffer pool once (timed; run it
+  /// during warmup). No-op when the overlay replaces the pool.
+  sim::Task<void> PreheatBufferPool();
+  /// Drains agents; await after all submitted transactions completed.
+  sim::Task<void> Shutdown();
+
+  /// Zeroes metrics/breakdown/energy and restarts the measurement window
+  /// (call after warmup).
+  void ResetStats();
+  /// Closes the measurement window: fills metrics().elapsed_ns/joules.
+  void FinishRun();
+
+  // ------------------------------------------------------------- telemetry --
+  RunMetrics& metrics() { return metrics_; }
+  hw::Breakdown& breakdown() { return breakdown_; }
+  wal::LogManager* log() { return log_.get(); }
+  txn::XctManager& xct_manager() { return *xm_; }
+  txn::LockManager* lock_manager() { return lm_.get(); }
+  dora::Executor* executor() { return executor_.get(); }
+  hw::TreeProbeUnit* probe_unit() { return probe_unit_.get(); }
+  hw::LogInsertionUnit* log_unit() { return log_unit_.get(); }
+  hw::QueueEngine* queue_engine() { return queue_engine_.get(); }
+  hw::ScannerUnit* scanner_unit() { return scanner_unit_.get(); }
+  storage::BufferPool* buffer_pool() { return bpool_.get(); }
+  storage::SimDisk* data_disk() { return data_disk_.get(); }
+
+  /// Deterministic partition of a key (0 for the conventional engine).
+  /// Workloads must group a step's keys by partition: DORA's local locks
+  /// are only sound when every access to a key lands on the same agent.
+  uint32_t PartitionOf(const Table* table, Slice key) const {
+    if (!executor_) return 0;
+    std::hash<std::string> hasher;
+    return executor_->Route(hasher(QualifiedKey(table, key)));
+  }
+
+  /// True when rows live in the overlay instead of buffer-pooled pages.
+  bool UseOverlay() const {
+    return config_.mode == EngineMode::kBionic && config_.offload.overlay;
+  }
+  /// True when index probes run on the hardware tree probe engine.
+  bool UseHwProbe() const {
+    return config_.mode == EngineMode::kBionic && config_.offload.tree_probe;
+  }
+
+ private:
+  // ---- cost helpers -------------------------------------------------------
+  /// Executes `ns` of CPU work charged to component `c`. Attaches a core
+  /// unless the context already holds one.
+  sim::Task<void> CpuWork(ExecContext& ctx, double ns, hw::Component c);
+  /// Charges CPU energy + breakdown without occupying a core (front-end /
+  /// driver-side work).
+  sim::Task<void> CpuWorkNoCore(double ns, hw::Component c);
+
+  /// Index probe timing for `levels` node visits (software cost model or
+  /// hardware probe engine round trip). `key_bytes` sizes the comparator
+  /// work for variable-length keys.
+  sim::Task<void> ProbeCost(ExecContext& ctx, int levels,
+                            uint32_t key_bytes = 8);
+
+  /// Append to the WAL, charging elapsed time to the Log component.
+  sim::Task<Status> LogWriteTimed(ExecContext& ctx, wal::RecordType type,
+                                  Table* table, Slice key, Slice redo,
+                                  Slice undo);
+
+  sim::Task<void> MultiReadOne(ExecContext ctx, Table* table, std::string key,
+                               Result<std::string>* out, int* remaining,
+                               sim::Completion* done);
+
+  /// Overlay read with §5.6 miss handling (abort -> software fetch from
+  /// base -> install -> retry).
+  sim::Task<Result<std::string>> ReadOverlay(ExecContext& ctx, Table* table,
+                                             Slice key);
+  sim::Task<Result<std::string>> ReadPaged(ExecContext& ctx, Table* table,
+                                           Slice key);
+
+  /// Functional rollback of one undo entry.
+  void ApplyUndo(const txn::UndoEntry& entry);
+
+  /// Abort helper shared by both execution paths.
+  sim::Task<Status> AbortTxn(ExecContext& ctx, txn::Xct* xct);
+  sim::Task<Status> CommitTxn(ExecContext& ctx, txn::Xct* xct);
+  sim::Task<void> ReleaseAllLocks(txn::Xct* xct);
+
+  sim::Task<Status> RunPhaseConventional(Phase& phase, ExecContext& ctx);
+  sim::Task<Status> RunPhaseDora(Phase& phase, ExecContext& ctx);
+  sim::Task<Status> RunAllPhases(TxnSpec& spec, ExecContext& ctx);
+
+  static std::string QualifiedKey(const Table* table, Slice key);
+
+  sim::Simulator* sim_;
+  EngineConfig config_;
+  std::unique_ptr<hw::Platform> platform_;
+  std::unique_ptr<storage::SimDisk> data_disk_;
+  std::unique_ptr<storage::SimDisk> log_disk_;
+  std::unique_ptr<storage::BufferPool> bpool_;
+  std::unique_ptr<Database> db_;
+
+  std::unique_ptr<hw::TreeProbeUnit> probe_unit_;
+  std::unique_ptr<hw::LogInsertionUnit> log_unit_;
+  std::unique_ptr<hw::QueueEngine> queue_engine_;
+  std::unique_ptr<hw::ScannerUnit> scanner_unit_;
+
+  std::unique_ptr<wal::LogManager> log_;
+  std::unique_ptr<txn::XctManager> xm_;
+  std::unique_ptr<txn::LockManager> lm_;
+  std::unique_ptr<dora::Executor> executor_;
+
+  /// Conventional mode: admission throttle modeling the worker pool.
+  std::unique_ptr<sim::Semaphore> workers_sem_;
+
+  hw::Breakdown breakdown_;
+  RunMetrics metrics_;
+  SimTime epoch_ = 0;
+};
+
+}  // namespace bionicdb::engine

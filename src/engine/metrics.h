@@ -1,0 +1,34 @@
+// Run-level metrics: throughput, latency distribution, and — the paper's
+// preferred figure of merit (§2-§3) — joules per operation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace bionicdb::engine {
+
+struct RunMetrics {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;      ///< Includes wait-die retries and user aborts.
+  Histogram latency;        ///< Per-transaction ns, submission to completion.
+  SimTime elapsed_ns = 0;   ///< Measurement window.
+  double joules = 0.0;      ///< Whole-platform energy over the window.
+
+  double TxnPerSecond() const {
+    return elapsed_ns > 0 ? static_cast<double>(commits) * 1e9 /
+                                static_cast<double>(elapsed_ns)
+                          : 0.0;
+  }
+  double MicrojoulesPerTxn() const {
+    return commits > 0 ? joules * 1e6 / static_cast<double>(commits) : 0.0;
+  }
+  double AbortRate() const {
+    const uint64_t total = commits + aborts;
+    return total ? static_cast<double>(aborts) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+}  // namespace bionicdb::engine

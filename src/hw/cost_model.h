@@ -1,0 +1,157 @@
+// CostModel: converts software primitives into virtual nanoseconds, charged
+// to the Figure-3 component taxonomy. These constants are the calibration
+// knobs that make the software-only DORA engine reproduce the paper's
+// Figure-3 time-breakdown shape; derivations are in cost_model.cc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace bionicdb::hw {
+
+/// The component taxonomy of Figure 3 ("Time breakdown of a highly
+/// optimized transaction processing system").
+enum class Component : int {
+  kBtree = 0,   ///< B+Tree management: probes, leaf ops, SMOs.
+  kBpool,       ///< Buffer pool / overlay management.
+  kLog,         ///< Log manager: buffer inserts, sync waits.
+  kXct,         ///< Transaction management: begin/commit, local locks.
+  kDora,        ///< DORA machinery: queues, routing, RVPs.
+  kFrontend,    ///< Front-end: input generation, parsing, dispatch.
+  kOther,       ///< Everything else.
+  kNumComponents
+};
+
+constexpr int kNumComponents = static_cast<int>(Component::kNumComponents);
+
+/// Display name ("Btree mgmt", ... exactly the Figure-3 legend).
+const char* ComponentName(Component c);
+
+/// Per-primitive software costs on the host CPU (virtual ns).
+///
+/// The model assumes a 2.5 GHz core executing database code at IPC ~0.7
+/// (DBMSs on a modern processor [1]: half the time is stalls), i.e. about
+/// 0.57 ns per instruction, and a ~70 ns penalty for a last-level cache
+/// miss to host DRAM.
+struct CostModel {
+  // -- Fundamental rates -------------------------------------------------
+  double ns_per_instr = 0.57;    ///< Effective (IPC-degraded) per instruction.
+  double llc_miss_ns = 70.0;     ///< LLC miss to local DRAM.
+  double remote_miss_ns = 140.0; ///< Miss served from a remote socket.
+
+  // -- B+Tree (software probe) -------------------------------------------
+  /// Instructions per in-node binary-search step ("load-compare-branch").
+  double btree_step_instrs = 3.0;
+  /// Fixed per-node overhead (prefetch, bounds, child computation).
+  double btree_node_instrs = 34.0;
+  /// Probability an inner-node access misses the LLC (trees are big).
+  double btree_inner_miss_prob = 0.5;
+  /// Probability a leaf access misses the LLC (leaves are colder).
+  double btree_leaf_miss_prob = 0.9;
+  /// Per-entry cost of walking a leaf during a range scan.
+  double btree_scan_entry_instrs = 26.0;
+  double btree_scan_entry_misses = 0.08;
+
+  // -- Buffer pool --------------------------------------------------------
+  double bpool_hash_instrs = 50.0;   ///< Hash + bucket chain walk.
+  double bpool_hash_misses = 1.0;    ///< Expected LLC misses per lookup.
+  double bpool_latch_ns = 24.0;      ///< Uncontended latch acquire+release.
+  double bpool_pin_instrs = 30.0;    ///< Pin/unpin bookkeeping.
+
+  // -- Logging (software WAL) ----------------------------------------------
+  double log_reserve_ns = 45.0;   ///< Uncontended CAS reserve on the buffer.
+  double log_copy_ns_per_byte = 0.18;  ///< memcpy into the log buffer.
+  double log_release_ns = 30.0;   ///< Release / hole bookkeeping.
+  double log_record_instrs = 150.0;  ///< Building the record (LSN, CRC, hdr).
+  /// Extra serialization per contending thread on the same buffer (models
+  /// the CAS retry + cacheline ping-pong measured in [7]).
+  double log_contention_ns_per_thread = 8.0;
+  /// Multi-socket multiplier on contention cost (socket-to-socket hops).
+  double log_cross_socket_factor = 3.0;
+
+  // -- Queues (software) ----------------------------------------------------
+  double queue_op_instrs = 80.0;   ///< Enqueue or dequeue, incl. fences.
+  double queue_op_misses = 1.0;    ///< Producer/consumer cacheline transfer.
+  double queue_sched_instrs = 150.0;  ///< Owner scheduling / doze decision.
+
+  // -- Transaction management ----------------------------------------------
+  double xct_begin_instrs = 240.0;
+  double xct_commit_instrs = 340.0;
+  double lock_acquire_instrs = 120.0;   ///< Centralized 2PL (baseline).
+  double lock_acquire_misses = 1.2;
+  double local_lock_instrs = 18.0;      ///< DORA thread-local lock.
+
+  // -- Front-end -------------------------------------------------------------
+  double frontend_dispatch_instrs = 600.0;  ///< Parse/route/setup per txn.
+  double frontend_dispatch_misses = 2.5;
+
+  // -- Tuple work --------------------------------------------------------------
+  double tuple_read_instrs = 40.0;
+  double tuple_read_misses = 0.6;
+  double tuple_write_instrs = 70.0;
+  double tuple_write_misses = 0.8;
+  /// Sequential (clustered) tuple access during scans: prefetch-friendly.
+  double tuple_scan_instrs = 25.0;
+  double tuple_scan_misses = 0.15;
+
+  // -- Derived helpers ------------------------------------------------------
+  double InstrNs(double instrs) const { return instrs * ns_per_instr; }
+
+  /// Expected software cost of one B+Tree node visit with `fanout`-way
+  /// binary search. `leaf` selects the leaf miss probability.
+  double BtreeNodeVisitNs(int fanout, bool leaf) const;
+
+  /// Software probe cost for a tree of `levels` levels and given fanout.
+  double BtreeProbeNs(int levels, int fanout) const;
+
+  double BpoolLookupNs() const;
+  double QueueOpNs() const;
+  double LockAcquireNs() const;
+  double FrontendDispatchNs() const;
+  double TupleReadNs() const;
+  double TupleWriteNs() const;
+  double TupleScanNs() const;
+  /// Per-entry leaf walking cost in a range scan.
+  double BtreeScanEntryNs() const;
+  double XctBeginNs() const;
+  double XctCommitNs() const;
+
+  /// Software log insert of `bytes`, with `contenders` threads sharing the
+  /// buffer across `sockets` sockets.
+  double LogInsertNs(uint32_t bytes, int contenders, int sockets) const;
+  /// The serialized portion of a software log insert (the CAS reserve and
+  /// its contention penalty; the copy proceeds in parallel, as in Aether).
+  double LogReserveSerialNs(int contenders, int sockets) const;
+  /// The parallel portion (record build + copy + release).
+  double LogParallelNs(uint32_t bytes) const;
+};
+
+/// Per-component virtual-time accumulator (one per simulated worker or
+/// engine; merged for reports). This is the Figure-3 instrument.
+class Breakdown {
+ public:
+  Breakdown() { ns_.fill(0); }
+
+  void Charge(Component c, SimTime ns) {
+    ns_[static_cast<size_t>(c)] += ns;
+  }
+  void Merge(const Breakdown& other) {
+    for (int i = 0; i < kNumComponents; ++i) ns_[static_cast<size_t>(i)] += other.ns_[static_cast<size_t>(i)];
+  }
+
+  SimTime ns(Component c) const { return ns_[static_cast<size_t>(c)]; }
+  SimTime TotalNs() const;
+  /// Percentage of total time in component c (0..100).
+  double Percent(Component c) const;
+
+  /// Multi-line table like Figure 3's legend with percentages.
+  std::string ToTable() const;
+
+ private:
+  std::array<SimTime, kNumComponents> ns_;
+};
+
+}  // namespace bionicdb::hw

@@ -1,0 +1,68 @@
+#include "hw/log_unit.h"
+
+namespace bionicdb::hw {
+
+LogInsertionUnit::LogInsertionUnit(Platform* platform,
+                                   const LogUnitConfig& config)
+    : platform_(platform), config_(config) {
+  BIONICDB_CHECK(config.sockets >= 1);
+  arbiter_ = std::make_unique<sim::PipelinedUnit>(
+      platform->simulator(), "log_arbiter", config.arbitration_ii_ns,
+      &platform->meter(), platform->fpga_component());
+  open_.resize(static_cast<size_t>(config.sockets));
+}
+
+sim::Task<void> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
+  BIONICDB_CHECK(socket >= 0 && socket < config_.sockets);
+  const uint32_t framed = bytes + config_.descriptor_overhead_bytes;
+
+  if (!config_.aggregate) {
+    co_await ShipBatch(framed, 1);
+    co_return;
+  }
+
+  auto& slot = open_[static_cast<size_t>(socket)];
+  // If the open batch cannot take this record, wait for it to ship.
+  while (slot.has_value() && slot->bytes + framed > config_.max_batch_bytes) {
+    auto done = slot->done;
+    co_await done->Wait();
+  }
+
+  if (!slot.has_value()) {
+    // Leader: open a batch, hold it for the aggregation window, ship it.
+    Batch b;
+    b.bytes = framed;
+    b.records = 1;
+    b.done = std::make_shared<sim::Completion>(platform_->simulator());
+    slot = b;
+    auto done = b.done;
+    co_await sim::Delay{platform_->simulator(),
+                        config_.aggregation_window_ns};
+    const Batch closed = *slot;
+    slot.reset();
+    co_await ShipBatch(closed.bytes, closed.records);
+    done->Set();
+  } else {
+    // Follower: piggyback on the open batch.
+    slot->bytes += framed;
+    slot->records += 1;
+    auto done = slot->done;
+    co_await done->Wait();
+  }
+}
+
+sim::Task<void> LogInsertionUnit::ShipBatch(uint32_t payload_bytes,
+                                            uint32_t records) {
+  co_await platform_->pcie().Transfer(payload_bytes);
+  co_await arbiter_->Process(config_.arbitration_ii_ns);
+  if (records > 1) {
+    co_await sim::Delay{platform_->simulator(),
+                        config_.arbitration_ii_ns *
+                            static_cast<SimTime>(records - 1)};
+  }
+  ++batches_;
+  records_ += records;
+  bytes_ += payload_bytes;
+}
+
+}  // namespace bionicdb::hw

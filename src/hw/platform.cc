@@ -1,0 +1,67 @@
+#include "hw/platform.h"
+
+namespace bionicdb::hw {
+
+PlatformSpec PlatformSpec::ConveyHC2() {
+  PlatformSpec s;
+  s.name = "ConveyHC2";
+  s.cpu_cores = 6;
+  s.cpu_sockets = 1;
+  s.cpu_ghz = 2.5;
+  s.has_fpga = true;
+  s.host_dram = DeviceSpec{20.0, 400};          // 20 GBps / 400 ns
+  s.sg_dram = DeviceSpec{80.0, 400};            // 80 GBps / 400 ns
+  s.pcie = DeviceSpec{4.0, 1000};               // 4 GBps; 2 us round trip
+  s.sas_disk = DeviceSpec{1.5, 5 * kMillisecond};  // 12 Gbps / 5 ms
+  s.ssd = DeviceSpec{0.5, 20 * kMicrosecond};   // 500 MBps / 20 us
+  return s;
+}
+
+PlatformSpec PlatformSpec::CommodityServer() {
+  PlatformSpec s = ConveyHC2();
+  s.name = "CommodityServer";
+  s.has_fpga = false;
+  // No FPGA: no scatter-gather memory; everything hangs off the host.
+  s.sg_dram = s.host_dram;
+  return s;
+}
+
+Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec)
+    : sim_(sim), spec_(spec), meter_(sim) {
+  cpu_component_ = meter_.RegisterComponent("cpu", spec_.cpu_core_power);
+  fpga_component_ = meter_.RegisterComponent("fpga", spec_.fpga_unit_power);
+  dram_component_ = meter_.RegisterComponent("dram", spec_.dram_power);
+  pcie_component_ = meter_.RegisterComponent("pcie", spec_.pcie_power);
+  storage_component_ =
+      meter_.RegisterComponent("storage", spec_.storage_power);
+
+  for (int s = 0; s < spec_.cpu_sockets; ++s) {
+    cpus_.push_back(std::make_unique<sim::CorePool>(sim, spec_.cpu_cores,
+                                                    &meter_, cpu_component_));
+  }
+  meter_.SetParallelism(cpu_component_,
+                        static_cast<double>(spec_.cpu_cores) *
+                            static_cast<double>(spec_.cpu_sockets));
+  host_dram_ = std::make_unique<sim::Link>(sim, "host_dram",
+                                           spec_.host_dram.gbps,
+                                           spec_.host_dram.latency_ns,
+                                           &meter_, dram_component_);
+  sg_dram_ = std::make_unique<sim::Link>(sim, "sg_dram", spec_.sg_dram.gbps,
+                                         spec_.sg_dram.latency_ns, &meter_,
+                                         dram_component_);
+  pcie_ = std::make_unique<sim::Link>(sim, "pcie", spec_.pcie.gbps,
+                                      spec_.pcie.latency_ns, &meter_,
+                                      pcie_component_);
+  sas_disk_ = std::make_unique<sim::Link>(sim, "sas_disk",
+                                          spec_.sas_disk.gbps,
+                                          spec_.sas_disk.latency_ns, &meter_,
+                                          storage_component_);
+  ssd_ = std::make_unique<sim::Link>(sim, "ssd", spec_.ssd.gbps,
+                                     spec_.ssd.latency_ns, &meter_,
+                                     storage_component_);
+  // Four FPGA units (tree probe, log, queue, scanner) share the meter
+  // component; idle power accounts for all four.
+  meter_.SetParallelism(fpga_component_, spec_.has_fpga ? 4.0 : 0.0);
+}
+
+}  // namespace bionicdb::hw

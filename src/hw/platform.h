@@ -1,0 +1,120 @@
+// Platform: instantiates the simulated hardware of Figure 2 (the Convey
+// HC-2-class CPU/FPGA machine) or a commodity CPU-only server, as sim
+// resources wired to one EnergyMeter.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/units.h"
+#include "hw/cost_model.h"
+#include "sim/energy.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace bionicdb::hw {
+
+/// Bandwidth/latency pair for one device or interconnect.
+struct DeviceSpec {
+  double gbps = 1.0;        ///< Decimal gigabytes per second.
+  SimTime latency_ns = 0;   ///< One-way access/propagation latency.
+};
+
+/// Full machine description. Defaults are meaningless; use the factories.
+struct PlatformSpec {
+  std::string name;
+  int cpu_cores = 6;
+  int cpu_sockets = 1;
+  double cpu_ghz = 2.5;
+  bool has_fpga = false;
+
+  // Figure-2 datapaths.
+  DeviceSpec host_dram;  ///< CPU-attached DDR3.
+  DeviceSpec sg_dram;    ///< FPGA-attached scatter-gather DDR3.
+  DeviceSpec pcie;       ///< CPU <-> FPGA (latency = one-way; RTT = 2x).
+  DeviceSpec sas_disk;   ///< FPGA-attached spinning storage.
+  DeviceSpec ssd;        ///< CPU-attached log SSD.
+
+  // Power model (see DESIGN.md section 1 for the provenance of these).
+  sim::PowerSpec cpu_core_power{12.0, 2.5, 0.0};
+  sim::PowerSpec fpga_unit_power{1.2, 0.15, 0.0};
+  sim::PowerSpec dram_power{4.0, 1.0, 0.0};
+  sim::PowerSpec pcie_power{2.0, 0.5, 0.0};
+  sim::PowerSpec storage_power{6.0, 3.0, 0.0};
+
+  CostModel cost;
+
+  /// The paper's target platform (Figure 2): Intel host + FPGA with
+  /// 80 GB/s / 400 ns scatter-gather DRAM, 20 GB/s / 400 ns host DDR3,
+  /// 8x PCIe at 4 GB/s with a 2 us round trip, 2x SAS at 12 Gb/s / 5 ms,
+  /// and a 500 MB/s / 20 us SSD for log files.
+  static PlatformSpec ConveyHC2();
+
+  /// A conventional multicore server with the same CPU complex and host
+  /// memory, no FPGA; database + log on the SSD, data on SAS.
+  static PlatformSpec CommodityServer();
+};
+
+/// Instantiated simulated machine: owns the sim resources and the energy
+/// meter. One Platform per Simulator run.
+class Platform {
+ public:
+  Platform(sim::Simulator* sim, const PlatformSpec& spec);
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Platform);
+
+  sim::Simulator* simulator() { return sim_; }
+  const PlatformSpec& spec() const { return spec_; }
+  const CostModel& cost() const { return spec_.cost; }
+  sim::EnergyMeter& meter() { return meter_; }
+
+  /// Core pool of `socket` (defaults to socket 0). Sockets are symmetric:
+  /// spec().cpu_cores cores each.
+  sim::CorePool& cpu(int socket = 0) {
+    return *cpus_[static_cast<size_t>(socket % spec_.cpu_sockets)];
+  }
+  /// Mean utilization across every socket's cores.
+  double TotalCpuUtilization(SimTime elapsed) const {
+    double sum = 0;
+    for (auto& c : cpus_) sum += c->Utilization(elapsed);
+    return sum / static_cast<double>(cpus_.size());
+  }
+  sim::Link& host_dram() { return *host_dram_; }
+  sim::Link& sg_dram() { return *sg_dram_; }
+  sim::Link& pcie() { return *pcie_; }
+  sim::Link& sas_disk() { return *sas_disk_; }
+  sim::Link& ssd() { return *ssd_; }
+
+  /// Energy-meter component ids (for reports and direct charging).
+  int cpu_component() const { return cpu_component_; }
+  int fpga_component() const { return fpga_component_; }
+  int dram_component() const { return dram_component_; }
+  int pcie_component() const { return pcie_component_; }
+  int storage_component() const { return storage_component_; }
+
+  /// Total platform energy (J) over the first `elapsed_ns` of the run.
+  double TotalJoules(SimTime elapsed_ns) const {
+    return meter_.TotalEnergyNj(elapsed_ns) * 1e-9;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  PlatformSpec spec_;
+  sim::EnergyMeter meter_;
+
+  int cpu_component_;
+  int fpga_component_;
+  int dram_component_;
+  int pcie_component_;
+  int storage_component_;
+
+  std::vector<std::unique_ptr<sim::CorePool>> cpus_;
+  std::unique_ptr<sim::Link> host_dram_;
+  std::unique_ptr<sim::Link> sg_dram_;
+  std::unique_ptr<sim::Link> pcie_;
+  std::unique_ptr<sim::Link> sas_disk_;
+  std::unique_ptr<sim::Link> ssd_;
+};
+
+}  // namespace bionicdb::hw

@@ -1,0 +1,17 @@
+#include "hw/queue_engine.h"
+
+namespace bionicdb::hw {
+
+QueueEngine::QueueEngine(Platform* platform, const QueueEngineConfig& config)
+    : platform_(platform), config_(config) {
+  arbiter_ = std::make_unique<sim::PipelinedUnit>(
+      platform->simulator(), "queue_engine", config.arbitration_ii_ns,
+      &platform->meter(), platform->fpga_component());
+}
+
+sim::Task<void> QueueEngine::Operate() {
+  ++ops_;
+  co_await arbiter_->Process(config_.arbitration_ii_ns);
+}
+
+}  // namespace bionicdb::hw

@@ -1,0 +1,38 @@
+#include "hw/scanner_unit.h"
+
+#include <algorithm>
+
+namespace bionicdb::hw {
+
+ScannerUnit::ScannerUnit(Platform* platform, const ScannerConfig& config)
+    : platform_(platform), config_(config) {}
+
+sim::Task<ScanTiming> ScannerUnit::Scan(uint64_t bytes,
+                                        double output_fraction) {
+  BIONICDB_CHECK(output_fraction >= 0.0 && output_fraction <= 1.0);
+  co_await sim::Delay{platform_->simulator(), config_.setup_ns};
+
+  uint64_t shipped = 0;
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t chunk =
+        std::min<uint64_t>(remaining, config_.chunk_bytes);
+    co_await platform_->sg_dram().Transfer(chunk);
+    const SimTime filter_ns = static_cast<SimTime>(
+        static_cast<double>(chunk) / 1024.0 * config_.fpga_ns_per_kib);
+    co_await sim::Delay{platform_->simulator(), filter_ns};
+    platform_->meter().ChargeBusy(platform_->fpga_component(), filter_ns);
+    const uint64_t out = static_cast<uint64_t>(
+        static_cast<double>(chunk) * output_fraction);
+    if (out > 0) {
+      co_await platform_->pcie().Transfer(out);
+      shipped += out;
+    }
+    remaining -= chunk;
+  }
+  scanned_ += bytes;
+  shipped_ += shipped;
+  co_return ScanTiming{bytes, shipped};
+}
+
+}  // namespace bionicdb::hw

@@ -1,0 +1,44 @@
+#include "hw/tree_probe_unit.h"
+
+namespace bionicdb::hw {
+
+TreeProbeUnit::TreeProbeUnit(Platform* platform,
+                             const TreeProbeConfig& config)
+    : platform_(platform), config_(config),
+      contexts_(platform->simulator(), config.contexts) {
+  BIONICDB_CHECK(config.contexts > 0);
+}
+
+sim::Task<void> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
+  co_await contexts_.Acquire();
+  ++active_;
+  if (active_ > max_active_) max_active_ = active_;
+  // Variable-length keys stream through the comparator in 8-byte beats and
+  // widen the per-node fetch (more key material per cache line).
+  const uint32_t beats = key_bytes == 0 ? 1 : (key_bytes + 7) / 8;
+  const SimTime compute =
+      config_.node_compute_ns +
+      static_cast<SimTime>(beats - 1) * config_.compare_beat_ns;
+  const uint32_t fetch = config_.node_fetch_bytes +
+                         (beats - 1) * 8 * 4 /* extra key material */;
+  for (int l = 0; l < levels; ++l) {
+    // One dependent SG-DRAM access per node; 400 ns latency dominates, the
+    // fetch costs ~1 ns of the 80 GB/s bandwidth.
+    co_await platform_->sg_dram().Transfer(fetch);
+    co_await sim::Delay{platform_->simulator(), compute};
+    ++node_visits_;
+    platform_->meter().ChargeBusy(platform_->fpga_component(), compute);
+  }
+  ++probes_;
+  --active_;
+  contexts_.Release();
+}
+
+sim::Task<void> TreeProbeUnit::ProbeFromHost(int levels, uint32_t key_bytes) {
+  const uint32_t extra = key_bytes > 8 ? key_bytes - 8 : 0;
+  co_await platform_->pcie().Transfer(config_.request_bytes + extra);
+  co_await Probe(levels, key_bytes);
+  co_await platform_->pcie().Transfer(config_.response_bytes);
+}
+
+}  // namespace bionicdb::hw

@@ -1,0 +1,69 @@
+// TreeProbeUnit: the paper's §5.3 "generic hardware tree probe engine".
+//
+// Timing model: a pipelined unit with a fixed number of hardware probe
+// contexts. Each probe walks `levels` B+Tree nodes; every node visit is one
+// dependent scatter-gather DRAM access (the Convey SG-DRAM delivers high
+// throughput for exactly this pointer-chasing pattern) plus a few FPGA
+// cycles of compare logic. Probes overlap freely up to the context count,
+// so the unit saturates with "perhaps a dozen outstanding requests" —
+// exactly the §5.3 claim, reproduced by bench/probe_saturation.
+//
+// The unit is timing-only: functional key lookups happen in the index
+// module against the same node layout; the engine composes both.
+#pragma once
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "hw/platform.h"
+#include "sim/resource.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bionicdb::hw {
+
+/// Configuration of the synthesized probe engine.
+struct TreeProbeConfig {
+  int contexts = 16;           ///< In-flight probe contexts (§5.3: ~a dozen).
+  SimTime node_compute_ns = 20;  ///< Compare/extract logic per node visit.
+  uint32_t node_fetch_bytes = 64;  ///< SG-DRAM bytes fetched per node visit.
+  SimTime compare_beat_ns = 4;   ///< Extra comparator time per 8-byte beat
+                                 ///< beyond the first (string keys).
+  uint32_t request_bytes = 64;   ///< Host->FPGA probe descriptor.
+  uint32_t response_bytes = 16;  ///< FPGA->host result (RID or miss).
+};
+
+class TreeProbeUnit {
+ public:
+  TreeProbeUnit(Platform* platform, const TreeProbeConfig& config = {});
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(TreeProbeUnit);
+
+  /// Probe timing from inside the FPGA (no PCIe legs): walks `levels`
+  /// nodes through SG-DRAM. `key_bytes` sizes the comparator datapath:
+  /// the unit handles "both integer and variable-length string keys"
+  /// (§5.3); longer keys stream through the comparator in 8-byte beats
+  /// and fetch proportionally more of each node.
+  sim::Task<void> Probe(int levels, uint32_t key_bytes = 8);
+
+  /// Full host-initiated probe: request descriptor over PCIe, probe, and
+  /// response back. The submitting agent should treat this as asynchronous
+  /// (switch to other work while awaiting).
+  sim::Task<void> ProbeFromHost(int levels, uint32_t key_bytes = 8);
+
+  uint64_t probes_completed() const { return probes_; }
+  uint64_t node_visits() const { return node_visits_; }
+  int contexts() const { return config_.contexts; }
+  /// Peak simultaneously-active probe contexts seen so far.
+  int max_active() const { return max_active_; }
+
+ private:
+  Platform* platform_;
+  TreeProbeConfig config_;
+  sim::Semaphore contexts_;
+  int active_ = 0;
+  int max_active_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t node_visits_ = 0;
+};
+
+}  // namespace bionicdb::hw

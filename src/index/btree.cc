@@ -1,0 +1,432 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace bionicdb::index {
+
+struct BTree::Node {
+  bool leaf;
+  std::vector<std::string> keys;
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+struct BTree::Inner : BTree::Node {
+  // children.size() == keys.size() + 1; child[i] holds keys < keys[i],
+  // child[i+1] holds keys >= keys[i].
+  std::vector<Node*> children;
+  Inner() : Node(false) {}
+};
+
+struct BTree::Leaf : BTree::Node {
+  std::vector<std::string> values;
+  Leaf* next = nullptr;
+  Leaf() : Node(true) {}
+};
+
+namespace {
+
+/// Index of the child covering `key` in an inner node: first separator
+/// greater than key.
+size_t ChildIndex(const std::vector<std::string>& keys, Slice key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Index of the first key >= `key` in a leaf.
+size_t LowerBound(const std::vector<std::string>& keys, Slice key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTree::Leaf* BTree::LeftmostLeafFor(Node* node) {
+  while (!node->leaf) node = static_cast<Inner*>(node)->children.front();
+  return static_cast<Leaf*>(node);
+}
+
+BTree::BTree(const BTreeConfig& config) : config_(config) {
+  BIONICDB_CHECK(config_.inner_fanout >= 3);
+  BIONICDB_CHECK(config_.leaf_capacity >= 2);
+  root_ = new Leaf();
+}
+
+BTree::~BTree() { FreeNode(root_); }
+
+void BTree::FreeNode(Node* node) {
+  if (!node->leaf) {
+    for (Node* c : static_cast<Inner*>(node)->children) FreeNode(c);
+  }
+  if (node->leaf) {
+    delete static_cast<Leaf*>(node);
+  } else {
+    delete static_cast<Inner*>(node);
+  }
+}
+
+BTree::Leaf* BTree::FindLeaf(Slice key, int* node_visits) const {
+  int visits = 0;
+  Node* node = root_;
+  ++visits;
+  while (!node->leaf) {
+    Inner* inner = static_cast<Inner*>(node);
+    node = inner->children[ChildIndex(inner->keys, key)];
+    ++visits;
+  }
+  if (node_visits) *node_visits = visits;
+  return static_cast<Leaf*>(node);
+}
+
+Status BTree::Insert(Slice key, Slice value, bool overwrite) {
+  Status st = Status::OK();
+  SplitResult split = InsertRec(root_, key, value, overwrite, &st);
+  if (!st.ok()) return st;
+  if (split.split) {
+    Inner* new_root = new Inner();
+    new_root->keys.push_back(std::move(split.separator));
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+  return Status::OK();
+}
+
+BTree::SplitResult BTree::InsertRec(Node* node, Slice key, Slice value,
+                                    bool overwrite, Status* st) {
+  if (node->leaf) {
+    Leaf* leaf = static_cast<Leaf*>(node);
+    const size_t pos = LowerBound(leaf->keys, key);
+    if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
+      if (!overwrite) {
+        *st = Status::AlreadyExists("duplicate key");
+        return {};
+      }
+      leaf->values[pos] = value.ToString();
+      return {};
+    }
+    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key.ToString());
+    leaf->values.insert(leaf->values.begin() + static_cast<long>(pos),
+                        value.ToString());
+    ++size_;
+    ++stats_.inserts;
+    if (leaf->keys.size() <= static_cast<size_t>(config_.leaf_capacity)) {
+      return {};
+    }
+    // Split the leaf.
+    Leaf* right = new Leaf();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<long>(mid), leaf->keys.end());
+    right->values.assign(leaf->values.begin() + static_cast<long>(mid),
+                         leaf->values.end());
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    ++stats_.splits;
+    SplitResult out;
+    out.split = true;
+    out.separator = right->keys.front();
+    out.right = right;
+    return out;
+  }
+
+  Inner* inner = static_cast<Inner*>(node);
+  const size_t ci = ChildIndex(inner->keys, key);
+  SplitResult child_split =
+      InsertRec(inner->children[ci], key, value, overwrite, st);
+  if (!st->ok() || !child_split.split) return {};
+
+  inner->keys.insert(inner->keys.begin() + static_cast<long>(ci),
+                     std::move(child_split.separator));
+  inner->children.insert(inner->children.begin() + static_cast<long>(ci) + 1,
+                         child_split.right);
+  if (inner->children.size() <= static_cast<size_t>(config_.inner_fanout)) {
+    return {};
+  }
+  // Split the inner node: middle separator moves up.
+  Inner* right = new Inner();
+  const size_t mid = inner->keys.size() / 2;
+  SplitResult out;
+  out.split = true;
+  out.separator = inner->keys[mid];
+  right->keys.assign(inner->keys.begin() + static_cast<long>(mid) + 1,
+                     inner->keys.end());
+  right->children.assign(inner->children.begin() + static_cast<long>(mid) + 1,
+                         inner->children.end());
+  inner->keys.resize(mid);
+  inner->children.resize(mid + 1);
+  ++stats_.splits;
+  out.right = right;
+  return out;
+}
+
+Result<std::string> BTree::Get(Slice key) const {
+  int visits = 0;
+  return GetTraced(key, &visits);
+}
+
+Result<std::string> BTree::GetTraced(Slice key, int* node_visits) const {
+  Leaf* leaf = FindLeaf(key, node_visits);
+  ++stats_.probes;
+  stats_.node_visits += static_cast<uint64_t>(*node_visits);
+  const size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
+    return leaf->values[pos];
+  }
+  return Status::NotFound("key not in index");
+}
+
+Status BTree::Update(Slice key, Slice value) {
+  int visits = 0;
+  Leaf* leaf = FindLeaf(key, &visits);
+  const size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
+    leaf->values[pos] = value.ToString();
+    return Status::OK();
+  }
+  return Status::NotFound("key not in index");
+}
+
+Status BTree::Delete(Slice key) {
+  bool root_empty = false;
+  Status st = DeleteRec(root_, key, &root_empty);
+  if (!st.ok()) return st;
+  // Shrink the tree: an inner root with one child is replaced by it.
+  while (!root_->leaf && static_cast<Inner*>(root_)->children.size() == 1) {
+    Inner* old = static_cast<Inner*>(root_);
+    root_ = old->children[0];
+    old->children.clear();
+    delete old;
+    --height_;
+  }
+  return Status::OK();
+}
+
+Status BTree::DeleteRec(Node* node, Slice key, bool* empty) {
+  if (node->leaf) {
+    Leaf* leaf = static_cast<Leaf*>(node);
+    const size_t pos = LowerBound(leaf->keys, key);
+    if (pos >= leaf->keys.size() || Slice(leaf->keys[pos]) != key) {
+      return Status::NotFound("key not in index");
+    }
+    leaf->keys.erase(leaf->keys.begin() + static_cast<long>(pos));
+    leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
+    --size_;
+    ++stats_.deletes;
+    *empty = leaf->keys.empty();
+    return Status::OK();
+  }
+
+  Inner* inner = static_cast<Inner*>(node);
+  const size_t ci = ChildIndex(inner->keys, key);
+  bool child_empty = false;
+  BIONICDB_RETURN_NOT_OK(DeleteRec(inner->children[ci], key, &child_empty));
+  if (child_empty && inner->children.size() > 1) {
+    // Unlink the empty child. If it is a leaf, splice the leaf chain.
+    Node* victim = inner->children[ci];
+    if (victim->leaf) {
+      Leaf* vleaf = static_cast<Leaf*>(victim);
+      // Find the left neighbor leaf to re-link. Walking from the leftmost
+      // leaf is O(#leaves) but deletion-to-empty is rare.
+      Leaf* prev = nullptr;
+      for (Leaf* l = LeftmostLeafFor(root_); l != nullptr && l != vleaf;
+           l = l->next) {
+        prev = l;
+      }
+      if (prev) prev->next = vleaf->next;
+    }
+    FreeNode(victim);
+    inner->children.erase(inner->children.begin() + static_cast<long>(ci));
+    if (ci < inner->keys.size()) {
+      inner->keys.erase(inner->keys.begin() + static_cast<long>(ci));
+    } else {
+      inner->keys.pop_back();
+    }
+  }
+  *empty = inner->children.empty();
+  return Status::OK();
+}
+
+BTree::Iterator BTree::Seek(Slice start) const {
+  Iterator it;
+  int visits = 0;
+  Leaf* leaf = FindLeaf(start, &visits);
+  size_t pos = LowerBound(leaf->keys, start);
+  if (pos >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos = 0;
+  }
+  it.node_ = leaf;
+  it.idx_ = pos;
+  return it;
+}
+
+BTree::Iterator BTree::SeekRange(Slice start, Slice end) const {
+  Iterator it = Seek(start);
+  it.bounded_ = true;
+  it.end_ = end.ToString();
+  // Clamp immediately if the first key is already out of range.
+  if (it.Valid() && it.key().Compare(Slice(it.end_)) >= 0) it.node_ = nullptr;
+  return it;
+}
+
+BTree::Iterator BTree::Begin() const {
+  Iterator it;
+  Leaf* leaf = LeftmostLeafFor(root_);
+  if (leaf->keys.empty()) {
+    // An empty tree has one empty leaf; treat as end.
+    it.node_ = leaf->next;  // nullptr unless structure is odd
+  } else {
+    it.node_ = leaf;
+  }
+  it.idx_ = 0;
+  return it;
+}
+
+Slice BTree::Iterator::key() const {
+  const Leaf* leaf = static_cast<const Leaf*>(node_);
+  return Slice(leaf->keys[idx_]);
+}
+
+Slice BTree::Iterator::value() const {
+  const Leaf* leaf = static_cast<const Leaf*>(node_);
+  return Slice(leaf->values[idx_]);
+}
+
+void BTree::Iterator::Next() {
+  const Leaf* leaf = static_cast<const Leaf*>(node_);
+  ++idx_;
+  while (leaf && idx_ >= leaf->keys.size()) {
+    leaf = leaf->next;
+    idx_ = 0;
+  }
+  node_ = leaf;
+  if (node_ && bounded_ && key().Compare(Slice(end_)) >= 0) {
+    node_ = nullptr;
+  }
+}
+
+Status BTree::Rebuild(double fill_factor) {
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(size_);
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    entries.emplace_back(it.key().ToString(), it.value().ToString());
+  }
+  FreeNode(root_);
+
+  if (entries.empty()) {
+    root_ = new Leaf();
+    height_ = 1;
+    return Status::OK();
+  }
+
+  // Build the leaf level at the target fill.
+  const size_t per_leaf = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(config_.leaf_capacity) *
+                             fill_factor));
+  std::vector<std::pair<Node*, std::string>> level;  // (node, min key)
+  Leaf* prev = nullptr;
+  for (size_t i = 0; i < entries.size(); i += per_leaf) {
+    Leaf* leaf = new Leaf();
+    const size_t end = std::min(entries.size(), i + per_leaf);
+    for (size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(std::move(entries[j].first));
+      leaf->values.push_back(std::move(entries[j].second));
+    }
+    if (prev != nullptr) prev->next = leaf;
+    prev = leaf;
+    level.emplace_back(leaf, leaf->keys.front());
+  }
+
+  // Build inner levels bottom-up until a single root remains.
+  const size_t per_inner = std::max<size_t>(
+      2, static_cast<size_t>(static_cast<double>(config_.inner_fanout) *
+                             fill_factor));
+  int levels = 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<Node*, std::string>> next_level;
+    for (size_t i = 0; i < level.size(); i += per_inner) {
+      Inner* inner = new Inner();
+      const size_t end = std::min(level.size(), i + per_inner);
+      for (size_t j = i; j < end; ++j) {
+        inner->children.push_back(level[j].first);
+        if (j > i) inner->keys.push_back(level[j].second);
+      }
+      next_level.emplace_back(inner, level[i].second);
+    }
+    level = std::move(next_level);
+    ++levels;
+  }
+  root_ = level.front().first;
+  height_ = levels;
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_, 1, nullptr, nullptr, &leaf_depth);
+}
+
+Status BTree::CheckNode(const Node* node, int depth, const std::string* lo,
+                        const std::string* hi, int* leaf_depth) const {
+  // Keys sorted strictly ascending and within (lo, hi].
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0 && !(Slice(node->keys[i - 1]) < Slice(node->keys[i]))) {
+      return Status::Corruption("keys out of order");
+    }
+    if (lo && Slice(node->keys[i]).Compare(Slice(*lo)) < 0) {
+      return Status::Corruption("key below subtree lower bound");
+    }
+    if (hi && Slice(node->keys[i]).Compare(Slice(*hi)) >= 0) {
+      return Status::Corruption("key above subtree upper bound");
+    }
+  }
+  if (node->leaf) {
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    if (leaf->keys.size() != leaf->values.size()) {
+      return Status::Corruption("leaf key/value count mismatch");
+    }
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("non-uniform leaf depth");
+    }
+    if (depth != height_) {
+      return Status::Corruption("height_ does not match actual depth");
+    }
+    return Status::OK();
+  }
+  const Inner* inner = static_cast<const Inner*>(node);
+  if (inner->children.size() != inner->keys.size() + 1) {
+    return Status::Corruption("inner child/separator count mismatch");
+  }
+  for (size_t i = 0; i < inner->children.size(); ++i) {
+    const std::string* clo = (i == 0) ? lo : &inner->keys[i - 1];
+    const std::string* chi = (i == inner->keys.size()) ? hi : &inner->keys[i];
+    BIONICDB_RETURN_NOT_OK(
+        CheckNode(inner->children[i], depth + 1, clo, chi, leaf_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace bionicdb::index

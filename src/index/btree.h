@@ -1,0 +1,147 @@
+// BTree: from-scratch in-memory B+Tree over byte-string keys.
+//
+// This is the functional structure behind both probe paths:
+//  * the software probe (costed per node visit by hw::CostModel), and
+//  * the hardware tree probe engine (§5.3), which walks the same logical
+//    nodes through SG-DRAM — concurrency control is resolved *before* a
+//    request reaches the tree (DORA's single-owner partitions), so the
+//    structure itself carries no latches on the probe path.
+//
+// SMOs (splits, empty-node removal, height changes) are handled here in
+// software, exactly as the paper prescribes ("space allocation, inode
+// splits, and index reorganization are handled in software").
+//
+// Deletion uses empty-node removal rather than full merge/borrow
+// rebalancing: underflowed nodes are allowed (they only waste space, never
+// break ordering or uniform depth), and nodes are unlinked when they empty.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bionicdb::index {
+
+struct BTreeConfig {
+  /// Max children per inner node ("high node branching factors mean the
+  /// entire index fits in memory for most datasets" — §5.3).
+  int inner_fanout = 64;
+  /// Max records per leaf.
+  int leaf_capacity = 64;
+};
+
+struct BTreeStats {
+  uint64_t probes = 0;        ///< Point lookups served.
+  uint64_t node_visits = 0;   ///< Total nodes touched by probes.
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t splits = 0;        ///< Leaf + inner splits (software SMOs).
+};
+
+class BTree {
+ public:
+  explicit BTree(const BTreeConfig& config = {});
+  ~BTree();
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(BTree);
+
+  /// Inserts key -> value. With `overwrite` false, an existing key fails
+  /// with AlreadyExists; with true, the value is replaced (upsert).
+  Status Insert(Slice key, Slice value, bool overwrite = false);
+
+  /// Point lookup.
+  Result<std::string> Get(Slice key) const;
+
+  /// Point lookup that also reports the number of node visits (the probe
+  /// depth the cost models consume).
+  Result<std::string> GetTraced(Slice key, int* node_visits) const;
+
+  /// Replaces the value of an existing key.
+  Status Update(Slice key, Slice value);
+
+  /// Removes a key.
+  Status Delete(Slice key);
+
+  bool Contains(Slice key) const { return Get(key).ok(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of levels root->leaf (1 for a lone leaf). This is what the
+  /// tree probe unit's latency scales with.
+  int height() const { return height_; }
+  const BTreeStats& stats() const { return stats_; }
+  const BTreeConfig& config() const { return config_; }
+
+  /// Forward iterator over [start, end) in key order. The iterator is
+  /// invalidated by writes.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    Slice key() const;
+    Slice value() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    const void* node_ = nullptr;  // Leaf*
+    size_t idx_ = 0;
+    std::string end_;  // empty == unbounded
+    bool bounded_ = false;
+  };
+
+  /// Iterator positioned at the first key >= `start`.
+  Iterator Seek(Slice start) const;
+  /// Iterator over keys in [start, end).
+  Iterator SeekRange(Slice start, Slice end) const;
+  /// Iterator from the smallest key.
+  Iterator Begin() const;
+
+  /// Rebuilds the tree bottom-up at `fill_factor` occupancy (index
+  /// reorganization — the paper keeps SMOs and reorg in software). O(n);
+  /// restores minimal height and dense leaves after deletion churn.
+  /// Invalidates iterators. Probe/insert statistics are preserved.
+  Status Rebuild(double fill_factor = 0.9);
+
+  /// Structural invariant check (uniform depth, ordered keys, separator
+  /// correctness, leaf-chain order). For tests; O(n).
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Inner;
+  struct Leaf;
+
+  Leaf* FindLeaf(Slice key, int* node_visits) const;
+  static Leaf* LeftmostLeafFor(Node* node);
+
+  /// Recursive insert; returns a (separator, new right sibling) pair when
+  /// the child split.
+  struct SplitResult {
+    bool split = false;
+    std::string separator;
+    Node* right = nullptr;
+  };
+  SplitResult InsertRec(Node* node, Slice key, Slice value, bool overwrite,
+                        Status* st);
+
+  /// Recursive delete; sets *empty when `node` has no entries left.
+  Status DeleteRec(Node* node, Slice key, bool* empty);
+
+  Status CheckNode(const Node* node, int depth, const std::string* lo,
+                   const std::string* hi, int* leaf_depth) const;
+
+  void FreeNode(Node* node);
+
+  BTreeConfig config_;
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+  mutable BTreeStats stats_;
+};
+
+}  // namespace bionicdb::index

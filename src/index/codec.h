@@ -1,0 +1,70 @@
+// Order-preserving key encodings and fixed-width value codecs for the
+// B+Tree. Integer keys are stored big-endian so that memcmp order equals
+// numeric order — the same property a hardware probe engine relies on
+// (§5.3: "both integer and variable-length string keys").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "storage/page.h"
+
+namespace bionicdb::index {
+
+/// Encodes `v` as 8 big-endian bytes (memcmp-ordered).
+inline std::string EncodeKeyU64(uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return s;
+}
+
+/// Decodes a key produced by EncodeKeyU64.
+inline uint64_t DecodeKeyU64(Slice s) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < s.size(); ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+/// Composite key: (a, b) with lexicographic order matching numeric order.
+inline std::string EncodeKeyU64Pair(uint64_t a, uint64_t b) {
+  return EncodeKeyU64(a) + EncodeKeyU64(b);
+}
+
+/// Composite key of three components.
+inline std::string EncodeKeyU64Triple(uint64_t a, uint64_t b, uint64_t c) {
+  return EncodeKeyU64(a) + EncodeKeyU64(b) + EncodeKeyU64(c);
+}
+
+/// Encodes a Rid as a fixed 10-byte value payload.
+inline std::string EncodeRid(const storage::Rid& rid) {
+  std::string s(10, '\0');
+  uint64_t p = rid.page_id;
+  for (int i = 0; i < 8; ++i) {
+    s[static_cast<size_t>(i)] = static_cast<char>(p & 0xff);
+    p >>= 8;
+  }
+  s[8] = static_cast<char>(rid.slot & 0xff);
+  s[9] = static_cast<char>((rid.slot >> 8) & 0xff);
+  return s;
+}
+
+/// Decodes a value produced by EncodeRid.
+inline storage::Rid DecodeRid(Slice s) {
+  storage::Rid rid;
+  uint64_t p = 0;
+  for (int i = 7; i >= 0; --i) {
+    p = (p << 8) | static_cast<unsigned char>(s[static_cast<size_t>(i)]);
+  }
+  rid.page_id = p;
+  rid.slot = static_cast<uint16_t>(static_cast<unsigned char>(s[8]) |
+                                   (static_cast<unsigned char>(s[9]) << 8));
+  return rid;
+}
+
+}  // namespace bionicdb::index

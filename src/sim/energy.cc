@@ -1,0 +1,94 @@
+#include "sim/energy.h"
+
+#include <algorithm>
+
+namespace bionicdb::sim {
+
+int EnergyMeter::RegisterComponent(const std::string& name,
+                                   const PowerSpec& spec) {
+  Entry e;
+  e.name = name;
+  e.spec = spec;
+  entries_.push_back(std::move(e));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+void EnergyMeter::ChargeBusy(int component, SimTime busy_ns, uint64_t ops) {
+  BIONICDB_DCHECK(component >= 0 &&
+                  component < static_cast<int>(entries_.size()));
+  Entry& e = entries_[static_cast<size_t>(component)];
+  e.busy_ns += busy_ns;
+  e.ops += ops;
+  e.extra_nj += e.spec.energy_per_op_nj * static_cast<double>(ops);
+}
+
+void EnergyMeter::ChargeEnergy(int component, double nanojoules) {
+  entries_[static_cast<size_t>(component)].extra_nj += nanojoules;
+}
+
+double EnergyMeter::ActiveEnergyNj(int component) const {
+  const Entry& e = entries_[static_cast<size_t>(component)];
+  return static_cast<double>(e.busy_ns) * e.spec.active_watts + e.extra_nj;
+}
+
+SimTime EnergyMeter::BusyNs(int component) const {
+  return entries_[static_cast<size_t>(component)].busy_ns;
+}
+
+uint64_t EnergyMeter::Ops(int component) const {
+  return entries_[static_cast<size_t>(component)].ops;
+}
+
+double EnergyMeter::IdleEnergyNj(int component, SimTime elapsed_ns,
+                                 double parallelism) const {
+  const Entry& e = entries_[static_cast<size_t>(component)];
+  const double k = parallelism > 0 ? parallelism : e.parallelism;
+  const double capacity_ns = static_cast<double>(elapsed_ns) * k;
+  const double idle_ns =
+      std::max(0.0, capacity_ns - static_cast<double>(e.busy_ns));
+  return idle_ns * e.spec.idle_watts;
+}
+
+double EnergyMeter::TotalEnergyNj(SimTime elapsed_ns) const {
+  double total = 0.0;
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    total += ActiveEnergyNj(i) +
+             IdleEnergyNj(i, elapsed_ns, entries_[static_cast<size_t>(i)].parallelism);
+  }
+  return total;
+}
+
+std::vector<EnergyMeter::ComponentReport> EnergyMeter::Report(
+    SimTime elapsed_ns) const {
+  std::vector<ComponentReport> out;
+  out.reserve(entries_.size());
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    const Entry& e = entries_[static_cast<size_t>(i)];
+    out.push_back(ComponentReport{e.name, e.busy_ns, e.ops,
+                                  ActiveEnergyNj(i),
+                                  IdleEnergyNj(i, elapsed_ns, e.parallelism),
+                                  e.parallelism});
+  }
+  return out;
+}
+
+void EnergyMeter::SetParallelism(int component, double k) {
+  entries_[static_cast<size_t>(component)].parallelism = k;
+}
+
+void EnergyMeter::Reset() {
+  for (Entry& e : entries_) {
+    e.busy_ns = 0;
+    e.ops = 0;
+    e.extra_nj = 0.0;
+  }
+}
+
+int EnergyMeter::FindComponent(const std::string& name) const {
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    if (entries_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,94 @@
+// EnergyMeter: integrates per-component power over virtual time.
+//
+// The paper's §2-§3 thesis is that "performance is measured in joules per
+// operation in the dark-silicon regime". Every simulated resource registers
+// a component here; busy time is metered at active power, the rest at idle
+// power, plus optional fixed per-operation switching energy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/units.h"
+
+namespace bionicdb::sim {
+
+class Simulator;
+
+/// Power/energy parameters for one metered component.
+struct PowerSpec {
+  double active_watts = 0.0;    ///< Power while doing work.
+  double idle_watts = 0.0;      ///< Leakage/static power otherwise.
+  double energy_per_op_nj = 0;  ///< Extra switching energy per operation.
+};
+
+/// Aggregates energy per named component. 1 W == 1 nJ/ns, so with SimTime
+/// in nanoseconds, energy in nanojoules is just watts * nanoseconds.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(Simulator* sim) : sim_(sim) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(EnergyMeter);
+
+  /// Registers a component; returns a stable id for fast charging.
+  int RegisterComponent(const std::string& name, const PowerSpec& spec);
+
+  /// Charges `busy_ns` of active time plus one op's switching energy.
+  void ChargeBusy(int component, SimTime busy_ns, uint64_t ops = 1);
+
+  /// Charges explicit energy (nJ) to a component.
+  void ChargeEnergy(int component, double nanojoules);
+
+  /// Active energy (nJ) accumulated by `component`.
+  double ActiveEnergyNj(int component) const;
+  /// Total busy time accumulated by `component`.
+  SimTime BusyNs(int component) const;
+  /// Ops charged to `component`.
+  uint64_t Ops(int component) const;
+
+  /// Idle energy of a component over a window of `elapsed_ns`:
+  /// (elapsed - busy) * idle_watts. Busy time is capped at elapsed *
+  /// parallelism (a k-wide component can be busy k ns per wall ns).
+  double IdleEnergyNj(int component, SimTime elapsed_ns,
+                      double parallelism = 1.0) const;
+
+  /// Total (active + idle) energy in nanojoules over `elapsed_ns`.
+  double TotalEnergyNj(SimTime elapsed_ns) const;
+
+  struct ComponentReport {
+    std::string name;
+    SimTime busy_ns;
+    uint64_t ops;
+    double active_nj;
+    double idle_nj;
+    double parallelism;
+  };
+  std::vector<ComponentReport> Report(SimTime elapsed_ns) const;
+
+  /// Sets the parallelism (number of identical copies) used when computing
+  /// idle power for `component` (e.g. 6 CPU cores registered as one meter).
+  void SetParallelism(int component, double k);
+
+  int FindComponent(const std::string& name) const;
+
+  /// Zeroes all accumulated busy time, ops, and extra energy (measurement
+  /// window restart). Registered components and parallelism stay.
+  void Reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    PowerSpec spec;
+    SimTime busy_ns = 0;
+    uint64_t ops = 0;
+    double extra_nj = 0.0;
+    double parallelism = 1.0;
+  };
+
+  Simulator* sim_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bionicdb::sim

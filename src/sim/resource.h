@@ -1,0 +1,215 @@
+// Costed, contended resources: FIFO servers, bandwidth/latency links,
+// pipelined hardware units, and CPU cores. Each meters busy time and ops
+// into an EnergyMeter component.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "common/macros.h"
+#include "common/units.h"
+#include "sim/energy.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace bionicdb::sim {
+
+/// A k-server FIFO queueing station: at most `servers` requests in service
+/// simultaneously; excess requests wait in FIFO order. Models latched
+/// structures, device command queues, lock-manager slots...
+class Server {
+ public:
+  Server(Simulator* sim, int servers, EnergyMeter* meter = nullptr,
+         int component = -1)
+      : sim_(sim), sem_(sim, servers), servers_(servers), meter_(meter),
+        component_(component) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  /// Occupies one server for `service_ns`.
+  Task<void> Use(SimTime service_ns) {
+    const SimTime t0 = sim_->Now();
+    co_await sem_.Acquire();
+    wait_ns_ += sim_->Now() - t0;
+    co_await Delay{sim_, service_ns};
+    busy_ns_ += service_ns;
+    ++ops_;
+    if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, service_ns);
+    sem_.Release();
+  }
+
+  int servers() const { return servers_; }
+  SimTime busy_ns() const { return busy_ns_; }
+  SimTime total_wait_ns() const { return wait_ns_; }
+  uint64_t ops() const { return ops_; }
+  size_t queue_len() const { return sem_.num_waiters(); }
+
+  /// Mean utilization over `elapsed` (1.0 == all servers always busy).
+  double Utilization(SimTime elapsed) const {
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(busy_ns_) /
+           (static_cast<double>(elapsed) * servers_);
+  }
+
+ private:
+  Simulator* sim_;
+  Semaphore sem_;
+  int servers_;
+  EnergyMeter* meter_;
+  int component_;
+  SimTime busy_ns_ = 0;
+  SimTime wait_ns_ = 0;
+  uint64_t ops_ = 0;
+};
+
+/// A bandwidth-limited, fixed-latency channel (PCIe, DRAM channel, disk
+/// link). Transfers serialize on the channel (virtual FIFO: a transfer
+/// occupies the wire for bytes/bandwidth), then experience propagation
+/// latency without holding the wire — so many transfers can be "in flight"
+/// latency-wise while bandwidth is conserved.
+class Link {
+ public:
+  /// `gigabytes_per_second` is decimal GB/s; `latency_ns` is one-way
+  /// propagation (use 2x for round trips at the call site).
+  Link(Simulator* sim, std::string name, double gigabytes_per_second,
+       SimTime latency_ns, EnergyMeter* meter = nullptr, int component = -1)
+      : sim_(sim), name_(std::move(name)),
+        ns_per_byte_(NsPerByte(gigabytes_per_second)),
+        latency_ns_(latency_ns), meter_(meter), component_(component) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Link);
+
+  /// Moves `bytes` across the link; resumes after serialization + latency.
+  Task<void> Transfer(uint64_t bytes) {
+    const SimTime ser =
+        static_cast<SimTime>(static_cast<double>(bytes) * ns_per_byte_ + 0.5);
+    const SimTime start = std::max(sim_->Now(), next_free_);
+    next_free_ = start + ser;
+    busy_ns_ += ser;
+    bytes_ += bytes;
+    ++ops_;
+    if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, ser);
+    co_await DelayUntil{sim_, start + ser + latency_ns_};
+  }
+
+  /// Latency-only round trip carrying negligible payload (doorbells, CSRs).
+  Task<void> RoundTrip() {
+    co_await Delay{sim_, 2 * latency_ns_};
+  }
+
+  const std::string& name() const { return name_; }
+  SimTime latency_ns() const { return latency_ns_; }
+  uint64_t bytes_transferred() const { return bytes_; }
+  uint64_t ops() const { return ops_; }
+  SimTime busy_ns() const { return busy_ns_; }
+  double Utilization(SimTime elapsed) const {
+    return elapsed > 0
+               ? static_cast<double>(busy_ns_) / static_cast<double>(elapsed)
+               : 0.0;
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  double ns_per_byte_;
+  SimTime latency_ns_;
+  EnergyMeter* meter_;
+  int component_;
+  SimTime next_free_ = 0;
+  SimTime busy_ns_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t ops_ = 0;
+};
+
+/// A pipelined hardware unit: accepts one new request per initiation
+/// interval; each request completes after the pipeline latency supplied per
+/// request (e.g. tree depth * memory access time). This is the shape of
+/// every FPGA unit in the paper: the unit saturates once
+/// (outstanding requests) >= (pipeline latency / initiation interval) —
+/// §5.3's "a dozen outstanding requests".
+class PipelinedUnit {
+ public:
+  PipelinedUnit(Simulator* sim, std::string name, SimTime initiation_interval,
+                EnergyMeter* meter = nullptr, int component = -1)
+      : sim_(sim), name_(std::move(name)), ii_(initiation_interval),
+        meter_(meter), component_(component) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(PipelinedUnit);
+
+  /// Submits a request whose in-pipeline processing takes `latency_ns`.
+  /// Resumes when the request exits the pipeline.
+  Task<void> Process(SimTime latency_ns) {
+    const SimTime issue = std::max(sim_->Now(), next_issue_);
+    next_issue_ = issue + ii_;
+    ++ops_;
+    // The unit is "busy" (at active power) for the initiation slot; the
+    // remaining pipeline occupancy overlaps with other requests.
+    if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, ii_);
+    busy_ns_ += ii_;
+    co_await DelayUntil{sim_, issue + latency_ns};
+  }
+
+  const std::string& name() const { return name_; }
+  SimTime initiation_interval() const { return ii_; }
+  uint64_t ops() const { return ops_; }
+  SimTime busy_ns() const { return busy_ns_; }
+  double Utilization(SimTime elapsed) const {
+    return elapsed > 0
+               ? static_cast<double>(busy_ns_) / static_cast<double>(elapsed)
+               : 0.0;
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimTime ii_;
+  EnergyMeter* meter_;
+  int component_;
+  SimTime next_issue_ = 0;
+  SimTime busy_ns_ = 0;
+  uint64_t ops_ = 0;
+};
+
+/// A pool of identical CPU cores. Simulated workers occupy a core while
+/// executing costed instruction work and release it when they block (queue
+/// waits, I/O, offload completions) — mirroring an OS that deschedules a
+/// blocked thread. Busy time is metered at active power; idle cores burn
+/// idle power (accounted by the EnergyMeter parallelism).
+class CorePool {
+ public:
+  CorePool(Simulator* sim, int cores, EnergyMeter* meter = nullptr,
+           int component = -1)
+      : sim_(sim), sem_(sim, cores), cores_(cores), meter_(meter),
+        component_(component) {
+    if (meter_ && component_ >= 0) meter_->SetParallelism(component_, cores);
+  }
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(CorePool);
+
+  /// Acquires a core (may wait if oversubscribed).
+  Task<void> Attach() { co_await sem_.Acquire(); }
+
+  /// Releases the current core (call when blocking on a long wait).
+  void Detach() { sem_.Release(); }
+
+  /// Executes `work_ns` of instruction work on an already-attached core.
+  Task<void> Work(SimTime work_ns) {
+    co_await Delay{sim_, work_ns};
+    busy_ns_ += work_ns;
+    if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, work_ns, 0);
+  }
+
+  int cores() const { return cores_; }
+  SimTime busy_ns() const { return busy_ns_; }
+  double Utilization(SimTime elapsed) const {
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(busy_ns_) /
+           (static_cast<double>(elapsed) * cores_);
+  }
+
+ private:
+  Simulator* sim_;
+  Semaphore sem_;
+  int cores_;
+  EnergyMeter* meter_;
+  int component_;
+  SimTime busy_ns_ = 0;
+};
+
+}  // namespace bionicdb::sim

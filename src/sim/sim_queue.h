@@ -1,0 +1,86 @@
+// SimQueue<T>: bounded FIFO with awaitable push/pop, the building block for
+// DORA action queues and hardware work queues.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace bionicdb::sim {
+
+/// Bounded multi-producer multi-consumer queue over simulated time.
+/// Push blocks when full (backpressure); Pop blocks when empty. FIFO on
+/// both sides, deterministic wakeups.
+template <typename T>
+class SimQueue {
+ public:
+  SimQueue(Simulator* sim, size_t capacity)
+      : sim_(sim), capacity_(capacity), space_(sim, static_cast<int64_t>(capacity)),
+        items_(sim, 0) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(SimQueue);
+
+  /// Blocking push (waits while the queue is full).
+  Task<void> Push(T item) {
+    co_await space_.Acquire();
+    q_.push_back(std::move(item));
+    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+    ++pushes_;
+    items_.Release();
+  }
+
+  /// Non-blocking push. Returns false if the queue is full.
+  bool TryPush(T item) {
+    if (!space_.TryAcquire()) return false;
+    q_.push_back(std::move(item));
+    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+    ++pushes_;
+    items_.Release();
+    return true;
+  }
+
+  /// Blocking pop (waits while the queue is empty).
+  Task<T> Pop() {
+    co_await items_.Acquire();
+    BIONICDB_DCHECK(!q_.empty());
+    T item = std::move(q_.front());
+    q_.pop_front();
+    ++pops_;
+    space_.Release();
+    co_return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    if (!items_.TryAcquire()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    ++pops_;
+    space_.Release();
+    return item;
+  }
+
+  size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t pushes() const { return pushes_; }
+  uint64_t pops() const { return pops_; }
+  size_t high_watermark() const { return high_watermark_; }
+  size_t num_blocked_consumers() const { return items_.num_waiters(); }
+  size_t num_blocked_producers() const { return space_.num_waiters(); }
+
+ private:
+  Simulator* sim_;
+  size_t capacity_;
+  Semaphore space_;
+  Semaphore items_;
+  std::deque<T> q_;
+  uint64_t pushes_ = 0;
+  uint64_t pops_ = 0;
+  size_t high_watermark_ = 0;
+};
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+namespace bionicdb::sim {
+
+// Named friend of Simulator so the detached driver (anonymous namespace)
+// can reach the private task counters.
+struct SpawnDriver {
+  static void Started(Simulator* sim) { sim->OnTaskStarted(); }
+  static void Finished(Simulator* sim) { sim->OnTaskFinished(); }
+};
+
+namespace {
+
+/// Fire-and-forget driver coroutine: starts suspended, is scheduled by
+/// Spawn, and self-destroys on completion (final_suspend never suspends).
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached Drive(Simulator* sim, Task<void> task) {
+  co_await std::move(task);
+  SpawnDriver::Finished(sim);
+}
+
+}  // namespace
+
+void Simulator::Spawn(Task<void> task) {
+  BIONICDB_CHECK(task.valid());
+  SpawnDriver::Started(this);
+  Detached d = Drive(this, std::move(task));
+  ScheduleNow(d.handle);
+}
+
+bool Simulator::Step() {
+  if (events_.empty()) return false;
+  Event ev = events_.top();
+  events_.pop();
+  BIONICDB_DCHECK(ev.at >= now_);
+  now_ = ev.at;
+  ++events_processed_;
+  ev.handle.resume();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+  BIONICDB_CHECK_MSG(live_tasks_ == 0,
+                     "simulation quiesced with %zu task(s) still blocked "
+                     "(model deadlock?)",
+                     live_tasks_);
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  while (!events_.empty()) {
+    if (events_.top().at > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    Step();
+  }
+  now_ = deadline;
+  return true;
+}
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,117 @@
+// Simulator: deterministic single-threaded discrete-event loop over virtual
+// nanoseconds. All BionicDB timing experiments run on this clock.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace bionicdb::sim {
+
+/// Event-driven virtual-time executor.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.Spawn(MyActivity(&sim, ...));   // detach a Task<void>
+///   sim.Run();                          // run to quiescence
+///
+/// Determinism: events at equal timestamps fire in schedule order (FIFO via
+/// a monotone sequence number); no wall-clock or address-dependent ordering
+/// leaks in, so a given seed always reproduces the same execution.
+class Simulator {
+ public:
+  Simulator() = default;
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Simulator);
+
+  /// Current virtual time in nanoseconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `at` (>= Now()).
+  void Schedule(SimTime at, std::coroutine_handle<> h) {
+    BIONICDB_DCHECK(at >= now_);
+    events_.push(Event{at, next_seq_++, h});
+  }
+
+  /// Schedules `h` to resume immediately (still via the event loop, never
+  /// reentrantly).
+  void ScheduleNow(std::coroutine_handle<> h) { Schedule(now_, h); }
+
+  /// Detaches `task` to run on the event loop starting at the current time.
+  /// The coroutine frame is destroyed automatically on completion.
+  void Spawn(Task<void> task);
+
+  /// Runs until no events remain. Checks that every spawned task finished
+  /// (a deadlocked task — e.g. waiting on a queue nobody fills — trips a
+  /// BIONICDB_CHECK so model bugs surface loudly).
+  void Run();
+
+  /// Runs until the event queue is empty or virtual time would exceed
+  /// `deadline`. Returns true if it drained the queue. Unlike Run(), tasks
+  /// may still be live afterwards (e.g. open-loop drivers).
+  bool RunUntil(SimTime deadline);
+
+  /// Processes a single event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Number of spawned-but-unfinished tasks.
+  size_t live_tasks() const { return live_tasks_; }
+  /// Total events processed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Simulator-owned RNG for model jitter (cache-miss draws etc.).
+  Rng& rng() { return rng_; }
+  void SeedRng(uint64_t seed) { rng_ = Rng(seed); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  friend struct SpawnDriver;
+  void OnTaskStarted() { ++live_tasks_; }
+  void OnTaskFinished() { --live_tasks_; }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t live_tasks_ = 0;
+  uint64_t events_processed_ = 0;
+  Rng rng_{0xB102C0DEULL};
+};
+
+/// Awaitable: suspends the current task for `delay` virtual nanoseconds.
+struct Delay {
+  Simulator* sim;
+  SimTime delay;
+
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim->Schedule(sim->Now() + delay, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable: suspends the current task until absolute time `at` (no-op if
+/// `at` is in the past).
+struct DelayUntil {
+  Simulator* sim;
+  SimTime at;
+
+  bool await_ready() const noexcept { return at <= sim->Now(); }
+  void await_suspend(std::coroutine_handle<> h) const { sim->Schedule(at, h); }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,130 @@
+// Cooperative synchronization primitives for simulated activities:
+// CondVar (wait/notify) and Semaphore. Wakeups always go through the event
+// queue, never reentrantly, so notification order is deterministic (FIFO).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "common/macros.h"
+#include "sim/simulator.h"
+
+namespace bionicdb::sim {
+
+/// Broadcast/one-shot wakeup point. There is no implicit predicate: waiters
+/// must re-check their condition after resuming (standard condvar idiom).
+class CondVar {
+ public:
+  explicit CondVar(Simulator* sim) : sim_(sim) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  struct Awaiter {
+    CondVar* cv;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      cv->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspends until NotifyOne/NotifyAll.
+  Awaiter Wait() { return Awaiter{this}; }
+
+  /// Wakes the longest-waiting task (if any).
+  void NotifyOne() {
+    if (waiters_.empty()) return;
+    sim_->ScheduleNow(waiters_.front());
+    waiters_.pop_front();
+  }
+
+  /// Wakes every waiting task.
+  void NotifyAll() {
+    for (auto h : waiters_) sim_->ScheduleNow(h);
+    waiters_.clear();
+  }
+
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counted semaphore with FIFO handoff. Used to model latches, lock-table
+/// slots, bounded buffers, and k-server resources.
+class Semaphore {
+ public:
+  Semaphore(Simulator* sim, int64_t initial)
+      : sim_(sim), count_(initial) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Semaphore);
+
+  struct Awaiter {
+    Semaphore* sem;
+    bool await_ready() const noexcept {
+      if (sem->count_ > 0 && sem->waiters_.empty()) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspends until a unit is available, then takes it.
+  Awaiter Acquire() { return Awaiter{this}; }
+
+  /// Non-blocking acquire; returns false if it would wait.
+  bool TryAcquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns a unit; hands it directly to the longest waiter if any.
+  void Release() {
+    if (!waiters_.empty()) {
+      // Direct handoff: the unit is consumed by the waiter, count unchanged.
+      sim_->ScheduleNow(waiters_.front());
+      waiters_.pop_front();
+    } else {
+      ++count_;
+    }
+  }
+
+  int64_t count() const { return count_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot completion flag: a Task can await Done() and another can Set()
+/// it. Used for asynchronous hardware completions (e.g. log LSN durable).
+class Completion {
+ public:
+  explicit Completion(Simulator* sim) : cv_(sim) {}
+
+  Task<void> Wait() {
+    while (!done_) co_await cv_.Wait();
+  }
+
+  void Set() {
+    done_ = true;
+    cv_.NotifyAll();
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  CondVar cv_;
+  bool done_ = false;
+};
+
+}  // namespace bionicdb::sim

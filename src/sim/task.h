@@ -1,0 +1,138 @@
+// Task<T>: the coroutine type used by all simulated activities.
+//
+// Tasks are lazy: creating one does nothing until it is either awaited by
+// another task (symmetric transfer) or detached onto the simulator with
+// Simulator::Spawn. Exceptions are not used in BionicDB; an escaping
+// exception terminates the program.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace bionicdb::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // BionicDB is exception-free on engine paths; anything escaping a
+    // simulated activity is a bug.
+    std::terminate();
+  }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  // optional<> so T need not be default-constructible (e.g. Result<U>).
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) noexcept { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// An awaitable simulated activity producing a T (or nothing).
+///
+/// Ownership: the Task owns its coroutine frame and destroys it when the
+/// Task goes out of scope. An awaiting coroutine keeps the Task alive in
+/// its own frame for the duration of the co_await, so frames are destroyed
+/// strictly after completion.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept : handle_(nullptr) {}
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { Destroy(); }
+
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Task);
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Releases ownership of the coroutine handle (used by Simulator::Spawn).
+  Handle Release() noexcept { return std::exchange(handle_, nullptr); }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> awaiting) noexcept {
+      handle.promise().continuation = awaiting;
+      return handle;  // symmetric transfer: start the child task
+    }
+    T await_resume() noexcept {
+      if constexpr (!std::is_void_v<T>) {
+        return std::move(*handle.promise().value);
+      }
+    }
+  };
+
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+  Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace bionicdb::sim

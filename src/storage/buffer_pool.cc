@@ -1,0 +1,156 @@
+#include "storage/buffer_pool.h"
+
+namespace bionicdb::storage {
+
+BufferPool::BufferPool(sim::Simulator* sim, SimDisk* disk, size_t frames)
+    : sim_(sim), disk_(disk), frames_(frames) {
+  BIONICDB_CHECK(frames > 0);
+}
+
+sim::Task<Result<Page*>> BufferPool::Fetch(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    ++stats_.hits;
+    co_return f.page;
+  }
+  ++stats_.misses;
+  Frame* victim = co_await EvictOne();
+  if (victim == nullptr) {
+    co_return Status::ResourceExhausted("all buffer frames pinned");
+  }
+  // EvictOne hands the frame back claimed (pinned once). Publish the
+  // mapping BEFORE awaiting the device so a concurrent Fetch of the same
+  // page hits the frame instead of claiming a second one, and a concurrent
+  // miss cannot steal this frame mid-read.
+  Page* page = disk_->GetPageForLoad(id);
+  if (page == nullptr) {
+    victim->pin_count = 0;
+    co_return Status::NotFound("page not on device");
+  }
+  victim->page = page;
+  victim->pid = id;
+  victim->dirty = false;
+  victim->referenced = true;
+  victim->valid = true;
+  map_[id] = static_cast<size_t>(victim - frames_.data());
+  Status st = co_await disk_->AccessPage(id, /*is_write=*/false);
+  if (!st.ok()) {
+    // Injected device error: unpublish (nobody else can have pinned it
+    // between publish and now in a deterministic run only via hits, which
+    // is why the pin count is checked).
+    --victim->pin_count;
+    if (victim->pin_count == 0) {
+      map_.erase(id);
+      victim->valid = false;
+    }
+    co_return st;
+  }
+  co_return victim->page;
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = map_.find(id);
+  BIONICDB_CHECK_MSG(it != map_.end(), "unpin of uncached page %llu",
+                     static_cast<unsigned long long>(id));
+  Frame& f = frames_[it->second];
+  BIONICDB_CHECK(f.pin_count > 0);
+  --f.pin_count;
+  f.dirty = f.dirty || dirty;
+}
+
+sim::Task<Result<Page*>> BufferPool::NewPage() {
+  const PageId id = disk_->AllocPage();
+  Frame* victim = co_await EvictOne();
+  if (victim == nullptr) {
+    co_return Status::ResourceExhausted("all buffer frames pinned");
+  }
+  victim->page = disk_->GetPageForLoad(id);
+  victim->pid = id;
+  victim->dirty = true;
+  victim->referenced = true;
+  victim->valid = true;
+  map_[id] = static_cast<size_t>(victim - frames_.data());
+  co_return victim->page;
+}
+
+sim::Task<Status> BufferPool::InstallLoaded(PageId id) {
+  if (map_.count(id)) co_return Status::OK();
+  Frame* victim = co_await EvictOne();
+  if (victim == nullptr) {
+    co_return Status::ResourceExhausted("all buffer frames pinned");
+  }
+  Page* page = disk_->GetPageForLoad(id);
+  if (page == nullptr) {
+    victim->pin_count = 0;
+    co_return Status::NotFound("page not on device");
+  }
+  victim->page = page;
+  victim->pid = id;
+  victim->pin_count = 0;  // not pinned: just resident
+  victim->dirty = true;
+  victim->referenced = true;
+  victim->valid = true;
+  map_[id] = static_cast<size_t>(victim - frames_.data());
+  co_return Status::OK();
+}
+
+sim::Task<Status> BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      Status st = co_await disk_->AccessPage(f.pid, /*is_write=*/true);
+      if (!st.ok()) co_return st;
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  co_return Status::OK();
+}
+
+int BufferPool::PinCount(PageId id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? 0 : frames_[it->second].pin_count;
+}
+
+sim::Task<BufferPool::Frame*> BufferPool::EvictOne() {
+  // The returned frame is CLAIMED: pin_count == 1 and unmapped, so no
+  // concurrent EvictOne/Fetch can hand it out again across awaits.
+  // Fast path: an invalid (never used) frame.
+  for (Frame& f : frames_) {
+    if (!f.valid && f.pin_count == 0) {
+      f.pin_count = 1;
+      co_return &f;
+    }
+  }
+  // Clock sweep: up to two full passes (first clears reference bits).
+  const size_t n = frames_.size();
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    Frame& f = frames_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    // Victim found: claim it before the (suspending) write-back.
+    f.pin_count = 1;
+    map_.erase(f.pid);
+    const bool was_dirty = f.dirty;
+    const PageId old_pid = f.pid;
+    f.valid = false;
+    f.dirty = false;
+    ++stats_.evictions;
+    if (was_dirty) {
+      Status st = co_await disk_->AccessPage(old_pid, /*is_write=*/true);
+      BIONICDB_CHECK_MSG(st.ok(), "writeback failed: %s",
+                         st.ToString().c_str());
+      ++stats_.dirty_writebacks;
+    }
+    co_return &f;
+  }
+  co_return nullptr;
+}
+
+}  // namespace bionicdb::storage

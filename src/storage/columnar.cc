@@ -1,0 +1,48 @@
+#include "storage/columnar.h"
+
+namespace bionicdb::storage {
+
+ColumnarTable::ColumnarTable(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  BIONICDB_CHECK(!names_.empty());
+  columns_.resize(names_.size());
+}
+
+void ColumnarTable::AppendRow(const std::vector<int64_t>& values) {
+  BIONICDB_CHECK(values.size() == names_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].push_back(values[i]);
+  }
+  ++num_rows_;
+}
+
+Result<size_t> ColumnarTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+std::vector<std::vector<int64_t>> ColumnarTable::ScanWhere(
+    size_t filter_col, const std::function<bool(int64_t)>& pred,
+    const std::vector<size_t>& project_cols) const {
+  std::vector<std::vector<int64_t>> out;
+  const auto& fc = columns_[filter_col];
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (!pred(fc[r])) continue;
+    std::vector<int64_t> row;
+    row.reserve(project_cols.size());
+    for (size_t c : project_cols) row.push_back(columns_[c][r]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+uint64_t ColumnarTable::CountWhere(
+    size_t filter_col, const std::function<bool(int64_t)>& pred) const {
+  uint64_t n = 0;
+  for (int64_t v : columns_[filter_col]) n += pred(v);
+  return n;
+}
+
+}  // namespace bionicdb::storage

@@ -1,0 +1,67 @@
+// Columnar segments: the FPGA-resident "columnar database" of Figure 4's
+// storage layer, scanned by the enhanced scanner unit. Fixed-width int64
+// columns — enough to express the paper's selection/projection pushdown
+// experiments without a full type system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bionicdb::storage {
+
+/// An append-only table of named int64 columns.
+class ColumnarTable {
+ public:
+  explicit ColumnarTable(std::vector<std::string> column_names);
+
+  /// Appends one row; `values` must match the column count.
+  void AppendRow(const std::vector<int64_t>& values);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return names_.size(); }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Index of `name`, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  const std::vector<int64_t>& Column(size_t idx) const {
+    return columns_[idx];
+  }
+  int64_t At(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// In-place single-column update (the overlay merge path uses this).
+  void Set(size_t row, size_t col, int64_t value) {
+    columns_[col][row] = value;
+  }
+
+  /// Raw data volume (what a full scan must stream).
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(num_rows_) * num_columns() * sizeof(int64_t);
+  }
+
+  /// Bytes per row for a projection of `k` columns.
+  uint64_t ProjectedRowBytes(size_t k) const { return k * sizeof(int64_t); }
+
+  /// Functional filter: rows where `pred(row values of filter_col)` holds,
+  /// projected onto `project_cols`. Returns row-major results.
+  std::vector<std::vector<int64_t>> ScanWhere(
+      size_t filter_col, const std::function<bool(int64_t)>& pred,
+      const std::vector<size_t>& project_cols) const;
+
+  /// Count of matching rows (aggregate pushdown).
+  uint64_t CountWhere(size_t filter_col,
+                      const std::function<bool(int64_t)>& pred) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<int64_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace bionicdb::storage

@@ -1,0 +1,70 @@
+#include "storage/disk.h"
+
+#include <cstring>
+
+namespace bionicdb::storage {
+
+PageId SimDisk::AllocPage() {
+  const PageId id = next_page_++;
+  auto page = std::make_unique<Page>();
+  page->Init(id);
+  pages_[id] = std::move(page);
+  return id;
+}
+
+sim::Task<Status> SimDisk::ReadPage(PageId id, Page* out) {
+  co_await link_->Transfer(kPageSize);
+  if (poisoned_.erase(id) > 0) {
+    co_return Status::IOError("injected read error on " + name_);
+  }
+  co_return ReadPageSync(id, out);
+}
+
+sim::Task<Status> SimDisk::AccessPage(PageId id, bool is_write) {
+  co_await link_->Transfer(kPageSize);
+  if (poisoned_.erase(id) > 0) {
+    co_return Status::IOError("injected error on " + name_);
+  }
+  if (pages_.find(id) == pages_.end()) {
+    co_return Status::NotFound("page not on device " + name_);
+  }
+  if (is_write) {
+    ++writes_;
+  } else {
+    ++reads_;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> SimDisk::WritePage(PageId id, const Page& page) {
+  co_await link_->Transfer(kPageSize);
+  co_return WritePageSync(id, page);
+}
+
+sim::Task<Status> SimDisk::AppendRaw(uint64_t bytes) {
+  co_await link_->Transfer(bytes);
+  ++writes_;
+  co_return Status::OK();
+}
+
+Status SimDisk::ReadPageSync(PageId id, Page* out) const {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page not on device " + name_);
+  }
+  std::memcpy(out->data(), it->second->data(), kPageSize);
+  ++const_cast<SimDisk*>(this)->reads_;
+  return Status::OK();
+}
+
+Status SimDisk::WritePageSync(PageId id, const Page& page) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page not on device " + name_);
+  }
+  std::memcpy(it->second->data(), page.data(), kPageSize);
+  ++writes_;
+  return Status::OK();
+}
+
+}  // namespace bionicdb::storage

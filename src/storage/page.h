@@ -1,0 +1,114 @@
+// Slotted page: the on-disk unit of the record store. Real bytes, real
+// layout — the functional substrate under the buffer pool and heap files.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bionicdb::storage {
+
+using PageId = uint64_t;
+constexpr PageId kInvalidPageId = ~0ULL;
+constexpr uint32_t kPageSize = 8192;
+
+/// Record id: (page, slot).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+/// A classic slotted page:
+///
+///   [ header | slot directory -> ...free space... <- record cells ]
+///
+/// Slots grow from the front, cells from the back. Deleting a record frees
+/// its cell (reclaimed by Compact) and tombstones the slot; slot ids are
+/// stable for the lifetime of the record (RIDs stay valid across compaction).
+class Page {
+ public:
+  Page() { Init(kInvalidPageId); }
+
+  /// Formats the buffer as an empty page owned by `page_id`.
+  void Init(PageId page_id);
+
+  PageId page_id() const { return header().page_id; }
+  void set_page_id(PageId id) { header().page_id = id; }
+
+  /// Page LSN for WAL-before-data checks.
+  uint64_t page_lsn() const { return header().page_lsn; }
+  void set_page_lsn(uint64_t lsn) { header().page_lsn = lsn; }
+
+  /// Number of slot directory entries (including tombstones).
+  uint16_t slot_count() const { return header().nslots; }
+  /// Live (non-tombstoned) records.
+  uint16_t live_records() const { return header().nlive; }
+
+  /// Contiguous free bytes available without compaction.
+  uint32_t ContiguousFreeSpace() const;
+  /// Total reclaimable free bytes (after compaction).
+  uint32_t TotalFreeSpace() const;
+
+  /// Inserts a record; returns its slot.
+  Result<uint16_t> Insert(Slice record);
+
+  /// Reads the record in `slot`.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Overwrites `slot` with `record`. Grows/shrinks within the page
+  /// (compacting if needed); fails with ResourceExhausted if the page
+  /// cannot fit the new size.
+  Status Update(uint16_t slot, Slice record);
+
+  /// Tombstones `slot`.
+  Status Delete(uint16_t slot);
+
+  /// Returns true if `slot` holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  /// Rewrites cells back-to-back, squeezing out holes. Slot ids unchanged.
+  void Compact();
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+ private:
+  struct Header {
+    PageId page_id;
+    uint64_t page_lsn;
+    uint16_t nslots;
+    uint16_t nlive;
+    uint16_t free_start;  ///< First byte past the slot directory.
+    uint16_t free_end;    ///< First byte of the cell area.
+  };
+  struct SlotEntry {
+    uint16_t offset;  ///< 0 == tombstone.
+    uint16_t length;
+  };
+
+  Header& header() { return *reinterpret_cast<Header*>(data_); }
+  const Header& header() const {
+    return *reinterpret_cast<const Header*>(data_);
+  }
+  SlotEntry* slots() {
+    return reinterpret_cast<SlotEntry*>(data_ + sizeof(Header));
+  }
+  const SlotEntry* slots() const {
+    return reinterpret_cast<const SlotEntry*>(data_ + sizeof(Header));
+  }
+
+  alignas(8) char data_[kPageSize];
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace bionicdb::storage

@@ -1,0 +1,57 @@
+// Transaction descriptors: state machine, undo chain, lock bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "wal/record.h"
+
+namespace bionicdb::txn {
+
+using TxnId = uint64_t;
+
+enum class XctState : uint8_t {
+  kActive,
+  kCommitting,  ///< Commit record appended, awaiting durability.
+  kCommitted,
+  kAborted,
+};
+
+const char* XctStateName(XctState s);
+
+/// One entry of the in-memory undo chain (applied backwards on abort).
+struct UndoEntry {
+  wal::RecordType type;  ///< kInsert / kUpdate / kDelete (the forward op).
+  uint32_t table_id;
+  std::string key;
+  std::string before;  ///< Before-image (empty for inserts).
+  /// Non-empty for secondary-index maintenance: the op targeted this index
+  /// rather than the table's rows. Secondary entries are derived data —
+  /// they are undone on abort but never logged (recovery rebuilds them).
+  std::string index_name;
+};
+
+/// A transaction. Created by the XctManager; owned by the engine for the
+/// duration of execution.
+struct Xct {
+  TxnId id = 0;
+  /// Wait-die priority timestamp: smaller == older == wins conflicts.
+  /// Equal to `id` for first attempts; a retried transaction carries its
+  /// original priority so it ages instead of thrashing.
+  uint64_t priority = 0;
+  XctState state = XctState::kActive;
+  wal::Lsn last_lsn = wal::kInvalidLsn;  ///< Head of the log chain.
+  bool begin_logged = false;  ///< Begin record written lazily on first write.
+  std::vector<UndoEntry> undo_chain;
+
+  /// Locks held, for release at end of transaction. The meaning of the
+  /// pair depends on the engine: (lock-table hash, key) for 2PL,
+  /// (partition id, key) for DORA local locks.
+  std::vector<std::pair<uint32_t, std::string>> held_locks;
+
+  bool read_only() const { return undo_chain.empty() && !begin_logged; }
+};
+
+}  // namespace bionicdb::txn

@@ -1,0 +1,123 @@
+#include "txn/xct_manager.h"
+
+namespace bionicdb::txn {
+
+const char* XctStateName(XctState s) {
+  switch (s) {
+    case XctState::kActive:
+      return "Active";
+    case XctState::kCommitting:
+      return "Committing";
+    case XctState::kCommitted:
+      return "Committed";
+    case XctState::kAborted:
+      return "Aborted";
+  }
+  return "?";
+}
+
+std::unique_ptr<Xct> XctManager::Begin() {
+  auto xct = std::make_unique<Xct>();
+  xct->id = next_txn_++;
+  xct->priority = xct->id;
+  ++stats_.started;
+  return xct;
+}
+
+sim::Task<Status> XctManager::EnsureBeginLogged(Xct* xct, int socket) {
+  if (xct->begin_logged) co_return Status::OK();
+  xct->begin_logged = true;
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kBegin;
+  rec.txn_id = xct->id;
+  rec.prev_lsn = wal::kInvalidLsn;
+  xct->last_lsn = co_await log_->Append(std::move(rec), socket);
+  co_return Status::OK();
+}
+
+sim::Task<Status> XctManager::LogWrite(Xct* xct, wal::RecordType type,
+                                       uint32_t table_id,
+                                       const std::string& key,
+                                       const std::string& redo,
+                                       const std::string& undo, int socket) {
+  BIONICDB_CHECK(xct->state == XctState::kActive);
+  co_await EnsureBeginLogged(xct, socket);
+  wal::LogRecord rec;
+  rec.type = type;
+  rec.txn_id = xct->id;
+  rec.table_id = table_id;
+  rec.prev_lsn = xct->last_lsn;
+  rec.key = key;
+  rec.redo = redo;
+  rec.undo = undo;
+  xct->last_lsn = co_await log_->Append(std::move(rec), socket);
+  UndoEntry entry;
+  entry.type = type;
+  entry.table_id = table_id;
+  entry.key = key;
+  entry.before = undo;
+  xct->undo_chain.push_back(std::move(entry));
+  co_return Status::OK();
+}
+
+sim::Task<Status> XctManager::Commit(Xct* xct, int socket) {
+  const wal::Lsn lsn = co_await AppendCommitRecord(xct, socket);
+  co_return co_await WaitCommitDurable(xct, lsn);
+}
+
+sim::Task<wal::Lsn> XctManager::AppendCommitRecord(Xct* xct, int socket) {
+  BIONICDB_CHECK(xct->state == XctState::kActive);
+  if (!xct->begin_logged) {
+    // Read-only: nothing to make durable.
+    xct->state = XctState::kCommitted;
+    ++stats_.committed;
+    ++stats_.read_only_commits;
+    co_return wal::kInvalidLsn;
+  }
+  xct->state = XctState::kCommitting;
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kCommit;
+  rec.txn_id = xct->id;
+  rec.prev_lsn = xct->last_lsn;
+  co_return co_await log_->Append(std::move(rec), socket);
+}
+
+sim::Task<Status> XctManager::WaitCommitDurable(Xct* xct,
+                                                wal::Lsn commit_lsn) {
+  if (commit_lsn == wal::kInvalidLsn) co_return Status::OK();  // read-only
+  Status st = co_await log_->WaitDurable(commit_lsn + 1);
+  if (!st.ok()) co_return st;
+  xct->state = XctState::kCommitted;
+  ++stats_.committed;
+  co_return Status::OK();
+}
+
+sim::Task<Status> XctManager::Abort(Xct* xct, const UndoApplier& applier,
+                                    int socket) {
+  BIONICDB_CHECK(xct->state == XctState::kActive);
+  // Undo backwards, logging a CLR per reverted action.
+  for (auto it = xct->undo_chain.rbegin(); it != xct->undo_chain.rend();
+       ++it) {
+    applier(*it);
+    wal::LogRecord clr;
+    clr.type = wal::RecordType::kClr;
+    clr.txn_id = xct->id;
+    clr.table_id = it->table_id;
+    clr.prev_lsn = xct->last_lsn;
+    clr.key = it->key;
+    clr.redo = it->before;  // the CLR's redo is the restored before-image
+    xct->last_lsn = co_await log_->Append(std::move(clr), socket);
+  }
+  if (xct->begin_logged) {
+    wal::LogRecord rec;
+    rec.type = wal::RecordType::kAbort;
+    rec.txn_id = xct->id;
+    rec.prev_lsn = xct->last_lsn;
+    xct->last_lsn = co_await log_->Append(std::move(rec), socket);
+  }
+  xct->state = XctState::kAborted;
+  ++stats_.aborted;
+  co_return Status::OK();
+}
+
+}  // namespace bionicdb::txn

@@ -1,0 +1,69 @@
+// XctManager: transaction lifecycle — id allocation, WAL integration
+// (lazy Begin, write logging with undo capture, group-committed Commit,
+// CLR-producing Abort).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "sim/task.h"
+#include "txn/xct.h"
+#include "wal/log_manager.h"
+
+namespace bionicdb::txn {
+
+struct XctManagerStats {
+  uint64_t started = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t read_only_commits = 0;  ///< Commits that skipped the log entirely.
+};
+
+class XctManager {
+ public:
+  explicit XctManager(wal::LogManager* log) : log_(log) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(XctManager);
+
+  /// Starts a transaction. No log record yet (written lazily on first
+  /// write — read-only transactions never touch the log).
+  std::unique_ptr<Xct> Begin();
+
+  /// Logs a forward operation and records its undo entry. `redo` is the
+  /// after-image, `undo` the before-image.
+  sim::Task<Status> LogWrite(Xct* xct, wal::RecordType type,
+                             uint32_t table_id, const std::string& key,
+                             const std::string& redo, const std::string& undo,
+                             int socket);
+
+  /// Commits: appends the commit record and waits for durability (group
+  /// commit). Read-only transactions commit without logging.
+  sim::Task<Status> Commit(Xct* xct, int socket);
+
+  /// The two halves of Commit, for callers that account the CPU-bound
+  /// append separately from the (idle) durability wait. Returns the commit
+  /// record's LSN, or kInvalidLsn for a read-only transaction (in which
+  /// case the transaction is already committed and the wait is a no-op).
+  sim::Task<wal::Lsn> AppendCommitRecord(Xct* xct, int socket);
+  sim::Task<Status> WaitCommitDurable(Xct* xct, wal::Lsn commit_lsn);
+
+  /// Aborts: applies the undo chain backwards through `applier` (which
+  /// must functionally revert the operation), logging a CLR per undo and a
+  /// final abort record. Abort needs no durability wait.
+  using UndoApplier = std::function<void(const UndoEntry&)>;
+  sim::Task<Status> Abort(Xct* xct, const UndoApplier& applier, int socket);
+
+  const XctManagerStats& stats() const { return stats_; }
+  wal::LogManager* log() { return log_; }
+
+ private:
+  sim::Task<Status> EnsureBeginLogged(Xct* xct, int socket);
+
+  wal::LogManager* log_;
+  TxnId next_txn_ = 1;
+  XctManagerStats stats_;
+};
+
+}  // namespace bionicdb::txn

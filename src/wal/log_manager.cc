@@ -1,0 +1,87 @@
+#include "wal/log_manager.h"
+
+namespace bionicdb::wal {
+
+Lsn LogManager::AppendToBuffer(const LogRecord& rec) {
+  const Lsn lsn = current_lsn();
+  rec.AppendTo(&buffer_);
+  ++stats_.appends;
+  stats_.bytes_appended += rec.SerializedSize();
+  return lsn;
+}
+
+sim::Task<Status> LogManager::WaitDurable(Lsn lsn) {
+  // Group commit, leader/follower: the first waiter with undurable data
+  // flushes everything appended so far; others ride along (or re-loop if
+  // their records landed after the leader's snapshot).
+  while (durable_lsn_ < lsn) {
+    if (flush_in_progress_) {
+      co_await flush_cv_.Wait();
+      continue;
+    }
+    flush_in_progress_ = true;
+    const Lsn target = current_lsn();
+    const uint64_t bytes = target - durable_lsn_;
+    if (bytes > 0) {
+      co_await DeviceFlush(bytes);
+    }
+    durable_lsn_ = target;
+    ++stats_.flushes;
+    flush_in_progress_ = false;
+    flush_cv_.NotifyAll();
+  }
+  co_return Status::OK();
+}
+
+SoftwareLogManager::SoftwareLogManager(hw::Platform* platform,
+                                       sim::Link* log_device, int sockets)
+    : LogManager(platform->simulator()), platform_(platform),
+      log_device_(log_device), sockets_(sockets),
+      buffer_serializer_(platform->simulator(), 1) {}
+
+sim::Task<Lsn> SoftwareLogManager::Append(LogRecord rec, int socket) {
+  (void)socket;  // the software buffer is shared by all sockets
+  const SimTime t0 = sim_->Now();
+  ++contenders_;
+  // Aether-style insert: only the buffer reserve (CAS + contention) is
+  // serialized; record build, copy, and release proceed in parallel once
+  // space is claimed.
+  const double serial_ns =
+      platform_->cost().LogReserveSerialNs(contenders_, sockets_);
+  co_await buffer_serializer_.Use(static_cast<SimTime>(serial_ns));
+  const Lsn lsn = AppendToBuffer(rec);
+  --contenders_;
+  co_await sim::Delay{
+      sim_, static_cast<SimTime>(
+                platform_->cost().LogParallelNs(rec.SerializedSize()))};
+  stats_.append_wait_ns += sim_->Now() - t0;
+  co_return lsn;
+}
+
+sim::Task<void> SoftwareLogManager::DeviceFlush(uint64_t bytes) {
+  co_await log_device_->Transfer(bytes);
+}
+
+HardwareLogManager::HardwareLogManager(hw::Platform* platform,
+                                       hw::LogInsertionUnit* unit,
+                                       sim::Link* log_device)
+    : LogManager(platform->simulator()), platform_(platform), unit_(unit),
+      log_device_(log_device) {}
+
+sim::Task<Lsn> HardwareLogManager::Append(LogRecord rec, int socket) {
+  const SimTime t0 = sim_->Now();
+  // LSN order is fixed at submission (the unit preserves FIFO order per
+  // socket and the simulator is deterministic across sockets).
+  const Lsn lsn = AppendToBuffer(rec);
+  co_await unit_->Insert(rec.SerializedSize(), socket);
+  stats_.append_wait_ns += sim_->Now() - t0;
+  co_return lsn;
+}
+
+sim::Task<void> HardwareLogManager::DeviceFlush(uint64_t bytes) {
+  // FPGA log buffer -> PCIe -> CPU-side log SSD (Figure 4's storage path).
+  co_await platform_->pcie().Transfer(bytes);
+  co_await log_device_->Transfer(bytes);
+}
+
+}  // namespace bionicdb::wal

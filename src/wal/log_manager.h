@@ -1,0 +1,121 @@
+// Log managers: the software centralized WAL (CAS-contended buffer, the
+// §5.1/§5.4 bottleneck) and the hardware-offloaded WAL backed by the
+// LogInsertionUnit. Both are functionally real — the byte stream they
+// produce drives actual recovery — and differ in timing and contention
+// behaviour, which is what bench/log_scalability measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "hw/cost_model.h"
+#include "hw/log_unit.h"
+#include "hw/platform.h"
+#include "sim/resource.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "wal/record.h"
+
+namespace bionicdb::wal {
+
+struct LogStats {
+  uint64_t appends = 0;
+  uint64_t flushes = 0;
+  uint64_t bytes_appended = 0;
+  SimTime append_wait_ns = 0;  ///< Time callers spent blocked in Append.
+};
+
+/// Common WAL interface. Append orders a record in the log buffer (and
+/// resumes — asynchronously w.r.t. durability); WaitDurable implements
+/// group commit. The serialized byte stream is exposed for recovery.
+class LogManager {
+ public:
+  explicit LogManager(sim::Simulator* sim) : sim_(sim), flush_cv_(sim) {}
+  virtual ~LogManager() = default;
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(LogManager);
+
+  /// Appends `rec` from `socket`; resumes once the record is ordered.
+  /// Returns the record's LSN (byte offset).
+  virtual sim::Task<Lsn> Append(LogRecord rec, int socket) = 0;
+
+  /// Resumes when the log is durable at least through `lsn`. Group commit:
+  /// concurrent waiters share one device flush.
+  sim::Task<Status> WaitDurable(Lsn lsn);
+
+  /// Next LSN to be assigned (== total bytes appended).
+  Lsn current_lsn() const { return static_cast<Lsn>(buffer_.size()); }
+  Lsn durable_lsn() const { return durable_lsn_; }
+
+  /// The functional log stream (what a crash leaves on the log device is
+  /// the prefix [0, durable_lsn)).
+  const std::string& buffer() const { return buffer_; }
+  /// The durable prefix, as recovery would see it after a crash.
+  Slice durable_prefix() const {
+    return Slice(buffer_.data(), static_cast<size_t>(durable_lsn_));
+  }
+
+  const LogStats& stats() const { return stats_; }
+
+ protected:
+  /// Serializes `rec` into the buffer; returns its LSN.
+  Lsn AppendToBuffer(const LogRecord& rec);
+
+  /// Device-specific flush of bytes (durable_lsn_, target]: SSD write for
+  /// the software log, PCIe + SSD for the hardware log.
+  virtual sim::Task<void> DeviceFlush(uint64_t bytes) = 0;
+
+  sim::Simulator* sim_;
+  std::string buffer_;
+  Lsn durable_lsn_ = 0;
+  bool flush_in_progress_ = false;
+  sim::CondVar flush_cv_;
+  LogStats stats_;
+};
+
+/// Software WAL: every append serializes through the central log buffer.
+/// The service time follows CostModel::LogInsertNs, growing with the number
+/// of concurrent contenders and with socket count (cacheline ping-pong and
+/// cross-socket transfer, per [7]).
+class SoftwareLogManager : public LogManager {
+ public:
+  SoftwareLogManager(hw::Platform* platform, sim::Link* log_device,
+                     int sockets = 1);
+
+  sim::Task<Lsn> Append(LogRecord rec, int socket) override;
+
+ protected:
+  sim::Task<void> DeviceFlush(uint64_t bytes) override;
+
+ private:
+  hw::Platform* platform_;
+  sim::Link* log_device_;
+  int sockets_;
+  sim::Server buffer_serializer_;
+  int contenders_ = 0;
+};
+
+/// Hardware-offloaded WAL (§5.4): the CPU posts a descriptor (cheap) and the
+/// LogInsertionUnit aggregates per socket, arbitrates in hardware, and
+/// buffers FPGA-side. Flushes ship big sequential batches over PCIe to the
+/// CPU-side log SSD.
+class HardwareLogManager : public LogManager {
+ public:
+  HardwareLogManager(hw::Platform* platform, hw::LogInsertionUnit* unit,
+                     sim::Link* log_device);
+
+  sim::Task<Lsn> Append(LogRecord rec, int socket) override;
+
+  const hw::LogInsertionUnit* unit() const { return unit_; }
+
+ protected:
+  sim::Task<void> DeviceFlush(uint64_t bytes) override;
+
+ private:
+  hw::Platform* platform_;
+  hw::LogInsertionUnit* unit_;
+  sim::Link* log_device_;
+};
+
+}  // namespace bionicdb::wal

@@ -1,0 +1,138 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace bionicdb::wal {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+// len(4) type(1) txn(8) table(4) prev(8) klen(4) rlen(4) ulen(4) = 37
+constexpr uint32_t kHeaderSize = 37;
+constexpr uint32_t kTrailerSize = 4;  // masked CRC
+
+}  // namespace
+
+const char* RecordTypeName(RecordType t) {
+  switch (t) {
+    case RecordType::kBegin:
+      return "Begin";
+    case RecordType::kCommit:
+      return "Commit";
+    case RecordType::kAbort:
+      return "Abort";
+    case RecordType::kInsert:
+      return "Insert";
+    case RecordType::kUpdate:
+      return "Update";
+    case RecordType::kDelete:
+      return "Delete";
+    case RecordType::kClr:
+      return "CLR";
+    case RecordType::kCheckpoint:
+      return "Checkpoint";
+  }
+  return "?";
+}
+
+uint32_t LogRecord::SerializedSize() const {
+  return kHeaderSize + static_cast<uint32_t>(key.size() + redo.size() +
+                                             undo.size()) +
+         kTrailerSize;
+}
+
+void LogRecord::AppendTo(std::string* out) const {
+  const size_t start = out->size();
+  PutU32(out, SerializedSize());
+  out->push_back(static_cast<char>(type));
+  PutU64(out, txn_id);
+  PutU32(out, table_id);
+  PutU64(out, prev_lsn);
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  PutU32(out, static_cast<uint32_t>(redo.size()));
+  PutU32(out, static_cast<uint32_t>(undo.size()));
+  out->append(key);
+  out->append(redo);
+  out->append(undo);
+  const uint32_t crc =
+      Crc32c(0, out->data() + start, out->size() - start);
+  PutU32(out, MaskCrc(crc));
+}
+
+Result<LogRecord> LogRecord::Parse(Slice* in) {
+  if (in->size() < kHeaderSize + kTrailerSize) {
+    return Status::Corruption("log record truncated (header)");
+  }
+  const char* p = in->data();
+  const uint32_t len = GetU32(p);
+  if (len < kHeaderSize + kTrailerSize || len > in->size()) {
+    return Status::Corruption("log record truncated (body)");
+  }
+  const uint32_t stored_crc = UnmaskCrc(GetU32(p + len - kTrailerSize));
+  const uint32_t actual_crc = Crc32c(0, p, len - kTrailerSize);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("log record CRC mismatch");
+  }
+  LogRecord rec;
+  rec.type = static_cast<RecordType>(p[4]);
+  rec.txn_id = GetU64(p + 5);
+  rec.table_id = GetU32(p + 13);
+  rec.prev_lsn = GetU64(p + 17);
+  const uint32_t klen = GetU32(p + 25);
+  const uint32_t rlen = GetU32(p + 29);
+  const uint32_t ulen = GetU32(p + 33);
+  if (kHeaderSize + klen + rlen + ulen + kTrailerSize != len) {
+    return Status::Corruption("log record length mismatch");
+  }
+  rec.key.assign(p + kHeaderSize, klen);
+  rec.redo.assign(p + kHeaderSize + klen, rlen);
+  rec.undo.assign(p + kHeaderSize + klen + rlen, ulen);
+  in->RemovePrefix(len);
+  return rec;
+}
+
+Result<std::vector<LogRecord>> ParseLogStream(Slice stream) {
+  std::vector<LogRecord> out;
+  while (!stream.empty()) {
+    // A torn tail (clean truncation shorter than a header or shorter than
+    // the advertised length) ends recovery; CRC damage mid-record is real
+    // corruption.
+    if (stream.size() < kHeaderSize + kTrailerSize) break;
+    const uint32_t len = GetU32(stream.data());
+    if (len > stream.size()) break;
+    auto rec = LogRecord::Parse(&stream);
+    if (!rec.ok()) return rec.status();
+    out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+}  // namespace bionicdb::wal

@@ -1,0 +1,57 @@
+// Log records: physiological WAL entries with CRC-protected serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bionicdb::wal {
+
+/// Log sequence number == byte offset of the record in the log stream.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = ~0ULL;
+
+enum class RecordType : uint8_t {
+  kBegin = 1,
+  kCommit,
+  kAbort,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kClr,         ///< Compensation record written during rollback.
+  kCheckpoint,  ///< Fuzzy checkpoint marker.
+};
+
+const char* RecordTypeName(RecordType t);
+
+/// One WAL entry. `key`/`redo`/`undo` are opaque byte strings interpreted
+/// by the table the record targets.
+struct LogRecord {
+  RecordType type = RecordType::kBegin;
+  uint64_t txn_id = 0;
+  uint32_t table_id = 0;
+  Lsn prev_lsn = kInvalidLsn;  ///< Previous record of the same transaction.
+  std::string key;
+  std::string redo;  ///< After-image (empty for deletes).
+  std::string undo;  ///< Before-image (empty for inserts).
+
+  /// Serialized wire size in bytes.
+  uint32_t SerializedSize() const;
+
+  /// Appends the wire form (length-prefixed, CRC-trailed) to `*out`.
+  void AppendTo(std::string* out) const;
+
+  /// Parses one record from the front of `in`, advancing it. Fails with
+  /// Corruption on CRC mismatch or truncation.
+  static Result<LogRecord> Parse(Slice* in);
+};
+
+/// Parses an entire log stream; stops cleanly at truncation (torn tail),
+/// fails on mid-stream corruption.
+Result<std::vector<LogRecord>> ParseLogStream(Slice stream);
+
+}  // namespace bionicdb::wal

@@ -1,0 +1,88 @@
+#include "wal/recovery.h"
+
+#include "common/macros.h"
+
+namespace bionicdb::wal {
+
+Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
+  auto parsed = ParseLogStream(stream);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<LogRecord>& all_records = *parsed;
+
+  // --- Locate the last quiescent checkpoint: replay starts after it. ------
+  size_t start = 0;
+  for (size_t i = 0; i < all_records.size(); ++i) {
+    if (all_records[i].type == RecordType::kCheckpoint) {
+      start = i + 1;
+      stats->checkpoint_lsn = all_records[i].prev_lsn;
+    }
+  }
+  const std::vector<LogRecord> records(all_records.begin() + static_cast<long>(start),
+                                       all_records.end());
+
+  // --- Analysis: classify transactions. -----------------------------------
+  std::unordered_set<uint64_t> committed;
+  std::unordered_set<uint64_t> seen;
+  for (const LogRecord& rec : records) {
+    ++stats->records_scanned;
+    switch (rec.type) {
+      case RecordType::kBegin:
+        seen.insert(rec.txn_id);
+        break;
+      case RecordType::kCommit:
+        committed.insert(rec.txn_id);
+        break;
+      case RecordType::kAbort:
+        committed.erase(rec.txn_id);
+        break;
+      default:
+        break;
+    }
+  }
+  stats->committed_txns = committed.size();
+  for (uint64_t t : seen) {
+    if (!committed.count(t)) ++stats->loser_txns;
+  }
+
+  // --- Redo winners, in LSN order. -----------------------------------------
+  for (const LogRecord& rec : records) {
+    const bool winner = committed.count(rec.txn_id) > 0;
+    switch (rec.type) {
+      case RecordType::kInsert:
+        if (winner) {
+          target->RedoInsert(rec.table_id, rec.key, rec.redo);
+          ++stats->redo_applied;
+        } else {
+          ++stats->redo_skipped;
+        }
+        break;
+      case RecordType::kUpdate:
+        if (winner) {
+          target->RedoUpdate(rec.table_id, rec.key, rec.redo);
+          ++stats->redo_applied;
+        } else {
+          ++stats->redo_skipped;
+        }
+        break;
+      case RecordType::kDelete:
+        if (winner) {
+          target->RedoDelete(rec.table_id, rec.key);
+          ++stats->redo_applied;
+        } else {
+          ++stats->redo_skipped;
+        }
+        break;
+      case RecordType::kClr:
+        // CLRs undo an earlier action of an (eventually aborted)
+        // transaction; under redo-winners they are skipped along with the
+        // actions they compensate.
+        ++stats->redo_skipped;
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bionicdb::wal

@@ -1,0 +1,53 @@
+// Crash recovery over the durable log prefix ("log sync & recovery" stays
+// in software in Figure 4).
+//
+// BionicDB's overlay (§5.6) buffers all writes in memory and merges them to
+// base data only after commit, so durable base state never contains loser
+// updates (no-steal). Recovery is therefore redo-winners: an analysis pass
+// finds committed transactions, and a redo pass re-applies their changes in
+// LSN order. CLRs and Abort records are honored (an aborted transaction's
+// changes are never redone).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "wal/record.h"
+
+namespace bionicdb::wal {
+
+/// Applies redo effects during recovery. Implemented by the engine's
+/// tables; tests use an in-memory map.
+class RecoveryTarget {
+ public:
+  virtual ~RecoveryTarget() = default;
+  virtual void RedoInsert(uint32_t table_id, Slice key, Slice value) = 0;
+  virtual void RedoUpdate(uint32_t table_id, Slice key, Slice value) = 0;
+  virtual void RedoDelete(uint32_t table_id, Slice key) = 0;
+};
+
+struct RecoveryStats {
+  uint64_t records_scanned = 0;
+  uint64_t committed_txns = 0;
+  uint64_t loser_txns = 0;       ///< In-flight or explicitly aborted.
+  uint64_t redo_applied = 0;
+  uint64_t redo_skipped = 0;     ///< Loser records not redone.
+  Lsn checkpoint_lsn = kInvalidLsn;
+};
+
+/// Replays the durable log `stream` into `target`. Returns Corruption if
+/// the stream is damaged mid-way (a torn tail is fine).
+///
+/// Checkpoints: a kCheckpoint record asserts that every effect logged
+/// before it is already reflected in durable base data and that no
+/// transaction was in flight (quiescent checkpoint — what Engine::
+/// Checkpoint produces by bulk-merging overlays / flushing the pool
+/// first). Recovery therefore replays only the suffix after the last
+/// durable checkpoint.
+Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats);
+
+}  // namespace bionicdb::wal

@@ -1,0 +1,79 @@
+#include "workload/driver.h"
+
+#include "sim/sync.h"
+
+namespace bionicdb::workload {
+
+namespace {
+
+struct Wave {
+  explicit Wave(sim::Simulator* sim) : done(sim) {}
+  uint64_t remaining = 0;
+  sim::Completion done;
+};
+
+sim::Task<void> Client(engine::Engine* engine, NextTxnFn next,
+                       uint64_t my_txns, int socket, Wave* wave,
+                       const DriverConfig* config, DriverReport* report) {
+  for (uint64_t i = 0; i < my_txns; ++i) {
+    engine::Engine::TxnSpec spec = next();
+    Status st;
+    uint64_t priority = 0;  // pinned across retries so the txn ages
+    for (int attempt = 0; attempt <= config->max_retries; ++attempt) {
+      engine::Engine::TxnSpec copy = spec;
+      st = co_await engine->Execute(std::move(copy), socket, &priority);
+      if (!st.IsAborted()) break;
+      if (report) ++report->retries;
+      // Linear backoff with deterministic jitter: correlated retry storms
+      // of similarly-aged transactions otherwise keep colliding.
+      const SimTime jitter = static_cast<SimTime>(
+          engine->simulator()->rng().Uniform(
+              static_cast<uint64_t>(config->retry_backoff_ns)));
+      co_await sim::Delay{engine->simulator(),
+                          config->retry_backoff_ns * (attempt + 1) + jitter};
+    }
+    if (report) {
+      ++report->submitted;
+      if (st.IsAborted()) ++report->gave_up;
+    }
+  }
+  if (--wave->remaining == 0) wave->done.Set();
+}
+
+sim::Task<void> RunWave(engine::Engine* engine, NextTxnFn next,
+                        uint64_t total_txns, const DriverConfig& config,
+                        DriverReport* report) {
+  sim::Simulator* sim = engine->simulator();
+  Wave wave(sim);
+  wave.remaining = static_cast<uint64_t>(config.clients);
+  const int sockets = std::max(1, engine->config().sockets);
+  for (int c = 0; c < config.clients; ++c) {
+    const uint64_t share =
+        total_txns / static_cast<uint64_t>(config.clients) +
+        (static_cast<uint64_t>(c) <
+                 total_txns % static_cast<uint64_t>(config.clients)
+             ? 1
+             : 0);
+    sim->Spawn(
+        Client(engine, next, share, c % sockets, &wave, &config, report));
+  }
+  co_await wave.done.Wait();
+}
+
+}  // namespace
+
+sim::Task<void> RunClosedLoop(engine::Engine* engine, NextTxnFn next,
+                              const DriverConfig& config,
+                              DriverReport* report) {
+  engine->Start();
+  if (config.preheat) co_await engine->PreheatBufferPool();
+  if (config.warmup_txns > 0) {
+    co_await RunWave(engine, next, config.warmup_txns, config, nullptr);
+  }
+  engine->ResetStats();
+  co_await RunWave(engine, next, config.measured_txns, config, report);
+  engine->FinishRun();
+  co_await engine->Shutdown();
+}
+
+}  // namespace bionicdb::workload

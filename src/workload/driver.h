@@ -1,0 +1,43 @@
+// Closed-loop benchmark driver: N clients, each submitting transactions
+// back-to-back, with a warmup wave (populating caches) excluded from the
+// measurement window.
+#pragma once
+
+#include <functional>
+
+#include "engine/engine.h"
+
+namespace bionicdb::workload {
+
+/// Produces the next transaction to submit.
+using NextTxnFn = std::function<engine::Engine::TxnSpec()>;
+
+struct DriverConfig {
+  int clients = 8;
+  uint64_t warmup_txns = 200;    ///< Total across all clients.
+  uint64_t measured_txns = 2000; ///< Total across all clients.
+  /// Re-execute a transaction that aborted (wait-die) up to this many
+  /// times, with a short backoff. Non-Aborted failures are not retried.
+  int max_retries = 30;
+  SimTime retry_backoff_ns = 20000;
+  /// Read every page through the buffer pool before the warmup wave, so
+  /// measurement reflects a warm cache (cold 5 ms disk reads otherwise
+  /// convoy DORA partitions mid-measurement).
+  bool preheat = true;
+};
+
+struct DriverReport {
+  uint64_t submitted = 0;
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;  ///< Transactions that never committed.
+};
+
+/// Runs the full benchmark inside the simulator: starts the engine's
+/// agents, runs the warmup wave, resets stats, runs the measured wave,
+/// closes the measurement window, and drains the agents. Spawn this on the
+/// simulator and call sim.Run().
+sim::Task<void> RunClosedLoop(engine::Engine* engine, NextTxnFn next,
+                              const DriverConfig& config,
+                              DriverReport* report = nullptr);
+
+}  // namespace bionicdb::workload

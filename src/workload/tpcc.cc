@@ -1,0 +1,830 @@
+#include "workload/tpcc.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "index/codec.h"
+#include "workload/tatp.h"  // EncodeRow/DecodeRow helpers
+
+namespace bionicdb::workload {
+
+using engine::Engine;
+using index::EncodeKeyU64;
+using index::EncodeKeyU64Pair;
+using index::EncodeKeyU64Triple;
+
+const char* TpccTxnTypeName(TpccTxnType t) {
+  switch (t) {
+    case TpccTxnType::kNewOrder:
+      return "NewOrder";
+    case TpccTxnType::kPayment:
+      return "Payment";
+    case TpccTxnType::kStockLevel:
+      return "StockLevel";
+    case TpccTxnType::kOrderStatus:
+      return "OrderStatus";
+    case TpccTxnType::kDelivery:
+      return "Delivery";
+    case TpccTxnType::kNumTypes:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::string OrderLineKey(uint64_t w, uint64_t d, uint64_t o, uint32_t ol) {
+  return EncodeKeyU64Triple(w, d, o) + EncodeKeyU64(ol);
+}
+
+/// All ORDER_LINE operations of a district share one routing/lock group so
+/// DORA range reads stay partition-local (see Engine::PartitionOf).
+std::string OrderLineGroupKey(uint64_t w, uint64_t d) {
+  return EncodeKeyU64Pair(w, d);
+}
+
+/// Same for NEW_ORDER: Delivery range-scans a district's pending orders, so
+/// inserts and scans must share one lock/routing group.
+std::string NewOrderGroupKey(uint64_t w, uint64_t d) {
+  return EncodeKeyU64Pair(w, d);
+}
+
+/// by_customer secondary key: (w, d, c, o) -> primary order key.
+std::string ByCustomerKey(uint64_t w, uint64_t d, uint64_t c, uint64_t o) {
+  return EncodeKeyU64Triple(w, d, c) + EncodeKeyU64(o);
+}
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(engine::Engine* engine, const TpccConfig& config)
+    : engine_(engine), config_(config), rng_(config.seed) {
+  nurand_c_ = static_cast<int64_t>(rng_.Uniform(256));
+}
+
+Status TpccWorkload::Load() {
+  warehouse_ = engine_->CreateTable("WAREHOUSE");
+  district_ = engine_->CreateTable("DISTRICT");
+  customer_ = engine_->CreateTable("CUSTOMER");
+  item_ = engine_->CreateTable("ITEM");
+  stock_ = engine_->CreateTable("STOCK");
+  orders_ = engine_->CreateTable("ORDERS");
+  new_order_ = engine_->CreateTable("NEW_ORDER");
+  order_line_ = engine_->CreateTable("ORDER_LINE");
+  history_ = engine_->CreateTable("HISTORY");
+  BIONICDB_RETURN_NOT_OK(orders_->AddSecondaryIndex("by_customer"));
+
+  Rng load_rng(config_.seed ^ 0x79ccULL);
+  for (int i = 0; i < config_.items; ++i) {
+    ItemRow row{};
+    row.i_id = static_cast<uint64_t>(i);
+    row.price_cents = load_rng.UniformRange(100, 10000);
+    BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+        item_, EncodeKeyU64(static_cast<uint64_t>(i)), EncodeRow(row)));
+  }
+
+  for (int w = 0; w < config_.warehouses; ++w) {
+    WarehouseRow wr{};
+    wr.w_id = static_cast<uint64_t>(w);
+    wr.tax_bp = static_cast<int32_t>(load_rng.UniformRange(0, 2000));
+    BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+        warehouse_, EncodeKeyU64(static_cast<uint64_t>(w)), EncodeRow(wr)));
+
+    for (int i = 0; i < config_.items; ++i) {
+      StockRow sr{};
+      sr.w_id = static_cast<uint64_t>(w);
+      sr.i_id = static_cast<uint64_t>(i);
+      sr.quantity = static_cast<int32_t>(load_rng.UniformRange(10, 100));
+      BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+          stock_,
+          EncodeKeyU64Pair(static_cast<uint64_t>(w),
+                           static_cast<uint64_t>(i)),
+          EncodeRow(sr)));
+    }
+
+    for (int d = 0; d < config_.districts_per_warehouse; ++d) {
+      DistrictRow dr{};
+      dr.w_id = static_cast<uint64_t>(w);
+      dr.d_id = static_cast<uint64_t>(d);
+      dr.tax_bp = static_cast<int32_t>(load_rng.UniformRange(0, 2000));
+      dr.next_o_id =
+          static_cast<uint64_t>(config_.initial_orders_per_district);
+      BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+          district_,
+          EncodeKeyU64Pair(static_cast<uint64_t>(w),
+                           static_cast<uint64_t>(d)),
+          EncodeRow(dr)));
+
+      for (int c = 0; c < config_.customers_per_district; ++c) {
+        CustomerRow cr{};
+        cr.w_id = static_cast<uint64_t>(w);
+        cr.d_id = static_cast<uint64_t>(d);
+        cr.c_id = static_cast<uint64_t>(c);
+        cr.balance_cents = -1000;
+        BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+            customer_,
+            EncodeKeyU64Triple(static_cast<uint64_t>(w),
+                               static_cast<uint64_t>(d),
+                               static_cast<uint64_t>(c)),
+            EncodeRow(cr)));
+      }
+
+      for (int o = 0; o < config_.initial_orders_per_district; ++o) {
+        OrderRow orow{};
+        orow.w_id = static_cast<uint64_t>(w);
+        orow.d_id = static_cast<uint64_t>(d);
+        orow.o_id = static_cast<uint64_t>(o);
+        orow.c_id = load_rng.Uniform(
+            static_cast<uint64_t>(config_.customers_per_district));
+        orow.ol_cnt = static_cast<int32_t>(load_rng.UniformRange(5, 15));
+        orow.carrier_id = static_cast<int32_t>(load_rng.UniformRange(1, 10));
+        orow.all_local = 1;
+        BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+            orders_,
+            EncodeKeyU64Triple(static_cast<uint64_t>(w),
+                               static_cast<uint64_t>(d),
+                               static_cast<uint64_t>(o)),
+            EncodeRow(orow)));
+        BIONICDB_RETURN_NOT_OK(orders_->LoadSecondaryEntry(
+            "by_customer",
+            ByCustomerKey(orow.w_id, orow.d_id, orow.c_id, orow.o_id),
+            EncodeKeyU64Triple(orow.w_id, orow.d_id, orow.o_id)));
+        for (int32_t ol = 0; ol < orow.ol_cnt; ++ol) {
+          OrderLineRow olr{};
+          olr.w_id = orow.w_id;
+          olr.d_id = orow.d_id;
+          olr.o_id = orow.o_id;
+          olr.ol_number = static_cast<uint32_t>(ol);
+          olr.i_id =
+              load_rng.Uniform(static_cast<uint64_t>(config_.items));
+          olr.quantity = 5;
+          olr.amount_cents = load_rng.UniformRange(10, 999);
+          BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+              order_line_,
+              OrderLineKey(orow.w_id, orow.d_id, orow.o_id,
+                           static_cast<uint32_t>(ol)),
+              EncodeRow(olr)));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- NewOrder --
+
+Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
+  struct LineReq {
+    uint64_t i_id;
+    int32_t qty;
+  };
+  struct State {
+    uint64_t o_id = 0;
+    int64_t total_cents = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto lines = std::make_shared<std::vector<LineReq>>();
+  const int n_lines = static_cast<int>(rng_.UniformRange(5, 15));
+  std::set<uint64_t> chosen;
+  for (int i = 0; i < n_lines; ++i) {
+    uint64_t item;
+    do {
+      item = RandomItem();
+    } while (chosen.count(item));
+    chosen.insert(item);
+    lines->push_back(
+        {item, static_cast<int32_t>(rng_.UniformRange(1, 10))});
+  }
+  const uint64_t c = rng_.Uniform(
+      static_cast<uint64_t>(config_.customers_per_district));
+
+  Engine::TxnSpec spec;
+  Engine* eng = engine_;
+  engine::Table* warehouse = warehouse_;
+  engine::Table* district = district_;
+  engine::Table* customer = customer_;
+  engine::Table* item_tbl = item_;
+  engine::Table* stock_tbl = stock_;
+  engine::Table* orders_tbl = orders_;
+  engine::Table* new_order_tbl = new_order_;
+  engine::Table* order_line_tbl = order_line_;
+
+  // ---- Phase 1: warehouse tax, district (allocates o_id), customer. ----
+  Engine::Phase phase1;
+  {
+    Engine::TxnStep step;
+    step.table = warehouse;
+    step.keys = {EncodeKeyU64(w)};
+    step.read_only = true;
+    const std::string key = EncodeKeyU64(w);
+    step.fn = [eng, warehouse,
+               key](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      co_return (co_await eng->Read(ctx, warehouse, key)).status();
+    };
+    phase1.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = district;
+    const std::string key = EncodeKeyU64Pair(w, d);
+    step.keys = {key};
+    step.fn = [eng, district, key,
+               state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto r = co_await eng->Read(ctx, district, key);
+      if (!r.ok()) co_return r.status();
+      DistrictRow row = DecodeRow<DistrictRow>(Slice(*r));
+      state->o_id = row.next_o_id;
+      row.next_o_id += 1;
+      co_return co_await eng->Update(ctx, district, key, EncodeRow(row), &*r);
+    };
+    phase1.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = customer;
+    const std::string key = EncodeKeyU64Triple(w, d, c);
+    step.keys = {key};
+    step.read_only = true;
+    step.fn = [eng, customer,
+               key](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      co_return (co_await eng->Read(ctx, customer, key)).status();
+    };
+    phase1.push_back(std::move(step));
+  }
+  spec.phases.push_back(std::move(phase1));
+
+  // ---- Phase 2: per line, read ITEM and update STOCK (grouped by
+  // partition so multi-key steps stay partition-local). ----
+  Engine::Phase phase2;
+  {
+    // Item reads: read-only, group by partition.
+    std::map<uint32_t, std::vector<uint64_t>> item_groups;
+    for (auto& line : *lines) {
+      item_groups[eng->PartitionOf(item_tbl, EncodeKeyU64(line.i_id))]
+          .push_back(line.i_id);
+    }
+    for (auto& [part, ids] : item_groups) {
+      Engine::TxnStep step;
+      step.table = item_tbl;
+      step.read_only = true;
+      for (uint64_t id : ids) step.keys.push_back(EncodeKeyU64(id));
+      auto ids_copy = std::make_shared<std::vector<uint64_t>>(ids);
+      step.fn = [eng, item_tbl, ids_copy,
+                 state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        for (uint64_t id : *ids_copy) {
+          auto r = co_await eng->Read(ctx, item_tbl, EncodeKeyU64(id));
+          if (!r.ok()) co_return r.status();
+          state->total_cents += DecodeRow<ItemRow>(Slice(*r)).price_cents;
+        }
+        co_return Status::OK();
+      };
+      phase2.push_back(std::move(step));
+    }
+    // Stock updates: group by partition.
+    std::map<uint32_t, std::vector<LineReq>> stock_groups;
+    for (auto& line : *lines) {
+      stock_groups[eng->PartitionOf(stock_tbl,
+                                    EncodeKeyU64Pair(w, line.i_id))]
+          .push_back(line);
+    }
+    for (auto& [part, group] : stock_groups) {
+      Engine::TxnStep step;
+      step.table = stock_tbl;
+      for (auto& line : group) {
+        step.keys.push_back(EncodeKeyU64Pair(w, line.i_id));
+      }
+      auto group_copy = std::make_shared<std::vector<LineReq>>(group);
+      step.fn = [eng, stock_tbl, w,
+                 group_copy](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        // Batched probes: all of this action's stock rows are fetched with
+        // one concurrent probe volley (overlapping in the hardware unit).
+        std::vector<std::string> keys;
+        keys.reserve(group_copy->size());
+        for (auto& line : *group_copy) {
+          keys.push_back(EncodeKeyU64Pair(w, line.i_id));
+        }
+        auto reads = co_await eng->MultiRead(ctx, stock_tbl, keys);
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (!reads[i].ok()) co_return reads[i].status();
+          auto& line = (*group_copy)[i];
+          StockRow row = DecodeRow<StockRow>(Slice(*reads[i]));
+          row.quantity = row.quantity >= line.qty + 10
+                             ? row.quantity - line.qty
+                             : row.quantity - line.qty + 91;
+          row.ytd += line.qty;
+          row.order_cnt += 1;
+          Status st = co_await eng->Update(ctx, stock_tbl, keys[i],
+                                           EncodeRow(row), &*reads[i]);
+          if (!st.ok()) co_return st;
+        }
+        co_return Status::OK();
+      };
+      phase2.push_back(std::move(step));
+    }
+  }
+  spec.phases.push_back(std::move(phase2));
+
+  // ---- Phase 3 (dynamic: needs o_id from phase 1): the inserts. ----
+  const int n_lines_copy = n_lines;
+  spec.dynamic_phases = [eng, orders_tbl, new_order_tbl, order_line_tbl, w, d,
+                         c, state, lines,
+                         n_lines_copy](int idx, Engine::Phase* out) -> bool {
+    if (idx > 0) return false;
+    const uint64_t o = state->o_id;
+    {
+      Engine::TxnStep step;
+      step.table = orders_tbl;
+      const std::string key = EncodeKeyU64Triple(w, d, o);
+      step.keys = {key};
+      OrderRow row{};
+      row.w_id = w;
+      row.d_id = d;
+      row.o_id = o;
+      row.c_id = c;
+      row.ol_cnt = n_lines_copy;
+      row.carrier_id = 0;  // undelivered
+      row.all_local = 1;
+      const std::string record = EncodeRow(row);
+      step.fn = [eng, orders_tbl, key, record, w, d, c,
+                 o](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        Status st = co_await eng->Insert(ctx, orders_tbl, key, record);
+        if (!st.ok()) co_return st;
+        // Maintain the by-customer secondary (used by OrderStatus).
+        co_return co_await eng->InsertSecondary(
+            ctx, orders_tbl, "by_customer", ByCustomerKey(w, d, c, o), key);
+      };
+      out->push_back(std::move(step));
+    }
+    {
+      Engine::TxnStep step;
+      step.table = new_order_tbl;
+      const std::string key = EncodeKeyU64Triple(w, d, o);
+      step.keys = {NewOrderGroupKey(w, d)};
+      NewOrderRow row{w, d, o};
+      const std::string record = EncodeRow(row);
+      step.fn = [eng, new_order_tbl, key,
+                 record](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        co_return co_await eng->Insert(ctx, new_order_tbl, key, record);
+      };
+      out->push_back(std::move(step));
+    }
+    {
+      Engine::TxnStep step;
+      step.table = order_line_tbl;
+      step.keys = {OrderLineGroupKey(w, d)};
+      step.fn = [eng, order_line_tbl, w, d, o, state,
+                 lines](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        uint32_t ol = 0;
+        for (auto& line : *lines) {
+          OrderLineRow row{};
+          row.w_id = w;
+          row.d_id = d;
+          row.o_id = o;
+          row.ol_number = ol;
+          row.i_id = line.i_id;
+          row.quantity = line.qty;
+          row.amount_cents = 100 * line.qty;
+          Status st = co_await eng->Insert(ctx, order_line_tbl,
+                                           OrderLineKey(w, d, o, ol),
+                                           EncodeRow(row));
+          if (!st.ok()) co_return st;
+          ++ol;
+        }
+        co_return Status::OK();
+      };
+      out->push_back(std::move(step));
+    }
+    return true;
+  };
+  return spec;
+}
+
+// ----------------------------------------------------------------- Payment --
+
+Engine::TxnSpec TpccWorkload::MakePayment(uint64_t w, uint64_t d,
+                                          uint64_t c) {
+  const int64_t amount = rng_.UniformRange(100, 500000);
+  const uint64_t h_id = next_history_id_++;
+  Engine::TxnSpec spec;
+  Engine* eng = engine_;
+
+  Engine::Phase phase;
+  {
+    Engine::TxnStep step;
+    step.table = warehouse_;
+    engine::Table* tbl = warehouse_;
+    const std::string key = EncodeKeyU64(w);
+    step.keys = {key};
+    step.fn = [eng, tbl, key,
+               amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto r = co_await eng->Read(ctx, tbl, key);
+      if (!r.ok()) co_return r.status();
+      WarehouseRow row = DecodeRow<WarehouseRow>(Slice(*r));
+      row.ytd_cents += amount;
+      co_return co_await eng->Update(ctx, tbl, key, EncodeRow(row), &*r);
+    };
+    phase.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = district_;
+    engine::Table* tbl = district_;
+    const std::string key = EncodeKeyU64Pair(w, d);
+    step.keys = {key};
+    step.fn = [eng, tbl, key,
+               amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto r = co_await eng->Read(ctx, tbl, key);
+      if (!r.ok()) co_return r.status();
+      DistrictRow row = DecodeRow<DistrictRow>(Slice(*r));
+      row.ytd_cents += amount;
+      co_return co_await eng->Update(ctx, tbl, key, EncodeRow(row), &*r);
+    };
+    phase.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = customer_;
+    engine::Table* tbl = customer_;
+    const std::string key = EncodeKeyU64Triple(w, d, c);
+    step.keys = {key};
+    step.fn = [eng, tbl, key,
+               amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto r = co_await eng->Read(ctx, tbl, key);
+      if (!r.ok()) co_return r.status();
+      CustomerRow row = DecodeRow<CustomerRow>(Slice(*r));
+      row.balance_cents -= amount;
+      row.ytd_payment_cents += amount;
+      row.payment_cnt += 1;
+      co_return co_await eng->Update(ctx, tbl, key, EncodeRow(row), &*r);
+    };
+    phase.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = history_;
+    engine::Table* tbl = history_;
+    const std::string key = EncodeKeyU64(h_id);
+    step.keys = {key};
+    HistoryRow row{h_id, w, d, c, amount};
+    const std::string record = EncodeRow(row);
+    step.fn = [eng, tbl, key,
+               record](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      co_return co_await eng->Insert(ctx, tbl, key, record);
+    };
+    phase.push_back(std::move(step));
+  }
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+// -------------------------------------------------------------- StockLevel --
+
+Engine::TxnSpec TpccWorkload::MakeStockLevel(uint64_t w, uint64_t d,
+                                             int threshold) {
+  struct State {
+    uint64_t next_o_id = 0;
+    std::set<uint64_t> items;
+    uint64_t below = 0;
+  };
+  auto state = std::make_shared<State>();
+  Engine::TxnSpec spec;
+  Engine* eng = engine_;
+  engine::Table* district = district_;
+  engine::Table* order_line_tbl = order_line_;
+  engine::Table* stock_tbl = stock_;
+
+  // Phase 1: read the district's next order id.
+  {
+    Engine::TxnStep step;
+    step.table = district;
+    const std::string key = EncodeKeyU64Pair(w, d);
+    step.keys = {key};
+    step.read_only = true;
+    step.fn = [eng, district, key,
+               state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto r = co_await eng->Read(ctx, district, key);
+      if (!r.ok()) co_return r.status();
+      state->next_o_id = DecodeRow<DistrictRow>(Slice(*r)).next_o_id;
+      co_return Status::OK();
+    };
+    spec.phases.push_back({std::move(step)});
+  }
+
+  // Phase 2: scan the order lines of the last 20 orders.
+  {
+    Engine::TxnStep step;
+    step.table = order_line_tbl;
+    step.keys = {OrderLineGroupKey(w, d)};
+    step.read_only = true;
+    step.fn = [eng, order_line_tbl, w, d,
+               state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      const uint64_t hi_o = state->next_o_id;
+      const uint64_t lo_o = hi_o >= 20 ? hi_o - 20 : 0;
+      auto rows = co_await eng->RangeRead(
+          ctx, order_line_tbl, EncodeKeyU64Triple(w, d, lo_o) + EncodeKeyU64(0),
+          EncodeKeyU64Triple(w, d, hi_o) + EncodeKeyU64(0), 0);
+      if (!rows.ok()) co_return rows.status();
+      for (auto& [key, rec] : *rows) {
+        // Copy the packed field before binding it to insert()'s reference.
+        const uint64_t item = DecodeRow<OrderLineRow>(Slice(rec)).i_id;
+        state->items.insert(item);
+      }
+      co_return Status::OK();
+    };
+    spec.phases.push_back({std::move(step)});
+  }
+
+  // Phase 3 (dynamic: the stock keys depend on the scan): probe STOCK for
+  // each distinct item and count quantities below the threshold.
+  spec.dynamic_phases = [eng, stock_tbl, w, state,
+                         threshold](int idx, Engine::Phase* out) -> bool {
+    if (idx > 0) return false;
+    std::map<uint32_t, std::vector<uint64_t>> groups;
+    for (uint64_t item : state->items) {
+      groups[eng->PartitionOf(stock_tbl, EncodeKeyU64Pair(w, item))]
+          .push_back(item);
+    }
+    for (auto& [part, items] : groups) {
+      Engine::TxnStep step;
+      step.table = stock_tbl;
+      step.read_only = true;
+      for (uint64_t item : items) {
+        step.keys.push_back(EncodeKeyU64Pair(w, item));
+      }
+      auto items_copy = std::make_shared<std::vector<uint64_t>>(items);
+      step.fn = [eng, stock_tbl, w, items_copy, state,
+                 threshold](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        std::vector<std::string> keys;
+        keys.reserve(items_copy->size());
+        for (uint64_t item : *items_copy) {
+          keys.push_back(EncodeKeyU64Pair(w, item));
+        }
+        auto reads = co_await eng->MultiRead(ctx, stock_tbl, keys);
+        for (auto& r : reads) {
+          if (!r.ok()) co_return r.status();
+          if (DecodeRow<StockRow>(Slice(*r)).quantity < threshold) {
+            ++state->below;
+          }
+        }
+        co_return Status::OK();
+      };
+      out->push_back(std::move(step));
+    }
+    return !out->empty();
+  };
+  return spec;
+}
+
+
+// ------------------------------------------------------------- OrderStatus --
+
+Engine::TxnSpec TpccWorkload::MakeOrderStatus(uint64_t w, uint64_t d,
+                                              uint64_t c) {
+  struct State {
+    std::string order_key;  // empty == customer has no orders
+  };
+  auto state = std::make_shared<State>();
+  Engine::TxnSpec spec;
+  Engine* eng = engine_;
+  engine::Table* customer = customer_;
+  engine::Table* orders_tbl = orders_;
+  engine::Table* order_line_tbl = order_line_;
+
+  // Phase 1: read the customer and locate their most recent order via the
+  // by-customer secondary index.
+  Engine::Phase phase1;
+  {
+    Engine::TxnStep step;
+    step.table = customer;
+    const std::string key = EncodeKeyU64Triple(w, d, c);
+    step.keys = {key};
+    step.read_only = true;
+    step.fn = [eng, customer,
+               key](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      co_return (co_await eng->Read(ctx, customer, key)).status();
+    };
+    phase1.push_back(std::move(step));
+  }
+  {
+    Engine::TxnStep step;
+    step.table = orders_tbl;
+    // Index-entry range lock for the customer's order list.
+    step.keys = {"oc:" + EncodeKeyU64Triple(w, d, c)};
+    step.read_only = true;
+    const std::string lo = ByCustomerKey(w, d, c, 0);
+    const std::string hi = ByCustomerKey(w, d, c, ~0ULL);
+    step.fn = [eng, orders_tbl, lo, hi,
+               state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto rows = co_await eng->RangeReadIndex(ctx, orders_tbl,
+                                               "by_customer", lo, hi, 0);
+      if (!rows.ok()) co_return rows.status();
+      if (!rows->empty()) state->order_key = rows->back().second;
+      co_return Status::OK();
+    };
+    phase1.push_back(std::move(step));
+  }
+  spec.phases.push_back(std::move(phase1));
+
+  // Phase 2 (dynamic: the order key comes from the index lookup): read the
+  // order row and its lines.
+  spec.dynamic_phases = [eng, orders_tbl, order_line_tbl, w, d,
+                         state](int idx, Engine::Phase* out) -> bool {
+    if (idx > 0 || state->order_key.empty()) return false;
+    {
+      Engine::TxnStep step;
+      step.table = orders_tbl;
+      step.keys = {state->order_key};
+      step.read_only = true;
+      const std::string key = state->order_key;
+      step.fn = [eng, orders_tbl,
+                 key](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        co_return (co_await eng->Read(ctx, orders_tbl, key)).status();
+      };
+      out->push_back(std::move(step));
+    }
+    {
+      Engine::TxnStep step;
+      step.table = order_line_tbl;
+      step.keys = {OrderLineGroupKey(w, d)};
+      step.read_only = true;
+      const std::string lo = state->order_key + EncodeKeyU64(0);
+      const std::string hi = state->order_key + EncodeKeyU64(~0ULL);
+      step.fn = [eng, order_line_tbl, lo,
+                 hi](Engine::ExecContext& ctx) -> sim::Task<Status> {
+        co_return (co_await eng->RangeRead(ctx, order_line_tbl, lo, hi, 0))
+            .status();
+      };
+      out->push_back(std::move(step));
+    }
+    return true;
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------- Delivery --
+
+Engine::TxnSpec TpccWorkload::MakeDelivery(uint64_t w, int carrier) {
+  const int n_districts = config_.districts_per_warehouse;
+  struct District {
+    bool found = false;
+    uint64_t o_id = 0;
+    uint64_t c_id = 0;
+    int64_t sum_cents = 0;
+  };
+  auto state = std::make_shared<std::vector<District>>(
+      static_cast<size_t>(n_districts));
+  Engine::TxnSpec spec;
+  Engine* eng = engine_;
+  engine::Table* new_order_tbl = new_order_;
+  engine::Table* orders_tbl = orders_;
+  engine::Table* order_line_tbl = order_line_;
+  engine::Table* customer = customer_;
+
+  // Phase 1: per district, pop the oldest undelivered order.
+  Engine::Phase phase1;
+  for (int d = 0; d < n_districts; ++d) {
+    Engine::TxnStep step;
+    step.table = new_order_tbl;
+    step.keys = {NewOrderGroupKey(w, static_cast<uint64_t>(d))};
+    const uint64_t du = static_cast<uint64_t>(d);
+    step.fn = [eng, new_order_tbl, w, du,
+               state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+      auto rows = co_await eng->RangeRead(
+          ctx, new_order_tbl, EncodeKeyU64Triple(w, du, 0),
+          EncodeKeyU64Triple(w, du, ~0ULL), 1);
+      if (!rows.ok()) co_return rows.status();
+      if (rows->empty()) co_return Status::OK();  // district fully delivered
+      auto row = DecodeRow<NewOrderRow>(Slice(rows->front().second));
+      Status st = co_await eng->Delete(ctx, new_order_tbl,
+                                       rows->front().first);
+      if (!st.ok()) co_return st;
+      auto& ds = (*state)[du];
+      ds.found = true;
+      ds.o_id = row.o_id;
+      co_return Status::OK();
+    };
+    phase1.push_back(std::move(step));
+  }
+  spec.phases.push_back(std::move(phase1));
+
+  // Phase 2 (dynamic): stamp the carrier on each popped order and total its
+  // lines. Phase 3 (dynamic): credit the customers.
+  spec.dynamic_phases = [eng, orders_tbl, order_line_tbl, customer, w,
+                         carrier, state](int idx, Engine::Phase* out) -> bool {
+    if (idx == 0) {
+      for (size_t d = 0; d < state->size(); ++d) {
+        if (!(*state)[d].found) continue;
+        const uint64_t du = static_cast<uint64_t>(d);
+        const uint64_t o = (*state)[d].o_id;
+        {
+          Engine::TxnStep step;
+          step.table = orders_tbl;
+          const std::string key = EncodeKeyU64Triple(w, du, o);
+          step.keys = {key};
+          step.fn = [eng, orders_tbl, key, du, carrier,
+                     state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+            auto r = co_await eng->Read(ctx, orders_tbl, key);
+            if (!r.ok()) co_return r.status();
+            OrderRow row = DecodeRow<OrderRow>(Slice(*r));
+            (*state)[du].c_id = row.c_id;
+            row.carrier_id = carrier;
+            co_return co_await eng->Update(ctx, orders_tbl, key,
+                                           EncodeRow(row), &*r);
+          };
+          out->push_back(std::move(step));
+        }
+        {
+          Engine::TxnStep step;
+          step.table = order_line_tbl;
+          step.keys = {OrderLineGroupKey(w, du)};
+          step.read_only = true;
+          const std::string lo = EncodeKeyU64Triple(w, du, o) + EncodeKeyU64(0);
+          const std::string hi =
+              EncodeKeyU64Triple(w, du, o) + EncodeKeyU64(~0ULL);
+          step.fn = [eng, order_line_tbl, lo, hi, du,
+                     state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+            auto rows =
+                co_await eng->RangeRead(ctx, order_line_tbl, lo, hi, 0);
+            if (!rows.ok()) co_return rows.status();
+            int64_t sum = 0;
+            for (auto& [k, rec] : *rows) {
+              sum += DecodeRow<OrderLineRow>(Slice(rec)).amount_cents;
+            }
+            (*state)[du].sum_cents = sum;
+            co_return Status::OK();
+          };
+          out->push_back(std::move(step));
+        }
+      }
+      return !out->empty();
+    }
+    if (idx == 1) {
+      for (size_t d = 0; d < state->size(); ++d) {
+        if (!(*state)[d].found) continue;
+        const uint64_t du = static_cast<uint64_t>(d);
+        Engine::TxnStep step;
+        step.table = customer;
+        const std::string key = EncodeKeyU64Triple(w, du, (*state)[du].c_id);
+        step.keys = {key};
+        step.fn = [eng, customer, key, du,
+                   state](Engine::ExecContext& ctx) -> sim::Task<Status> {
+          auto r = co_await eng->Read(ctx, customer, key);
+          if (!r.ok()) co_return r.status();
+          CustomerRow row = DecodeRow<CustomerRow>(Slice(*r));
+          row.balance_cents += (*state)[du].sum_cents;
+          co_return co_await eng->Update(ctx, customer, key, EncodeRow(row),
+                                         &*r);
+        };
+        out->push_back(std::move(step));
+      }
+      return !out->empty();
+    }
+    return false;
+  };
+  return spec;
+}
+
+Engine::TxnSpec TpccWorkload::NextTransaction(TpccTxnType* type_out) {
+  const uint64_t w = rng_.Uniform(static_cast<uint64_t>(config_.warehouses));
+  const uint64_t d = rng_.Uniform(
+      static_cast<uint64_t>(config_.districts_per_warehouse));
+  const int roll = static_cast<int>(rng_.Uniform(100));
+  TpccTxnType type;
+  if (roll < config_.pct_new_order) {
+    type = TpccTxnType::kNewOrder;
+  } else if (roll < config_.pct_new_order + config_.pct_payment) {
+    type = TpccTxnType::kPayment;
+  } else if (roll < config_.pct_new_order + config_.pct_payment +
+                        config_.pct_order_status) {
+    type = TpccTxnType::kOrderStatus;
+  } else if (roll < config_.pct_new_order + config_.pct_payment +
+                        config_.pct_order_status + config_.pct_delivery) {
+    type = TpccTxnType::kDelivery;
+  } else {
+    type = TpccTxnType::kStockLevel;
+  }
+  if (type_out) *type_out = type;
+  switch (type) {
+    case TpccTxnType::kNewOrder:
+      return MakeNewOrder(w, d);
+    case TpccTxnType::kPayment:
+      return MakePayment(
+          w, d,
+          rng_.Uniform(static_cast<uint64_t>(config_.customers_per_district)));
+    case TpccTxnType::kStockLevel:
+      return MakeStockLevel(w, d, static_cast<int>(rng_.UniformRange(10, 20)));
+    case TpccTxnType::kOrderStatus:
+      return MakeOrderStatus(
+          w, d,
+          rng_.Uniform(static_cast<uint64_t>(config_.customers_per_district)));
+    case TpccTxnType::kDelivery:
+      return MakeDelivery(w, static_cast<int>(rng_.UniformRange(1, 10)));
+    case TpccTxnType::kNumTypes:
+      break;
+  }
+  BIONICDB_CHECK(false);
+  return {};
+}
+
+}  // namespace bionicdb::workload

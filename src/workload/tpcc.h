@@ -1,0 +1,164 @@
+// TPC-C subset: the 9 standard tables plus the three transactions the
+// paper's discussion touches — StockLevel (Figure 3 right bar), NewOrder,
+// and Payment. Scaled for simulation (configurable customers/items).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "engine/engine.h"
+
+namespace bionicdb::workload {
+
+#pragma pack(push, 1)
+struct WarehouseRow {
+  uint64_t w_id;
+  char name[10];
+  int64_t ytd_cents;
+  int32_t tax_bp;  // basis points
+};
+
+struct DistrictRow {
+  uint64_t w_id;
+  uint64_t d_id;
+  int64_t ytd_cents;
+  int32_t tax_bp;
+  uint64_t next_o_id;
+};
+
+struct CustomerRow {
+  uint64_t w_id;
+  uint64_t d_id;
+  uint64_t c_id;
+  char last[16];
+  int64_t balance_cents;
+  int64_t ytd_payment_cents;
+  int32_t payment_cnt;
+};
+
+struct ItemRow {
+  uint64_t i_id;
+  char name[24];
+  int64_t price_cents;
+};
+
+struct StockRow {
+  uint64_t w_id;
+  uint64_t i_id;
+  int32_t quantity;
+  int64_t ytd;
+  int32_t order_cnt;
+};
+
+struct OrderRow {
+  uint64_t w_id;
+  uint64_t d_id;
+  uint64_t o_id;
+  uint64_t c_id;
+  int32_t ol_cnt;
+  int32_t carrier_id;  // 0 == undelivered
+  uint8_t all_local;
+};
+
+struct NewOrderRow {
+  uint64_t w_id;
+  uint64_t d_id;
+  uint64_t o_id;
+};
+
+struct OrderLineRow {
+  uint64_t w_id;
+  uint64_t d_id;
+  uint64_t o_id;
+  uint32_t ol_number;
+  uint64_t i_id;
+  int32_t quantity;
+  int64_t amount_cents;
+};
+
+struct HistoryRow {
+  uint64_t h_id;
+  uint64_t w_id;
+  uint64_t d_id;
+  uint64_t c_id;
+  int64_t amount_cents;
+};
+#pragma pack(pop)
+
+enum class TpccTxnType : int {
+  kNewOrder = 0,
+  kPayment,
+  kStockLevel,  // <- Figure 3 right
+  kOrderStatus,
+  kDelivery,
+  kNumTypes
+};
+
+const char* TpccTxnTypeName(TpccTxnType t);
+
+struct TpccConfig {
+  int warehouses = 1;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;
+  int items = 1000;
+  int initial_orders_per_district = 30;
+  uint64_t seed = 7;
+  /// Mix in percent (TPC-C standard: 45/43/4/4, remainder StockLevel).
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+};
+
+class TpccWorkload {
+ public:
+  TpccWorkload(engine::Engine* engine, const TpccConfig& config);
+
+  Status Load();
+
+  engine::Engine::TxnSpec NextTransaction(TpccTxnType* type_out = nullptr);
+
+  engine::Engine::TxnSpec MakeNewOrder(uint64_t w, uint64_t d);
+  engine::Engine::TxnSpec MakePayment(uint64_t w, uint64_t d, uint64_t c);
+  engine::Engine::TxnSpec MakeStockLevel(uint64_t w, uint64_t d,
+                                         int threshold);
+  engine::Engine::TxnSpec MakeOrderStatus(uint64_t w, uint64_t d, uint64_t c);
+  engine::Engine::TxnSpec MakeDelivery(uint64_t w, int carrier);
+
+  engine::Table* warehouse() { return warehouse_; }
+  engine::Table* district() { return district_; }
+  engine::Table* customer() { return customer_; }
+  engine::Table* item() { return item_; }
+  engine::Table* stock() { return stock_; }
+  engine::Table* orders() { return orders_; }
+  engine::Table* new_order() { return new_order_; }
+  engine::Table* order_line() { return order_line_; }
+  engine::Table* history() { return history_; }
+  const TpccConfig& config() const { return config_; }
+
+  uint64_t RandomItem() {
+    return static_cast<uint64_t>(
+        rng_.NURand(255, 0, config_.items - 1, nurand_c_));
+  }
+
+ private:
+  engine::Engine* engine_;
+  TpccConfig config_;
+  Rng rng_;
+  int64_t nurand_c_;
+  uint64_t next_history_id_ = 0;
+
+  engine::Table* warehouse_ = nullptr;
+  engine::Table* district_ = nullptr;
+  engine::Table* customer_ = nullptr;
+  engine::Table* item_ = nullptr;
+  engine::Table* stock_ = nullptr;
+  engine::Table* orders_ = nullptr;
+  engine::Table* new_order_ = nullptr;
+  engine::Table* order_line_ = nullptr;
+  engine::Table* history_ = nullptr;
+};
+
+}  // namespace bionicdb::workload

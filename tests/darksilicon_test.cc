@@ -1,0 +1,143 @@
+// Tests for the dark-silicon analytic models (paper §2 / Figure 1).
+#include <gtest/gtest.h>
+
+#include "darksilicon/amdahl.h"
+#include "darksilicon/power.h"
+
+namespace bionicdb::darksilicon {
+namespace {
+
+TEST(AmdahlTest, NoSerialWorkScalesLinearly) {
+  EXPECT_DOUBLE_EQ(AmdahlSpeedup(0.0, 64), 64.0);
+  EXPECT_DOUBLE_EQ(AmdahlUtilization(0.0, 1024), 1.0);
+}
+
+TEST(AmdahlTest, AllSerialNeverSpeedsUp) {
+  EXPECT_DOUBLE_EQ(AmdahlSpeedup(1.0, 1024), 1.0);
+  EXPECT_NEAR(AmdahlUtilization(1.0, 1024), 1.0 / 1024, 1e-12);
+}
+
+TEST(AmdahlTest, SpeedupBoundedBy1OverS) {
+  EXPECT_LT(AmdahlSpeedup(0.01, 1e9), 100.0);
+  EXPECT_NEAR(AmdahlSpeedup(0.01, 1e9), 100.0, 0.1);
+}
+
+TEST(AmdahlTest, PaperNarrativeNumbers) {
+  // "achieving 0.1% serial work arguably suffices for today's hardware":
+  // utilization of a 64-core chip at s=0.1% is ~94%.
+  EXPECT_GT(AmdahlUtilization(0.001, 64), 0.9);
+  // "next-generation hardware with perhaps a thousand cores demands that
+  // the serial fraction of work decreases by roughly two orders of
+  // magnitude": at 1024 cores, s=0.1% wastes half the chip...
+  EXPECT_LT(AmdahlUtilization(0.001, 1024), 0.55);
+  // ...but s=0.001% (two orders less) restores >90% utilization.
+  EXPECT_GT(AmdahlUtilization(0.00001, 1024), 0.9);
+}
+
+TEST(AmdahlTest, UtilizationMonotoneInSerialFraction) {
+  double prev = 1.0;
+  for (double s : {0.0001, 0.001, 0.01, 0.1, 0.5}) {
+    double u = AmdahlUtilization(s, 1024);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(HillMartyTest, PerfIsSqrt) {
+  EXPECT_DOUBLE_EQ(HillMartyPerf(1), 1.0);
+  EXPECT_DOUBLE_EQ(HillMartyPerf(16), 4.0);
+}
+
+TEST(HillMartyTest, SymmetricMatchesPaperShape) {
+  // Hill & Marty, fig 2: n=256, s=0.5%% ... sanity relations only:
+  // r=1 equals plain Amdahl.
+  EXPECT_NEAR(HillMartySymmetricSpeedup(0.1, 256, 1), AmdahlSpeedup(0.1, 256),
+              1e-9);
+  // For very parallel work, small cores win; for serial work, big cores.
+  EXPECT_GT(HillMartySymmetricSpeedup(0.001, 256, 1),
+            HillMartySymmetricSpeedup(0.001, 256, 256));
+  EXPECT_GT(HillMartySymmetricSpeedup(0.9, 256, 256),
+            HillMartySymmetricSpeedup(0.9, 256, 1));
+}
+
+TEST(HillMartyTest, AsymmetricBeatsSymmetricAtModerateSerial) {
+  const double s = 0.05;
+  const double n = 256;
+  double best_sym = 0;
+  for (double r : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    best_sym = std::max(best_sym, HillMartySymmetricSpeedup(s, n, r));
+  }
+  const double r_best = BestAsymmetricBigCore(s, n);
+  EXPECT_GE(HillMartyAsymmetricSpeedup(s, n, r_best), best_sym);
+}
+
+TEST(HillMartyTest, DynamicDominatesAsymmetric) {
+  for (double s : {0.001, 0.01, 0.1, 0.5}) {
+    const double r = BestAsymmetricBigCore(s, 256);
+    EXPECT_GE(HillMartyDynamicSpeedup(s, 256) + 1e-9,
+              HillMartyAsymmetricSpeedup(s, 256, r));
+  }
+}
+
+TEST(DarkSiliconModelTest, PowerableFractionTimeline) {
+  DarkSiliconModel m(0.4);
+  EXPECT_DOUBLE_EQ(m.PowerableFraction(2011), 1.0);
+  EXPECT_NEAR(m.PowerableFraction(2018), 0.8, 1e-9);
+  // One generation later: 0.8 * 0.6 = 0.48.
+  EXPECT_NEAR(m.PowerableFraction(2020), 0.48, 1e-9);
+  EXPECT_NEAR(m.PowerableFraction(2022), 0.288, 1e-9);
+}
+
+TEST(DarkSiliconModelTest, ShrinkRateBandsMatchPaper) {
+  // Paper: "usable fraction shrinking by 30-50% each generation".
+  DarkSiliconModel low(0.3), high(0.5);
+  EXPECT_NEAR(low.PowerableFraction(2020), 0.8 * 0.7, 1e-9);
+  EXPECT_NEAR(high.PowerableFraction(2020), 0.8 * 0.5, 1e-9);
+}
+
+TEST(DarkSiliconModelTest, ProjectionDoublesCores) {
+  DarkSiliconModel m;
+  auto gens = m.Project(2018);
+  ASSERT_EQ(gens.size(), 4u);  // 2011, 2013, 2015, 2017
+  EXPECT_EQ(gens[0].cores, 64);
+  EXPECT_EQ(gens[1].cores, 128);
+  EXPECT_EQ(gens[3].cores, 512);
+  EXPECT_EQ(gens[0].year, 2011);
+}
+
+TEST(DarkSiliconModelTest, EffectiveUtilizationCappedByPower) {
+  DarkSiliconModel m;
+  // Perfectly parallel software still cannot use dark transistors in 2018.
+  EXPECT_NEAR(m.EffectiveUtilization(0.0, 1024, 2018), 0.8, 0.01);
+  // In 2011 the chip is fully powerable.
+  EXPECT_NEAR(m.EffectiveUtilization(0.0, 64, 2011), 1.0, 1e-9);
+}
+
+TEST(Figure1Test, ReproducesPaperShape) {
+  DarkSiliconModel m;
+  auto rows = ComputeFigure1(m);
+  ASSERT_EQ(rows.size(), 4u);
+
+  // Rows ordered 10%, 1%, 0.1%, 0.01% serial.
+  EXPECT_DOUBLE_EQ(rows[0].serial_fraction, 0.10);
+  EXPECT_DOUBLE_EQ(rows[3].serial_fraction, 0.0001);
+
+  // 2011/64-core: 0.1% serial keeps >90% of the chip busy (the paper:
+  // "arguably suffices for today's hardware").
+  EXPECT_GT(rows[2].utilization_2011_64c, 0.9);
+  // 2018/1024-core: the same 0.1% serial wastes over half the chip.
+  EXPECT_LT(rows[2].utilization_2018_1024c, 0.5);
+  // Even 0.01% serial cannot exceed the 80% power envelope.
+  EXPECT_LE(rows[3].utilization_2018_1024c, 0.8 + 1e-9);
+  EXPECT_GT(rows[3].utilization_2018_1024c, 0.65);
+
+  // Utilization strictly improves as serial fraction drops, on both chips.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].utilization_2011_64c, rows[i - 1].utilization_2011_64c);
+    EXPECT_GT(rows[i].utilization_2018_1024c,
+              rows[i - 1].utilization_2018_1024c);
+  }
+}
+
+}  // namespace
+}  // namespace bionicdb::darksilicon

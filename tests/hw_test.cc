@@ -1,0 +1,400 @@
+// Tests for the platform model (Figure 2) and the four FPGA units.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/log_unit.h"
+#include "hw/platform.h"
+#include "hw/queue_engine.h"
+#include "hw/scanner_unit.h"
+#include "hw/tree_probe_unit.h"
+
+namespace bionicdb::hw {
+namespace {
+
+using sim::Delay;
+using sim::Simulator;
+using sim::Task;
+
+// ---------------------------------------------------------------- Platform --
+
+TEST(PlatformSpecTest, ConveyHC2MatchesFigure2) {
+  auto s = PlatformSpec::ConveyHC2();
+  EXPECT_TRUE(s.has_fpga);
+  EXPECT_DOUBLE_EQ(s.sg_dram.gbps, 80.0);
+  EXPECT_EQ(s.sg_dram.latency_ns, 400);
+  EXPECT_DOUBLE_EQ(s.host_dram.gbps, 20.0);
+  EXPECT_EQ(s.host_dram.latency_ns, 400);
+  EXPECT_DOUBLE_EQ(s.pcie.gbps, 4.0);
+  EXPECT_EQ(2 * s.pcie.latency_ns, 2000);  // 2us round trip
+  EXPECT_DOUBLE_EQ(s.sas_disk.gbps, 1.5);  // 12 Gbps
+  EXPECT_EQ(s.sas_disk.latency_ns, 5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(s.ssd.gbps, 0.5);       // 500 MBps
+  EXPECT_EQ(s.ssd.latency_ns, 20 * kMicrosecond);
+}
+
+TEST(PlatformSpecTest, CommodityServerHasNoFpga) {
+  auto s = PlatformSpec::CommodityServer();
+  EXPECT_FALSE(s.has_fpga);
+  EXPECT_DOUBLE_EQ(s.sg_dram.gbps, s.host_dram.gbps);
+}
+
+TEST(PlatformTest, PcieRoundTripIsTwoMicroseconds) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  SimTime t = -1;
+  sim.Spawn([](Platform* p, Simulator* s, SimTime* t) -> Task<> {
+    co_await p->pcie().RoundTrip();
+    *t = s->Now();
+  }(&p, &sim, &t));
+  sim.Run();
+  EXPECT_EQ(t, 2 * kMicrosecond);
+}
+
+TEST(PlatformTest, EnergyComponentsRegistered) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  EXPECT_GE(p.cpu_component(), 0);
+  EXPECT_GE(p.fpga_component(), 0);
+  EXPECT_EQ(p.meter().FindComponent("cpu"), p.cpu_component());
+  EXPECT_EQ(p.meter().FindComponent("pcie"), p.pcie_component());
+}
+
+// --------------------------------------------------------------- CostModel --
+
+TEST(CostModelTest, BtreeProbeScalesWithLevels) {
+  CostModel cm;
+  const double one = cm.BtreeProbeNs(1, 256);
+  const double four = cm.BtreeProbeNs(4, 256);
+  EXPECT_GT(four, 3 * one * 0.8);
+  EXPECT_GT(one, 0);
+}
+
+TEST(CostModelTest, LeafVisitsCostMoreThanInner) {
+  CostModel cm;
+  EXPECT_GT(cm.BtreeNodeVisitNs(256, true), cm.BtreeNodeVisitNs(256, false));
+}
+
+TEST(CostModelTest, LogInsertGrowsWithContention) {
+  CostModel cm;
+  const double solo = cm.LogInsertNs(100, 1, 1);
+  const double crowded = cm.LogInsertNs(100, 16, 1);
+  const double multisocket = cm.LogInsertNs(100, 16, 4);
+  EXPECT_GT(crowded, solo);
+  EXPECT_GT(multisocket, crowded);
+}
+
+TEST(CostModelTest, LogInsertGrowsWithSize) {
+  CostModel cm;
+  EXPECT_GT(cm.LogInsertNs(1000, 1, 1), cm.LogInsertNs(10, 1, 1));
+}
+
+TEST(CostModelTest, ComponentNamesMatchFigure3Legend) {
+  EXPECT_STREQ(ComponentName(Component::kBtree), "Btree mgmt");
+  EXPECT_STREQ(ComponentName(Component::kBpool), "Bpool mgmt");
+  EXPECT_STREQ(ComponentName(Component::kLog), "Log mgmt");
+  EXPECT_STREQ(ComponentName(Component::kXct), "Xct mgmt");
+  EXPECT_STREQ(ComponentName(Component::kDora), "Dora");
+  EXPECT_STREQ(ComponentName(Component::kFrontend), "Front-end");
+  EXPECT_STREQ(ComponentName(Component::kOther), "Other");
+}
+
+TEST(BreakdownTest, PercentagesSumTo100) {
+  Breakdown b;
+  b.Charge(Component::kBtree, 400);
+  b.Charge(Component::kLog, 350);
+  b.Charge(Component::kOther, 250);
+  EXPECT_EQ(b.TotalNs(), 1000);
+  double total_pct = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    total_pct += b.Percent(static_cast<Component>(i));
+  }
+  EXPECT_NEAR(total_pct, 100.0, 1e-9);
+  EXPECT_NEAR(b.Percent(Component::kBtree), 40.0, 1e-9);
+}
+
+TEST(BreakdownTest, MergeAccumulates) {
+  Breakdown a, b;
+  a.Charge(Component::kDora, 100);
+  b.Charge(Component::kDora, 300);
+  a.Merge(b);
+  EXPECT_EQ(a.ns(Component::kDora), 400);
+}
+
+// ----------------------------------------------------------- TreeProbeUnit --
+
+TEST(TreeProbeUnitTest, ProbeLatencyIsLevelsTimesMemoryAccess) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  TreeProbeConfig cfg;
+  TreeProbeUnit unit(&p, cfg);
+  SimTime t = -1;
+  sim.Spawn([](TreeProbeUnit* u, Simulator* s, SimTime* t) -> Task<> {
+    co_await u->Probe(4);
+    *t = s->Now();
+  }(&unit, &sim, &t));
+  sim.Run();
+  // 4 levels x (400ns SG access + ~1ns wire + 20ns compute) ~ 1.7us.
+  EXPECT_GT(t, 4 * 400);
+  EXPECT_LT(t, 4 * 500);
+  EXPECT_EQ(unit.probes_completed(), 1u);
+  EXPECT_EQ(unit.node_visits(), 4u);
+}
+
+TEST(TreeProbeUnitTest, ContextsLimitConcurrency) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  TreeProbeConfig cfg;
+  cfg.contexts = 4;
+  TreeProbeUnit unit(&p, cfg);
+  for (int i = 0; i < 32; ++i) {
+    sim.Spawn([](TreeProbeUnit* u) -> Task<> { co_await u->Probe(3); }(&unit));
+  }
+  sim.Run();
+  EXPECT_EQ(unit.probes_completed(), 32u);
+  EXPECT_LE(unit.max_active(), 4);
+}
+
+TEST(TreeProbeUnitTest, ThroughputSaturatesAroundContextCount) {
+  // The §5.3 claim: with a dozen-ish contexts, adding offered concurrency
+  // beyond the context count stops helping.
+  auto run = [](int offered) {
+    Simulator sim;
+    Platform p(&sim, PlatformSpec::ConveyHC2());
+    TreeProbeConfig cfg;
+    cfg.contexts = 12;
+    TreeProbeUnit unit(&p, cfg);
+    const int kProbesPerClient = 50;
+    for (int i = 0; i < offered; ++i) {
+      sim.Spawn([](TreeProbeUnit* u, int n) -> Task<> {
+        for (int j = 0; j < n; ++j) co_await u->Probe(4);
+      }(&unit, kProbesPerClient));
+    }
+    sim.Run();
+    return static_cast<double>(offered) * kProbesPerClient /
+           static_cast<double>(sim.Now());  // probes per ns
+  };
+  const double t1 = run(1);
+  const double t8 = run(8);
+  const double t12 = run(12);
+  const double t32 = run(32);
+  EXPECT_GT(t8, 6 * t1);           // near-linear until the context count
+  EXPECT_NEAR(t32, t12, t12 * 0.1);  // flat beyond it
+}
+
+TEST(TreeProbeUnitTest, HostProbeAddsPcieLegs) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  TreeProbeUnit unit(&p);
+  SimTime t = -1;
+  sim.Spawn([](TreeProbeUnit* u, Simulator* s, SimTime* t) -> Task<> {
+    co_await u->ProbeFromHost(4);
+    *t = s->Now();
+  }(&unit, &sim, &t));
+  sim.Run();
+  EXPECT_GT(t, 2 * 1000 + 4 * 400);  // two PCIe legs + the probe
+}
+
+// ---------------------------------------------------------- LogInsertionUnit --
+
+TEST(LogUnitTest, SingleInsertCompletes) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  LogInsertionUnit unit(&p);
+  SimTime t = -1;
+  sim.Spawn([](LogInsertionUnit* u, Simulator* s, SimTime* t) -> Task<> {
+    co_await u->Insert(120, 0);
+    *t = s->Now();
+  }(&unit, &sim, &t));
+  sim.Run();
+  EXPECT_GT(t, 0);
+  EXPECT_EQ(unit.records(), 1u);
+  EXPECT_EQ(unit.batches(), 1u);
+}
+
+TEST(LogUnitTest, AggregationBatchesConcurrentInserts) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  LogUnitConfig cfg;
+  cfg.aggregation_window_ns = 500;
+  LogInsertionUnit unit(&p, cfg);
+  for (int i = 0; i < 10; ++i) {
+    sim.Spawn([](Simulator* s, LogInsertionUnit* u, int i) -> Task<> {
+      co_await Delay{s, i * 20};  // all inside one 500ns window
+      co_await u->Insert(100, 0);
+    }(&sim, &unit, i));
+  }
+  sim.Run();
+  EXPECT_EQ(unit.records(), 10u);
+  EXPECT_EQ(unit.batches(), 1u);
+  EXPECT_DOUBLE_EQ(unit.MeanBatchRecords(), 10.0);
+}
+
+TEST(LogUnitTest, NoAggregationShipsEachRecord) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  LogUnitConfig cfg;
+  cfg.aggregate = false;
+  LogInsertionUnit unit(&p, cfg);
+  for (int i = 0; i < 10; ++i) {
+    sim.Spawn([](LogInsertionUnit* u) -> Task<> {
+      co_await u->Insert(100, 0);
+    }(&unit));
+  }
+  sim.Run();
+  EXPECT_EQ(unit.batches(), 10u);
+}
+
+TEST(LogUnitTest, SocketsAggregateIndependently) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  LogUnitConfig cfg;
+  cfg.sockets = 2;
+  cfg.aggregation_window_ns = 500;
+  LogInsertionUnit unit(&p, cfg);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      sim.Spawn([](LogInsertionUnit* u, int sock) -> Task<> {
+        co_await u->Insert(64, sock);
+      }(&unit, s));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(unit.records(), 10u);
+  EXPECT_EQ(unit.batches(), 2u);  // one batch per socket
+}
+
+TEST(LogUnitTest, FullBatchForcesFollowerToNextBatch) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  LogUnitConfig cfg;
+  cfg.max_batch_bytes = 300;
+  cfg.aggregation_window_ns = 400;
+  LogInsertionUnit unit(&p, cfg);
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](LogInsertionUnit* u) -> Task<> {
+      co_await u->Insert(100, 0);  // 116B framed; only 2 fit per batch
+    }(&unit));
+  }
+  sim.Run();
+  EXPECT_EQ(unit.records(), 4u);
+  EXPECT_GE(unit.batches(), 2u);
+}
+
+// -------------------------------------------------------------- QueueEngine --
+
+TEST(QueueEngineTest, OperationsAreCheapAndCounted) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  QueueEngine qe(&p);
+  for (int i = 0; i < 100; ++i) {
+    sim.Spawn([](QueueEngine* q) -> Task<> { co_await q->Operate(); }(&qe));
+  }
+  sim.Run();
+  EXPECT_EQ(qe.operations(), 100u);
+  // 100 ops at 4ns arbitration each: done within ~0.5us.
+  EXPECT_LE(sim.Now(), 500);
+  EXPECT_LT(qe.CpuPostCost(), 100);
+}
+
+// -------------------------------------------------------------- ScannerUnit --
+
+TEST(ScannerUnitTest, ShipsOnlySelectedBytes) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  ScannerUnit scanner(&p);
+  ScanTiming result;
+  sim.Spawn([](ScannerUnit* sc, ScanTiming* out) -> Task<> {
+    *out = co_await sc->Scan(10 * kMiB, 0.02);
+  }(&scanner, &result));
+  sim.Run();
+  EXPECT_EQ(result.bytes_scanned, 10 * kMiB);
+  EXPECT_NEAR(static_cast<double>(result.bytes_shipped),
+              0.02 * 10 * static_cast<double>(kMiB),
+              static_cast<double>(kMiB) * 0.01);
+  EXPECT_LT(p.pcie().bytes_transferred(), 10 * kMiB / 10);
+}
+
+TEST(ScannerUnitTest, ScanTimeTracksSgBandwidth) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  ScannerUnit scanner(&p);
+  sim.Spawn([](ScannerUnit* sc) -> Task<> {
+    (void)co_await sc->Scan(80 * kMiB, 0.0);
+  }(&scanner));
+  sim.Run();
+  // 80 MiB at 80 GB/s is ~1.05ms of wire time, plus per-chunk filter time.
+  EXPECT_GT(sim.Now(), kMillisecond);
+  EXPECT_LT(sim.Now(), 10 * kMillisecond);
+}
+
+TEST(ScannerUnitTest, FullProjectionShipsEverything) {
+  Simulator sim;
+  Platform p(&sim, PlatformSpec::ConveyHC2());
+  ScannerUnit scanner(&p);
+  ScanTiming result;
+  sim.Spawn([](ScannerUnit* sc, ScanTiming* out) -> Task<> {
+    *out = co_await sc->Scan(1 * kMiB, 1.0);
+  }(&scanner, &result));
+  sim.Run();
+  EXPECT_EQ(result.bytes_shipped, 1 * kMiB);
+}
+
+}  // namespace
+}  // namespace bionicdb::hw
+
+namespace bionicdb::hw {
+namespace {
+
+// --------------------------------------- string keys & multi-socket CPUs --
+
+TEST(TreeProbeUnitTest, StringKeysCostMoreThanIntegers) {
+  // §5.3: "a generic hardware tree probe engine that can handle both
+  // integer and variable-length string keys". Longer keys stream through
+  // the comparator in beats: slower per probe, same saturation shape.
+  auto probe_time = [](uint32_t key_bytes) {
+    sim::Simulator sim;
+    Platform p(&sim, PlatformSpec::ConveyHC2());
+    TreeProbeUnit unit(&p);
+    sim.Spawn([](TreeProbeUnit* u, uint32_t kb) -> sim::Task<> {
+      co_await u->Probe(4, kb);
+    }(&unit, key_bytes));
+    sim.Run();
+    return sim.Now();
+  };
+  const SimTime int_key = probe_time(8);
+  const SimTime str_key = probe_time(64);  // 15-char TATP numbers + slack
+  EXPECT_GT(str_key, int_key);
+  // Memory latency still dominates: strings cost beats, not multiples.
+  EXPECT_LT(str_key, 2 * int_key);
+}
+
+TEST(PlatformTest, SocketsHaveIndependentCorePools) {
+  sim::Simulator sim;
+  PlatformSpec spec = PlatformSpec::CommodityServer();
+  spec.cpu_sockets = 2;
+  Platform p(&sim, spec);
+  // Saturate socket 0; socket 1 work must not queue behind it.
+  SimTime socket1_done = -1;
+  for (int i = 0; i < spec.cpu_cores; ++i) {
+    sim.Spawn([](Platform* p) -> sim::Task<> {
+      co_await p->cpu(0).Attach();
+      co_await p->cpu(0).Work(1000);
+      p->cpu(0).Detach();
+    }(&p));
+  }
+  sim.Spawn([](Platform* p, sim::Simulator* s, SimTime* done) -> sim::Task<> {
+    co_await p->cpu(1).Attach();
+    co_await p->cpu(1).Work(100);
+    p->cpu(1).Detach();
+    *done = s->Now();
+  }(&p, &sim, &socket1_done));
+  sim.Run();
+  EXPECT_EQ(socket1_done, 100);  // never waited for socket 0's cores
+  EXPECT_GT(p.TotalCpuUtilization(1000), 0.0);
+}
+
+}  // namespace
+}  // namespace bionicdb::hw

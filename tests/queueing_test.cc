@@ -1,0 +1,156 @@
+// Tests for the concurrent queues (SPSC ring, MPMC) — including real
+// multi-threaded stress — and the agent doze/convoy scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "queueing/mpmc.h"
+#include "queueing/ring.h"
+#include "queueing/scheduler.h"
+
+namespace bionicdb::queueing {
+namespace {
+
+// ------------------------------------------------------------------- SPSC --
+
+TEST(SpscRingTest, PushPopSingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.SizeApprox(), 2u);
+  EXPECT_EQ(*ring.TryPop(), 1);
+  EXPECT_EQ(*ring.TryPop(), 2);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, FillsToCapacity) {
+  SpscRing<int> ring(4);
+  int pushed = 0;
+  while (ring.TryPush(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_EQ(*ring.TryPop(), 0);
+  EXPECT_TRUE(ring.TryPush(99));  // a pop frees a slot
+}
+
+TEST(SpscRingTest, TwoThreadStress) {
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kItems = 200000;
+  std::atomic<uint64_t> sum{0};
+  std::thread producer([&] {
+    for (uint64_t i = 1; i <= kItems; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    uint64_t local = 0, got = 0;
+    uint64_t expected_next = 1;
+    while (got < kItems) {
+      auto v = ring.TryPop();
+      if (!v) {
+        std::this_thread::yield();
+        continue;
+      }
+      // FIFO must hold exactly in SPSC.
+      ASSERT_EQ(*v, expected_next);
+      ++expected_next;
+      local += *v;
+      ++got;
+    }
+    sum = local;
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+}
+
+// ------------------------------------------------------------------- MPMC --
+
+TEST(MpmcQueueTest, PushPopSingleThread) {
+  MpmcQueue<int> q(8);
+  EXPECT_FALSE(q.TryPop().has_value());
+  EXPECT_TRUE(q.TryPush(10));
+  EXPECT_TRUE(q.TryPush(20));
+  EXPECT_EQ(*q.TryPop(), 10);
+  EXPECT_EQ(*q.TryPop(), 20);
+}
+
+TEST(MpmcQueueTest, FullRejectsPush) {
+  MpmcQueue<int> q(4);
+  int n = 0;
+  while (q.TryPush(n)) ++n;
+  EXPECT_EQ(n, static_cast<int>(q.capacity()));
+  EXPECT_FALSE(q.TryPush(99));
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumers) {
+  MpmcQueue<uint64_t> q(1024);
+  constexpr int kProducers = 4, kConsumers = 4;
+  constexpr uint64_t kPerProducer = 50000;
+  std::atomic<uint64_t> consumed{0}, sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t v = static_cast<uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.TryPush(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        auto v = q.TryPop();
+        if (!v) {
+          std::this_thread::yield();
+          continue;
+        }
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), total * (total + 1) / 2);
+}
+
+// -------------------------------------------------------------- Scheduler --
+
+TEST(AgentSchedulerTest, SpinsBeforeDozing) {
+  DozePolicy policy;
+  policy.spin_polls = 3;
+  AgentScheduler sched(policy);
+  EXPECT_FALSE(sched.OnEmptyPoll());
+  EXPECT_FALSE(sched.OnEmptyPoll());
+  EXPECT_TRUE(sched.OnEmptyPoll());  // third empty poll -> doze
+  EXPECT_EQ(sched.dozes(), 1u);
+  EXPECT_EQ(sched.empty_polls(), 3u);
+}
+
+TEST(AgentSchedulerTest, WorkResetsStreak) {
+  DozePolicy policy;
+  policy.spin_polls = 2;
+  AgentScheduler sched(policy);
+  EXPECT_FALSE(sched.OnEmptyPoll());
+  sched.OnWorkFound(1, false);
+  EXPECT_FALSE(sched.OnEmptyPoll());  // streak restarted
+  EXPECT_TRUE(sched.OnEmptyPoll());
+}
+
+TEST(AgentSchedulerTest, ConvoyDetection) {
+  AgentScheduler sched(DozePolicy{});
+  sched.set_convoy_threshold(4);
+  sched.OnWorkFound(10, /*was_dozing=*/true);  // deep backlog after doze
+  sched.OnWorkFound(10, /*was_dozing=*/false);  // deep but awake: not convoy
+  sched.OnWorkFound(2, /*was_dozing=*/true);    // shallow: not convoy
+  EXPECT_EQ(sched.convoys(), 1u);
+}
+
+}  // namespace
+}  // namespace bionicdb::queueing

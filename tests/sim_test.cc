@@ -1,0 +1,459 @@
+// Unit tests for the coroutine discrete-event simulator: tasks, time,
+// sync primitives, resources, queues, energy accounting, determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/energy.h"
+#include "sim/resource.h"
+#include "sim/sim_queue.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bionicdb::sim {
+namespace {
+
+// ------------------------------------------------------------ Scheduling --
+
+TEST(SimulatorTest, StartsAtZeroAndAdvances) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Spawn([](Simulator* s, SimTime* out) -> Task<> {
+    co_await Delay{s, 100};
+    *out = s->Now();
+  }(&sim, &seen));
+  EXPECT_EQ(sim.Now(), 0);
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, ZeroDelayDoesNotSuspendForever) {
+  Simulator sim;
+  int steps = 0;
+  sim.Spawn([](Simulator* s, int* steps) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await Delay{s, 0};
+      ++(*steps);
+    }
+  }(&sim, &steps));
+  sim.Run();
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, EventsAtSameTimeFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](Simulator* s, std::vector<int>* order, int id) -> Task<> {
+      co_await Delay{s, 50};
+      order->push_back(id);
+    }(&sim, &order, i));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, NestedTaskAwaitPropagatesValue) {
+  Simulator sim;
+  int result = 0;
+  sim.Spawn([](Simulator* s, int* out) -> Task<> {
+    auto child = [](Simulator* s) -> Task<int> {
+      co_await Delay{s, 10};
+      co_return 41;
+    };
+    int v = co_await child(s);
+    *out = v + 1;
+  }(&sim, &result));
+  sim.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(SimulatorTest, DeeplyNestedTasks) {
+  Simulator sim;
+  // 3-level chain: grandparent awaits parent awaits child.
+  int64_t total = 0;
+  sim.Spawn([](Simulator* s, int64_t* total) -> Task<> {
+    auto child = [](Simulator* s) -> Task<int64_t> {
+      co_await Delay{s, 7};
+      co_return s->Now();
+    };
+    auto parent = [child](Simulator* s) -> Task<int64_t> {
+      int64_t t = co_await child(s);
+      co_await Delay{s, 3};
+      co_return t + s->Now();
+    };
+    *total = co_await parent(s);
+  }(&sim, &total));
+  sim.Run();
+  EXPECT_EQ(total, 7 + 10);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ticks = 0;
+  sim.Spawn([](Simulator* s, int* ticks) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      co_await Delay{s, 10};
+      ++(*ticks);
+    }
+  }(&sim, &ticks));
+  bool drained = sim.RunUntil(55);
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.Now(), 55);
+  // Continue to completion.
+  drained = sim.RunUntil(10000);
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(SimulatorTest, LiveTaskCountTracksSpawns) {
+  Simulator sim;
+  EXPECT_EQ(sim.live_tasks(), 0u);
+  sim.Spawn([](Simulator* s) -> Task<> { co_await Delay{s, 5}; }(&sim));
+  sim.Spawn([](Simulator* s) -> Task<> { co_await Delay{s, 9}; }(&sim));
+  EXPECT_EQ(sim.live_tasks(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+TEST(SimulatorTest, DeterministicEventCounts) {
+  auto run = []() {
+    Simulator sim;
+    sim.SeedRng(77);
+    for (int i = 0; i < 10; ++i) {
+      sim.Spawn([](Simulator* s, int n) -> Task<> {
+        for (int j = 0; j < n; ++j) {
+          co_await Delay{s, static_cast<SimTime>(s->rng().Uniform(100) + 1)};
+        }
+      }(&sim, i + 1));
+    }
+    sim.Run();
+    return std::pair{sim.Now(), sim.events_processed()};
+  };
+  auto [t1, e1] = run();
+  auto [t2, e2] = run();
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(e1, e2);
+}
+
+// ------------------------------------------------------------------ Sync --
+
+TEST(CondVarTest, NotifyOneWakesFifo) {
+  Simulator sim;
+  CondVar cv(&sim);
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](CondVar* cv, std::vector<int>* woke, int id) -> Task<> {
+      co_await cv->Wait();
+      woke->push_back(id);
+    }(&cv, &woke, i));
+  }
+  sim.Spawn([](Simulator* s, CondVar* cv) -> Task<> {
+    co_await Delay{s, 10};
+    cv->NotifyOne();
+    co_await Delay{s, 10};
+    cv->NotifyAll();
+  }(&sim, &cv));
+  sim.Run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(&sim, 2);
+  int active = 0, max_active = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn([](Simulator* s, Semaphore* sem, int* active,
+                 int* max_active) -> Task<> {
+      co_await sem->Acquire();
+      ++*active;
+      *max_active = std::max(*max_active, *active);
+      co_await Delay{s, 100};
+      --*active;
+      sem->Release();
+    }(&sim, &sem, &active, &max_active));
+  }
+  sim.Run();
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(sim.Now(), 300);  // 6 jobs, 2 wide, 100ns each
+}
+
+TEST(SemaphoreTest, TryAcquireDoesNotJumpQueue) {
+  Simulator sim;
+  Semaphore sem(&sim, 1);
+  bool got_direct = sem.TryAcquire();
+  EXPECT_TRUE(got_direct);
+  bool waiter_done = false;
+  sim.Spawn([](Semaphore* sem, bool* done) -> Task<> {
+    co_await sem->Acquire();
+    *done = true;
+    sem->Release();
+  }(&sem, &waiter_done));
+  sim.RunUntil(10);
+  EXPECT_FALSE(waiter_done);
+  EXPECT_FALSE(sem.TryAcquire());  // a waiter exists; no barging
+  sem.Release();
+  sim.Run();
+  EXPECT_TRUE(waiter_done);
+}
+
+TEST(CompletionTest, WaitersResumeAfterSet) {
+  Simulator sim;
+  Completion done(&sim);
+  SimTime resumed_at = -1;
+  sim.Spawn([](Completion* c, Simulator* s, SimTime* at) -> Task<> {
+    co_await c->Wait();
+    *at = s->Now();
+  }(&done, &sim, &resumed_at));
+  sim.Spawn([](Simulator* s, Completion* c) -> Task<> {
+    co_await Delay{s, 250};
+    c->Set();
+  }(&sim, &done));
+  sim.Run();
+  EXPECT_EQ(resumed_at, 250);
+  EXPECT_TRUE(done.done());
+}
+
+TEST(CompletionTest, WaitAfterSetIsImmediate) {
+  Simulator sim;
+  Completion done(&sim);
+  done.Set();
+  SimTime at = -1;
+  sim.Spawn([](Completion* c, Simulator* s, SimTime* at) -> Task<> {
+    co_await c->Wait();
+    *at = s->Now();
+  }(&done, &sim, &at));
+  sim.Run();
+  EXPECT_EQ(at, 0);
+}
+
+// -------------------------------------------------------------- Resources --
+
+TEST(ServerTest, FifoQueueingDelaysExcessRequests) {
+  Simulator sim;
+  Server server(&sim, 1);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](Simulator* s, Server* srv, std::vector<SimTime>* f) -> Task<> {
+      co_await srv->Use(100);
+      f->push_back(s->Now());
+    }(&sim, &server, &finish));
+  }
+  sim.Run();
+  EXPECT_EQ(finish, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(server.ops(), 3u);
+  EXPECT_EQ(server.busy_ns(), 300);
+  EXPECT_DOUBLE_EQ(server.Utilization(300), 1.0);
+}
+
+TEST(ServerTest, MultiServerRunsInParallel) {
+  Simulator sim;
+  Server server(&sim, 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](Server* srv, int* done) -> Task<> {
+      co_await srv->Use(100);
+      ++*done;
+    }(&server, &done));
+  }
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sim.Now(), 100);  // all four in parallel
+}
+
+TEST(LinkTest, BandwidthSerializesLatencyOverlaps) {
+  Simulator sim;
+  // 1 GB/s == 1 byte/ns; latency 1000ns.
+  Link link(&sim, "l", 1.0, 1000);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 2; ++i) {
+    sim.Spawn([](Simulator* s, Link* l, std::vector<SimTime>* f) -> Task<> {
+      co_await l->Transfer(500);  // 500ns serialization
+      f->push_back(s->Now());
+    }(&sim, &link, &finish));
+  }
+  sim.Run();
+  // First: 500 (wire) + 1000 (latency) = 1500.
+  // Second: starts wire at 500, done wire at 1000, arrives 2000.
+  EXPECT_EQ(finish, (std::vector<SimTime>{1500, 2000}));
+  EXPECT_EQ(link.bytes_transferred(), 1000u);
+}
+
+TEST(LinkTest, RoundTripIsTwiceLatency) {
+  Simulator sim;
+  Link link(&sim, "pcie", 4.0, 1000);
+  SimTime t = -1;
+  sim.Spawn([](Simulator* s, Link* l, SimTime* t) -> Task<> {
+    co_await l->RoundTrip();
+    *t = s->Now();
+  }(&sim, &link, &t));
+  sim.Run();
+  EXPECT_EQ(t, 2000);
+}
+
+TEST(PipelinedUnitTest, InitiationIntervalThrottlesIssueRate) {
+  Simulator sim;
+  PipelinedUnit unit(&sim, "u", /*ii=*/10);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](Simulator* s, PipelinedUnit* u,
+                 std::vector<SimTime>* f) -> Task<> {
+      co_await u->Process(100);
+      f->push_back(s->Now());
+    }(&sim, &unit, &finish));
+  }
+  sim.Run();
+  // Issues at 0, 10, 20; each completes 100ns after issue.
+  EXPECT_EQ(finish, (std::vector<SimTime>{100, 110, 120}));
+  EXPECT_EQ(unit.ops(), 3u);
+}
+
+TEST(CorePoolTest, OversubscriptionSerializes) {
+  Simulator sim;
+  CorePool cores(&sim, 2);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](Simulator* s, CorePool* c, std::vector<SimTime>* f) -> Task<> {
+      co_await c->Attach();
+      co_await c->Work(100);
+      c->Detach();
+      f->push_back(s->Now());
+    }(&sim, &cores, &finish));
+  }
+  sim.Run();
+  EXPECT_EQ(finish, (std::vector<SimTime>{100, 100, 200, 200}));
+  EXPECT_EQ(cores.busy_ns(), 400);
+  EXPECT_DOUBLE_EQ(cores.Utilization(200), 1.0);
+}
+
+// ----------------------------------------------------------------- Queue --
+
+TEST(SimQueueTest, PushPopFifo) {
+  Simulator sim;
+  SimQueue<int> q(&sim, 16);
+  std::vector<int> got;
+  sim.Spawn([](SimQueue<int>* q, std::vector<int>* got) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      int v = co_await q->Pop();
+      got->push_back(v);
+    }
+  }(&q, &got));
+  sim.Spawn([](Simulator* s, SimQueue<int>* q) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await Delay{s, 10};
+      co_await q->Push(i);
+    }
+  }(&sim, &q));
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.pops(), 5u);
+}
+
+TEST(SimQueueTest, BackpressureBlocksProducer) {
+  Simulator sim;
+  SimQueue<int> q(&sim, 2);
+  SimTime third_push_at = -1;
+  sim.Spawn([](Simulator* s, SimQueue<int>* q, SimTime* at) -> Task<> {
+    co_await q->Push(1);
+    co_await q->Push(2);
+    co_await q->Push(3);  // must wait for a pop
+    *at = s->Now();
+  }(&sim, &q, &third_push_at));
+  sim.Spawn([](Simulator* s, SimQueue<int>* q) -> Task<> {
+    co_await Delay{s, 500};
+    (void)co_await q->Pop();
+  }(&sim, &q));
+  sim.Run();
+  EXPECT_EQ(third_push_at, 500);
+  EXPECT_EQ(q.high_watermark(), 2u);
+}
+
+TEST(SimQueueTest, TryOpsDoNotBlock) {
+  Simulator sim;
+  SimQueue<int> q(&sim, 1);
+  EXPECT_FALSE(q.TryPop().has_value());
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(SimQueueTest, MultipleConsumersEachGetOneItem) {
+  Simulator sim;
+  SimQueue<int> q(&sim, 8);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](SimQueue<int>* q, std::vector<int>* got) -> Task<> {
+      int v = co_await q->Pop();
+      got->push_back(v);
+    }(&q, &got));
+  }
+  sim.Spawn([](Simulator* s, SimQueue<int>* q) -> Task<> {
+    co_await Delay{s, 1};
+    co_await q->Push(10);
+    co_await q->Push(20);
+    co_await q->Push(30);
+  }(&sim, &q));
+  sim.Run();
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0] + got[1] + got[2], 60);
+}
+
+// ---------------------------------------------------------------- Energy --
+
+TEST(EnergyMeterTest, ActiveEnergyIsPowerTimesTime) {
+  Simulator sim;
+  EnergyMeter meter(&sim);
+  int c = meter.RegisterComponent("cpu", PowerSpec{10.0, 1.0, 0.0});
+  meter.ChargeBusy(c, 1000);  // 1000ns at 10W = 10000 nJ
+  EXPECT_DOUBLE_EQ(meter.ActiveEnergyNj(c), 10000.0);
+  EXPECT_EQ(meter.BusyNs(c), 1000);
+  EXPECT_EQ(meter.Ops(c), 1u);
+}
+
+TEST(EnergyMeterTest, IdleEnergyCoversRemainder) {
+  Simulator sim;
+  EnergyMeter meter(&sim);
+  int c = meter.RegisterComponent("u", PowerSpec{10.0, 2.0, 0.0});
+  meter.ChargeBusy(c, 300);
+  // Over 1000ns: 300 busy, 700 idle at 2W = 1400 nJ.
+  EXPECT_DOUBLE_EQ(meter.IdleEnergyNj(c, 1000), 1400.0);
+  EXPECT_DOUBLE_EQ(meter.TotalEnergyNj(1000), 3000.0 + 1400.0);
+}
+
+TEST(EnergyMeterTest, PerOpEnergyAdds) {
+  Simulator sim;
+  EnergyMeter meter(&sim);
+  int c = meter.RegisterComponent("u", PowerSpec{0.0, 0.0, 5.0});
+  meter.ChargeBusy(c, 0, 10);
+  EXPECT_DOUBLE_EQ(meter.ActiveEnergyNj(c), 50.0);
+}
+
+TEST(EnergyMeterTest, ParallelismScalesIdleCapacity) {
+  Simulator sim;
+  EnergyMeter meter(&sim);
+  int c = meter.RegisterComponent("cores", PowerSpec{10.0, 1.0, 0.0});
+  meter.SetParallelism(c, 4.0);
+  meter.ChargeBusy(c, 1000);
+  // Capacity over 1000ns = 4000 core-ns; idle = 3000 at 1W.
+  EXPECT_DOUBLE_EQ(meter.IdleEnergyNj(c, 1000, 4.0), 3000.0);
+}
+
+TEST(EnergyMeterTest, FindComponentByName) {
+  Simulator sim;
+  EnergyMeter meter(&sim);
+  meter.RegisterComponent("a", PowerSpec{});
+  int b = meter.RegisterComponent("b", PowerSpec{});
+  EXPECT_EQ(meter.FindComponent("b"), b);
+  EXPECT_EQ(meter.FindComponent("zzz"), -1);
+}
+
+}  // namespace
+}  // namespace bionicdb::sim
