@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_hiding.dir/async_hiding.cc.o"
+  "CMakeFiles/async_hiding.dir/async_hiding.cc.o.d"
+  "async_hiding"
+  "async_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doze_policy.dir/doze_policy.cc.o"
+  "CMakeFiles/doze_policy.dir/doze_policy.cc.o.d"
+  "doze_policy"
+  "doze_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doze_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

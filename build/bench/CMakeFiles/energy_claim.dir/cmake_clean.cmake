@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_claim.dir/energy_claim.cc.o"
+  "CMakeFiles/energy_claim.dir/energy_claim.cc.o.d"
+  "energy_claim"
+  "energy_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

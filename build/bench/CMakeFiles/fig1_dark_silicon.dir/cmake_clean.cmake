@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dark_silicon.dir/fig1_dark_silicon.cc.o"
+  "CMakeFiles/fig1_dark_silicon.dir/fig1_dark_silicon.cc.o.d"
+  "fig1_dark_silicon"
+  "fig1_dark_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dark_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bionic.dir/fig4_bionic.cc.o"
+  "CMakeFiles/fig4_bionic.dir/fig4_bionic.cc.o.d"
+  "fig4_bionic"
+  "fig4_bionic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bionic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

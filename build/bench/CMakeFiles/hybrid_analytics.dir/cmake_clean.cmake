@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_analytics.dir/hybrid_analytics.cc.o"
+  "CMakeFiles/hybrid_analytics.dir/hybrid_analytics.cc.o.d"
+  "hybrid_analytics"
+  "hybrid_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_sweep.dir/interconnect_sweep.cc.o"
+  "CMakeFiles/interconnect_sweep.dir/interconnect_sweep.cc.o.d"
+  "interconnect_sweep"
+  "interconnect_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_scalability.dir/log_scalability.cc.o"
+  "CMakeFiles/log_scalability.dir/log_scalability.cc.o.d"
+  "log_scalability"
+  "log_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

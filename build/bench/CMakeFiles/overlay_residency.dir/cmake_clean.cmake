@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_residency.dir/overlay_residency.cc.o"
+  "CMakeFiles/overlay_residency.dir/overlay_residency.cc.o.d"
+  "overlay_residency"
+  "overlay_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_saturation.dir/probe_saturation.cc.o"
+  "CMakeFiles/probe_saturation.dir/probe_saturation.cc.o.d"
+  "probe_saturation"
+  "probe_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

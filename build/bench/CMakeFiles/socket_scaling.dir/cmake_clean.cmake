@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_scaling.dir/socket_scaling.cc.o"
+  "CMakeFiles/socket_scaling.dir/socket_scaling.cc.o.d"
+  "socket_scaling"
+  "socket_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_htap.dir/hybrid_htap.cpp.o"
+  "CMakeFiles/hybrid_htap.dir/hybrid_htap.cpp.o.d"
+  "hybrid_htap"
+  "hybrid_htap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_htap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_tpcc.dir/retail_tpcc.cpp.o"
+  "CMakeFiles/retail_tpcc.dir/retail_tpcc.cpp.o.d"
+  "retail_tpcc"
+  "retail_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_tatp.dir/telecom_tatp.cpp.o"
+  "CMakeFiles/telecom_tatp.dir/telecom_tatp.cpp.o.d"
+  "telecom_tatp"
+  "telecom_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("darksilicon")
+subdirs("hw")
+subdirs("storage")
+subdirs("index")
+subdirs("wal")
+subdirs("queueing")
+subdirs("txn")
+subdirs("dora")
+subdirs("engine")
+subdirs("workload")

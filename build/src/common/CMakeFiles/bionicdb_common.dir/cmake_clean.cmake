@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_common.dir/crc32.cc.o"
+  "CMakeFiles/bionicdb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/bionicdb_common.dir/histogram.cc.o"
+  "CMakeFiles/bionicdb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/bionicdb_common.dir/random.cc.o"
+  "CMakeFiles/bionicdb_common.dir/random.cc.o.d"
+  "CMakeFiles/bionicdb_common.dir/status.cc.o"
+  "CMakeFiles/bionicdb_common.dir/status.cc.o.d"
+  "libbionicdb_common.a"
+  "libbionicdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

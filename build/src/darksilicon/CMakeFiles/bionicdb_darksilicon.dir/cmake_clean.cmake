@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_darksilicon.dir/amdahl.cc.o"
+  "CMakeFiles/bionicdb_darksilicon.dir/amdahl.cc.o.d"
+  "CMakeFiles/bionicdb_darksilicon.dir/power.cc.o"
+  "CMakeFiles/bionicdb_darksilicon.dir/power.cc.o.d"
+  "libbionicdb_darksilicon.a"
+  "libbionicdb_darksilicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_darksilicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bionicdb_darksilicon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_dora.dir/executor.cc.o"
+  "CMakeFiles/bionicdb_dora.dir/executor.cc.o.d"
+  "CMakeFiles/bionicdb_dora.dir/partition.cc.o"
+  "CMakeFiles/bionicdb_dora.dir/partition.cc.o.d"
+  "libbionicdb_dora.a"
+  "libbionicdb_dora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_dora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

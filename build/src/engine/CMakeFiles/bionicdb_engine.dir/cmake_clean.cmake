@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_engine.dir/config.cc.o"
+  "CMakeFiles/bionicdb_engine.dir/config.cc.o.d"
+  "CMakeFiles/bionicdb_engine.dir/database.cc.o"
+  "CMakeFiles/bionicdb_engine.dir/database.cc.o.d"
+  "CMakeFiles/bionicdb_engine.dir/engine.cc.o"
+  "CMakeFiles/bionicdb_engine.dir/engine.cc.o.d"
+  "CMakeFiles/bionicdb_engine.dir/overlay.cc.o"
+  "CMakeFiles/bionicdb_engine.dir/overlay.cc.o.d"
+  "libbionicdb_engine.a"
+  "libbionicdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

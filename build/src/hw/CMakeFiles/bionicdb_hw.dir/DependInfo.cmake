@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cost_model.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/cost_model.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/cost_model.cc.o.d"
+  "/root/repo/src/hw/log_unit.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/log_unit.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/log_unit.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/queue_engine.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/queue_engine.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/queue_engine.cc.o.d"
+  "/root/repo/src/hw/scanner_unit.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/scanner_unit.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/scanner_unit.cc.o.d"
+  "/root/repo/src/hw/tree_probe_unit.cc" "src/hw/CMakeFiles/bionicdb_hw.dir/tree_probe_unit.cc.o" "gcc" "src/hw/CMakeFiles/bionicdb_hw.dir/tree_probe_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bionicdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bionicdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_hw.dir/cost_model.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/bionicdb_hw.dir/log_unit.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/log_unit.cc.o.d"
+  "CMakeFiles/bionicdb_hw.dir/platform.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/platform.cc.o.d"
+  "CMakeFiles/bionicdb_hw.dir/queue_engine.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/queue_engine.cc.o.d"
+  "CMakeFiles/bionicdb_hw.dir/scanner_unit.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/scanner_unit.cc.o.d"
+  "CMakeFiles/bionicdb_hw.dir/tree_probe_unit.cc.o"
+  "CMakeFiles/bionicdb_hw.dir/tree_probe_unit.cc.o.d"
+  "libbionicdb_hw.a"
+  "libbionicdb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_index.dir/btree.cc.o"
+  "CMakeFiles/bionicdb_index.dir/btree.cc.o.d"
+  "libbionicdb_index.a"
+  "libbionicdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

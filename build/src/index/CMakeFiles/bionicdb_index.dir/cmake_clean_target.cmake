@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbionicdb_index.a"
+)

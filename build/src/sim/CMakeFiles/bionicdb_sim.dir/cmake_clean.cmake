@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_sim.dir/energy.cc.o"
+  "CMakeFiles/bionicdb_sim.dir/energy.cc.o.d"
+  "CMakeFiles/bionicdb_sim.dir/simulator.cc.o"
+  "CMakeFiles/bionicdb_sim.dir/simulator.cc.o.d"
+  "libbionicdb_sim.a"
+  "libbionicdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/bionicdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/bionicdb_storage.dir/columnar.cc.o"
+  "CMakeFiles/bionicdb_storage.dir/columnar.cc.o.d"
+  "CMakeFiles/bionicdb_storage.dir/disk.cc.o"
+  "CMakeFiles/bionicdb_storage.dir/disk.cc.o.d"
+  "CMakeFiles/bionicdb_storage.dir/page.cc.o"
+  "CMakeFiles/bionicdb_storage.dir/page.cc.o.d"
+  "libbionicdb_storage.a"
+  "libbionicdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

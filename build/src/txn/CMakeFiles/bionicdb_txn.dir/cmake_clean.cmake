@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/bionicdb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/bionicdb_txn.dir/xct_manager.cc.o"
+  "CMakeFiles/bionicdb_txn.dir/xct_manager.cc.o.d"
+  "libbionicdb_txn.a"
+  "libbionicdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

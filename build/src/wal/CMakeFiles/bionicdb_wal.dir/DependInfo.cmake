@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/log_manager.cc" "src/wal/CMakeFiles/bionicdb_wal.dir/log_manager.cc.o" "gcc" "src/wal/CMakeFiles/bionicdb_wal.dir/log_manager.cc.o.d"
+  "/root/repo/src/wal/record.cc" "src/wal/CMakeFiles/bionicdb_wal.dir/record.cc.o" "gcc" "src/wal/CMakeFiles/bionicdb_wal.dir/record.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/wal/CMakeFiles/bionicdb_wal.dir/recovery.cc.o" "gcc" "src/wal/CMakeFiles/bionicdb_wal.dir/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/bionicdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bionicdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bionicdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_wal.dir/log_manager.cc.o"
+  "CMakeFiles/bionicdb_wal.dir/log_manager.cc.o.d"
+  "CMakeFiles/bionicdb_wal.dir/record.cc.o"
+  "CMakeFiles/bionicdb_wal.dir/record.cc.o.d"
+  "CMakeFiles/bionicdb_wal.dir/recovery.cc.o"
+  "CMakeFiles/bionicdb_wal.dir/recovery.cc.o.d"
+  "libbionicdb_wal.a"
+  "libbionicdb_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_workload.dir/driver.cc.o"
+  "CMakeFiles/bionicdb_workload.dir/driver.cc.o.d"
+  "CMakeFiles/bionicdb_workload.dir/tatp.cc.o"
+  "CMakeFiles/bionicdb_workload.dir/tatp.cc.o.d"
+  "CMakeFiles/bionicdb_workload.dir/tpcc.cc.o"
+  "CMakeFiles/bionicdb_workload.dir/tpcc.cc.o.d"
+  "libbionicdb_workload.a"
+  "libbionicdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

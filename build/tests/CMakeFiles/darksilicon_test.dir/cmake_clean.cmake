@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darksilicon_test.dir/darksilicon_test.cc.o"
+  "CMakeFiles/darksilicon_test.dir/darksilicon_test.cc.o.d"
+  "darksilicon_test"
+  "darksilicon_test.pdb"
+  "darksilicon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darksilicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recovery_property_test.cc" "tests/CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o" "gcc" "tests/CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bionicdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bionicdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dora/CMakeFiles/bionicdb_dora.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/bionicdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/bionicdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bionicdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bionicdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bionicdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bionicdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bionicdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionicdb_cli.dir/bionicdb_cli.cc.o"
+  "CMakeFiles/bionicdb_cli.dir/bionicdb_cli.cc.o.d"
+  "bionicdb_cli"
+  "bionicdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionicdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
