@@ -1,0 +1,254 @@
+// Wall-clock microbenchmark harness: measures HOST time (not simulated
+// time) of the hot paths that bound how much simulated work every other
+// benchmark can drive per second, plus allocation counts from the counting
+// operator-new hook. Emits machine-readable JSON (stdout, and to a file
+// when a path is given as argv[1]); BENCH_PR*.json snapshots are built
+// from these runs. See docs/PERFORMANCE.md.
+#define BIONICDB_ALLOC_HOOK_DEFINE
+#include "bench/alloc_hook.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dora/action.h"
+#include "dora/executor.h"
+#include "engine/engine.h"
+#include "hw/platform.h"
+#include "index/btree.h"
+#include "index/codec.h"
+#include "sim/sim_queue.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/tatp.h"
+
+namespace bionicdb::bench {
+namespace {
+
+struct Metric {
+  std::string name;
+  double ns_per_op = 0;
+  uint64_t ops = 0;
+  double allocs_per_op = 0;
+  double wall_ms = 0;
+  // Optional extra datum (e.g. simulated txn/s for the e2e run).
+  const char* extra_name = nullptr;
+  double extra = 0;
+};
+
+class Timer {
+ public:
+  Timer()
+      : start_(std::chrono::steady_clock::now()), allocs0_(AllocCount()) {}
+
+  Metric Stop(const std::string& name, uint64_t ops) {
+    const auto end = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count());
+    const uint64_t allocs = AllocCount() - allocs0_;
+    Metric m;
+    m.name = name;
+    m.ops = ops;
+    m.ns_per_op = ops ? ns / static_cast<double>(ops) : 0;
+    m.allocs_per_op =
+        ops ? static_cast<double>(allocs) / static_cast<double>(ops) : 0;
+    m.wall_ms = ns / 1e6;
+    return m;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  uint64_t allocs0_;
+};
+
+/// Pre-encoded probe keys so the timed loop measures the tree, not the key
+/// encoder. `wide` keys are 16-byte composites (the SSO-busting case that
+/// dominates TATP/TPC-C secondary access).
+std::vector<std::string> MakeKeys(size_t n, bool wide) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(wide ? index::EncodeKeyU64Pair(i, i * 31)
+                        : index::EncodeKeyU64(i));
+  }
+  return keys;
+}
+
+/// The engine's point-read hot path: probe and consume the value bytes
+/// without materializing a std::string (GetView). `btree_probe_copy`
+/// covers the owning Get() for callers that need ownership.
+Metric BenchBtreeProbe(const char* name, bool wide, bool copy) {
+  const size_t kRows = 200000;
+  const size_t kProbes = 2000000;
+  const auto keys = MakeKeys(kRows, wide);
+  const std::string value(96, 'v');
+  index::BTree tree;
+  for (const auto& k : keys) {
+    BIONICDB_CHECK(tree.Insert(k, value, /*overwrite=*/false).ok());
+  }
+  Rng rng(42);
+  uint64_t sink = 0;
+  Timer t;
+  if (copy) {
+    for (size_t i = 0; i < kProbes; ++i) {
+      const std::string& k = keys[rng.Uniform(kRows)];
+      auto r = tree.Get(k);
+      sink += r->size();
+    }
+  } else {
+    for (size_t i = 0; i < kProbes; ++i) {
+      const std::string& k = keys[rng.Uniform(kRows)];
+      auto r = tree.GetView(k);
+      sink += r->size();
+    }
+  }
+  Metric m = t.Stop(name, kProbes);
+  BIONICDB_CHECK(sink == kProbes * value.size());
+  return m;
+}
+
+Metric BenchBtreeInsert() {
+  const size_t kRows = 200000;
+  const auto keys = MakeKeys(kRows, /*wide=*/true);
+  const std::string value(96, 'v');
+  index::BTree tree;
+  Timer t;
+  for (const auto& k : keys) {
+    BIONICDB_CHECK(tree.Insert(k, value, /*overwrite=*/false).ok());
+  }
+  Metric m = t.Stop("btree_insert_16", kRows);
+  BIONICDB_CHECK(tree.size() == kRows);
+  return m;
+}
+
+Metric BenchQueueCycle() {
+  const size_t kOps = 4000000;  // pushes + pops
+  const size_t kBurst = 64;
+  sim::Simulator sim;
+  sim::SimQueue<uint64_t> q(&sim, 1024);
+  uint64_t sink = 0;
+  Timer t;
+  for (size_t i = 0; i < kOps / (2 * kBurst); ++i) {
+    for (size_t j = 0; j < kBurst; ++j) BIONICDB_CHECK(q.TryPush(i + j));
+    for (size_t j = 0; j < kBurst; ++j) sink += *q.TryPop();
+  }
+  Metric m = t.Stop("queue_cycle", kOps);
+  BIONICDB_CHECK(q.empty());
+  (void)sink;
+  return m;
+}
+
+sim::Task<void> DispatchDriver(sim::Simulator* sim, dora::Executor* ex,
+                               uint64_t n,
+                               const std::vector<std::string>* keys) {
+  // One Xct reused across iterations (fresh id/priority each time), actions
+  // from the executor's pool, SSO-sized lock keys: after the first few
+  // cycles warm the pool and table, the dispatch->pop->execute->release
+  // cycle runs allocation-free.
+  txn::Xct xct;
+  for (uint64_t i = 0; i < n; ++i) {
+    xct.id = i + 1;
+    xct.priority = i + 1;
+    dora::Rvp rvp(sim, 1);
+    dora::Action* a = ex->AcquireAction();
+    a->xct = &xct;
+    a->rvp = &rvp;
+    a->socket = 0;
+    a->AddLockKey(Slice((*keys)[i % keys->size()]));
+    a->fn = [](dora::ActionContext&) -> sim::Task<Status> {
+      co_return Status::OK();
+    };
+    co_await ex->Dispatch(a);
+    Status st = co_await rvp.Wait();
+    BIONICDB_CHECK(st.ok());
+    co_await ex->ReleaseTxnLocks(&xct);
+  }
+  co_await ex->Drain();
+}
+
+Metric BenchDispatchCycle() {
+  const uint64_t kActions = 100000;
+  sim::Simulator sim;
+  hw::Platform platform(&sim, hw::PlatformSpec::CommodityServer());
+  hw::Breakdown bd;
+  dora::ExecutorConfig ec;
+  ec.num_partitions = 4;
+  dora::Executor ex(&platform, ec, nullptr, &bd);
+  ex.Start();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("k" + std::to_string(i));
+  sim.Spawn(DispatchDriver(&sim, &ex, kActions, &keys));
+  Timer t;
+  sim.Run();
+  Metric m = t.Stop("dispatch_cycle", kActions);
+  BIONICDB_CHECK(ex.stats().executed == kActions);
+  return m;
+}
+
+Metric BenchTatpE2e() {
+  sim::Simulator sim;
+  engine::EngineConfig cfg;  // default: DORA mode, commodity server
+  engine::Engine eng(&sim, cfg);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = 5000;
+  workload::TatpWorkload tatp(&eng, wcfg);
+  BIONICDB_CHECK(tatp.Load().ok());
+  workload::DriverConfig dcfg;
+  dcfg.clients = 32;
+  dcfg.warmup_txns = 2000;
+  dcfg.measured_txns = 6000;
+  sim.Spawn(workload::RunClosedLoop(
+      &eng, [&]() { return tatp.NextTransaction(); }, dcfg, nullptr));
+  Timer t;
+  sim.Run();
+  // Wall cost per *committed* txn (the run also executes warmup txns and
+  // aborted attempts; they are part of the price of a committed txn).
+  Metric m = t.Stop("tatp_e2e_dora", eng.metrics().commits);
+  m.extra_name = "sim_txn_per_sec";
+  m.extra = eng.metrics().TxnPerSecond();
+  return m;
+}
+
+void EmitJson(const std::vector<Metric>& ms, FILE* f) {
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const Metric& m = ms[i];
+    std::fprintf(f,
+                 "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.3f, "
+                 "\"ops\": %llu, \"wall_ms\": %.1f",
+                 m.name.c_str(), m.ns_per_op, m.allocs_per_op,
+                 static_cast<unsigned long long>(m.ops), m.wall_ms);
+    if (m.extra_name != nullptr) {
+      std::fprintf(f, ", \"%s\": %.1f", m.extra_name, m.extra);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < ms.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  std::vector<Metric> ms;
+  ms.push_back(BenchBtreeProbe("btree_probe_8", /*wide=*/false, false));
+  ms.push_back(BenchBtreeProbe("btree_probe_16", /*wide=*/true, false));
+  ms.push_back(BenchBtreeProbe("btree_probe_copy_16", /*wide=*/true, true));
+  ms.push_back(BenchBtreeInsert());
+  ms.push_back(BenchQueueCycle());
+  ms.push_back(BenchDispatchCycle());
+  ms.push_back(BenchTatpE2e());
+  EmitJson(ms, stdout);
+  if (argc > 1) {
+    FILE* f = std::fopen(argv[1], "w");
+    BIONICDB_CHECK(f != nullptr);
+    EmitJson(ms, f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bionicdb::bench
+
+int main(int argc, char** argv) { return bionicdb::bench::Main(argc, argv); }

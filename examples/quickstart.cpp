@@ -36,9 +36,12 @@ int main() {
     step.table = accounts;
     step.keys = {EncodeKeyU64(42)};
     step.fn = [eng, accounts](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, accounts, EncodeKeyU64(42));
+      // Zero-copy read: `*r` is a view into engine memory, valid until the
+      // next co_await. Update consumes it immediately as the before-image.
+      auto r = co_await eng->ReadView(ctx, accounts, EncodeKeyU64(42));
       if (!r.ok()) co_return r.status();
-      std::printf("  read account 42: \"%s\"\n", r->c_str());
+      std::printf("  read account 42: \"%.*s\"\n",
+                  static_cast<int>(r->size()), r->data());
       co_return co_await eng->Update(ctx, accounts, EncodeKeyU64(42),
                                      "balance=9999", &*r);
     };

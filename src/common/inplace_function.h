@@ -1,0 +1,115 @@
+// InplaceFunction: a move-only std::function replacement with fixed inline
+// storage. Callables that don't fit the capacity are rejected at compile
+// time, so assigning one can never heap-allocate — which is what the DORA
+// dispatch path needs to stay allocation-free in steady state.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace bionicdb::common {
+
+template <typename Signature, size_t Capacity = 64>
+class InplaceFunction;
+
+template <typename R, typename... Args, size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(runtime/explicit)
+    Assign(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { MoveFrom(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction& operator=(F&& f) {
+    Reset();
+    Assign(std::forward<F>(f));
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  ~InplaceFunction() { Reset(); }
+
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(InplaceFunction);
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMoveToAndDestroy, kDestroy };
+
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(Op, void* self, void* dst);
+
+  template <typename F>
+  void Assign(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for InplaceFunction storage");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable over-aligned for InplaceFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InplaceFunction requires nothrow-movable callables");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* self, Args&&... args) -> R {
+      return (*static_cast<D*>(self))(std::forward<Args>(args)...);
+    };
+    manage_ = [](Op op, void* self, void* dst) {
+      D* d = static_cast<D*>(self);
+      if (op == Op::kMoveToAndDestroy) ::new (dst) D(std::move(*d));
+      d->~D();
+    };
+  }
+
+  void MoveFrom(InplaceFunction& other) noexcept {
+    if (!other.invoke_) return;
+    other.manage_(Op::kMoveToAndDestroy, other.storage_, storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (invoke_) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace bionicdb::common

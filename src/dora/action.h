@@ -7,12 +7,23 @@
 // when the RVP fires. At most one agent thread ever touches a partition's
 // data, so actions need no latches — only cheap partition-local locks held
 // until commit.
+//
+// Actions are pooled (ActionPool) and their lock keys live in a per-action
+// byte arena, so the steady-state dispatch cycle — acquire, fill, route,
+// execute, release — performs no heap allocations once the pool and arenas
+// have warmed up.
 #pragma once
 
-#include <functional>
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/inplace_function.h"
+#include "common/slice.h"
 #include "common/status.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -58,19 +69,98 @@ struct ActionContext {
   int socket = 0;
 };
 
-using ActionFn = std::function<sim::Task<Status>(ActionContext&)>;
+/// Action bodies are small capture sets (an engine pointer, a step pointer,
+/// a socket); 64 bytes of inline storage holds them without allocating.
+using ActionFn =
+    common::InplaceFunction<sim::Task<Status>(ActionContext&), 64>;
 
 /// One unit of partitioned work.
 struct Action {
   txn::Xct* xct = nullptr;
-  /// Partition-local lock keys this action needs (all-or-nothing; held
-  /// until the transaction finishes).
-  std::vector<std::string> lock_keys;
   /// Shared (read) locks instead of exclusive ones.
   bool shared_locks = false;
   ActionFn fn;
   Rvp* rvp = nullptr;
   int socket = 0;
+
+  /// Appends a partition-local lock key (all-or-nothing; held until the
+  /// transaction finishes). Keys are stored in the action's byte arena.
+  void AddLockKey(Slice key) { AddLockKey(Slice(), key); }
+
+  /// Appends prefix+key as one lock key without materializing the
+  /// concatenation anywhere else (used for qualified keys "t<id>:<key>").
+  void AddLockKey(Slice prefix, Slice key) {
+    const uint32_t off = static_cast<uint32_t>(arena_.size());
+    if (prefix.size() != 0) {
+      arena_.insert(arena_.end(), prefix.data(), prefix.data() + prefix.size());
+    }
+    if (key.size() != 0) {
+      arena_.insert(arena_.end(), key.data(), key.data() + key.size());
+    }
+    refs_.push_back({off, static_cast<uint32_t>(prefix.size() + key.size())});
+  }
+
+  size_t num_lock_keys() const { return refs_.size(); }
+
+  std::string_view lock_key(size_t i) const {
+    return {arena_.data() + refs_[i].off, refs_[i].len};
+  }
+
+  /// Sorts the lock keys bytewise. Deterministic lock order across actions
+  /// is what makes partition-local wait-die deadlock-free.
+  void SortLockKeys() {
+    std::sort(refs_.begin(), refs_.end(), [this](const KeyRef& a,
+                                                 const KeyRef& b) {
+      return std::string_view(arena_.data() + a.off, a.len) <
+             std::string_view(arena_.data() + b.off, b.len);
+    });
+  }
+
+  /// Clears logical state for reuse; arena/ref capacity is retained.
+  void Reset() {
+    xct = nullptr;
+    shared_locks = false;
+    fn = nullptr;
+    rvp = nullptr;
+    socket = 0;
+    arena_.clear();
+    refs_.clear();
+  }
+
+ private:
+  struct KeyRef {
+    uint32_t off;
+    uint32_t len;
+  };
+  std::vector<char> arena_;
+  std::vector<KeyRef> refs_;
+};
+
+/// Freelist of Actions. Release() resets logical state but keeps each
+/// action's arena capacity, so a warmed pool hands out ready-to-fill
+/// actions without touching the allocator.
+class ActionPool {
+ public:
+  Action* Acquire() {
+    if (free_.empty()) {
+      all_.push_back(std::make_unique<Action>());
+      return all_.back().get();
+    }
+    Action* a = free_.back();
+    free_.pop_back();
+    return a;
+  }
+
+  void Release(Action* a) {
+    a->Reset();
+    free_.push_back(a);
+  }
+
+  size_t allocated() const { return all_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Action>> all_;
+  std::vector<Action*> free_;
 };
 
 }  // namespace bionicdb::dora

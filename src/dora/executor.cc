@@ -40,7 +40,7 @@ sim::Task<void> Executor::Drain() {
 }
 
 sim::Task<void> Executor::Dispatch(Action* action) {
-  BIONICDB_CHECK(!action->lock_keys.empty());
+  BIONICDB_CHECK(action->num_lock_keys() != 0);
   // Routing decision + enqueue, charged to the Dora component. Dispatch
   // runs on the front-end side (driver coroutine); it burns CPU energy but
   // does not contend for an agent core.
@@ -52,8 +52,8 @@ sim::Task<void> Executor::Dispatch(Action* action) {
   breakdown_->Charge(hw::Component::kDora, cost);
   if (config_.hw_queues) co_await queue_engine_->Operate();
 
-  std::hash<std::string> hasher;
-  Partition* p = partitions_[Route(hasher(action->lock_keys.front()))].get();
+  Partition* p =
+      partitions_[Route(common::HashBytes(action->lock_key(0)))].get();
   // Cross-socket dispatch: the queue's cachelines bounce between sockets
   // (§5.4's "socket-to-socket communication latencies").
   const int agent_socket =
@@ -79,8 +79,7 @@ sim::Task<void> Executor::ReleaseTxnLocks(txn::Xct* xct) {
   for (Action* a : ready) {
     ++stats_.reparks;
     // Re-enqueue through the owning partition's queue (normal path).
-    std::hash<std::string> hasher;
-    Partition* p = partitions_[Route(hasher(a->lock_keys.front()))].get();
+    Partition* p = partitions_[Route(common::HashBytes(a->lock_key(0)))].get();
     co_await p->queue().Push(a);
   }
 }
@@ -131,7 +130,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
     // Partition-local locks (thread-local, latch-free: the Xct component).
     const SimTime lock_ns = static_cast<SimTime>(
         cost.InstrNs(cost.local_lock_instrs) *
-        static_cast<double>(action->lock_keys.size()));
+        static_cast<double>(action->num_lock_keys()));
     co_await cpu.Work(lock_ns);
     breakdown_->Charge(hw::Component::kXct, lock_ns);
     const LockOutcome lock = p->TryLockAll(action);
@@ -143,7 +142,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
       // retries with a fresh timestamp.
       action->rvp->Arrive(
           Status::Aborted("wait-die on partition-local lock"));
-      delete action;
+      pool_.Release(action);
       continue;
     }
 
@@ -169,7 +168,7 @@ sim::Task<void> Executor::RunAction(Partition* p, Action* action) {
   Status st = co_await action->fn(ctx);
   ++stats_.executed;
   action->rvp->Arrive(st);
-  delete action;
+  pool_.Release(action);
 }
 
 }  // namespace bionicdb::dora

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "dora/action.h"
 #include "dora/partition.h"
@@ -55,17 +56,25 @@ class Executor {
   /// only after all transactions finished (no parked actions may remain).
   sim::Task<void> Drain();
 
+  /// Hands out a pooled action (reset, with arena capacity retained from
+  /// earlier use). Pass it to Dispatch(); it returns to the pool
+  /// automatically once it has executed or died.
+  Action* AcquireAction() { return pool_.Acquire(); }
+
   /// Routes by the action's first lock key (hash); enqueues with the
-  /// configured queue-op cost. Takes ownership of `action`.
+  /// configured queue-op cost. Takes ownership of `action`, which must
+  /// come from AcquireAction().
   sim::Task<void> Dispatch(Action* action);
 
   /// Releases `xct`'s partition-local locks everywhere and re-enqueues any
   /// actions those locks were blocking.
   sim::Task<void> ReleaseTxnLocks(txn::Xct* xct);
 
-  /// Deterministic routing: partition for a given key hash.
+  /// Deterministic routing: partition for a given key hash. The SplitMix64
+  /// finalizer avalanches the hash before the modulo, so structured or
+  /// low-entropy hashes still spread evenly across partitions.
   uint32_t Route(uint64_t key_hash) const {
-    return static_cast<uint32_t>(key_hash %
+    return static_cast<uint32_t>(common::Mix64(key_hash) %
                                  static_cast<uint64_t>(partitions_.size()));
   }
 
@@ -86,6 +95,7 @@ class Executor {
   hw::QueueEngine* queue_engine_;
   hw::Breakdown* breakdown_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  ActionPool pool_;
   ExecutorStats stats_;
   bool running_ = false;
 };

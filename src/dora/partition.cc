@@ -11,8 +11,10 @@ LockOutcome Partition::TryLockAll(Action* action) {
   // this action must die — parking behind the first (younger) conflict
   // while an older holder shares the key would form old-waits-for-old
   // edges and allow deadlock cycles.
-  const std::string* park_key = nullptr;
-  for (const std::string& key : action->lock_keys) {
+  std::string_view park_key;
+  bool must_park = false;
+  for (size_t i = 0; i < action->num_lock_keys(); ++i) {
+    const std::string_view key = action->lock_key(i);
     auto it = locks_.find(key);
     if (it == locks_.end()) continue;
     for (const Holder& h : it->second.holders) {
@@ -24,18 +26,30 @@ LockOutcome Partition::TryLockAll(Action* action) {
         ++stats_.wait_die_aborts;
         return LockOutcome::kDie;
       }
-      if (park_key == nullptr) park_key = &key;
+      if (!must_park) {
+        must_park = true;
+        park_key = key;
+      }
     }
   }
-  if (park_key != nullptr) {
+  if (must_park) {
     // Conflicts only with younger holders: park until one releases.
-    parked_[*park_key].push_back(action);
+    auto pit = parked_.find(park_key);
+    if (pit == parked_.end()) {
+      pit = parked_.try_emplace(std::string(park_key)).first;
+    }
+    pit->second.push_back(action);
     ++stats_.lock_conflicts;
     return LockOutcome::kParked;
   }
   // Pass 2: take them (no suspension between the passes).
-  for (const std::string& key : action->lock_keys) {
-    LockState& ls = locks_[key];
+  for (size_t i = 0; i < action->num_lock_keys(); ++i) {
+    const std::string_view key = action->lock_key(i);
+    auto it = locks_.find(key);
+    if (it == locks_.end()) {
+      it = locks_.try_emplace(std::string(key)).first;
+    }
+    LockState& ls = it->second;
     Holder* mine = nullptr;
     for (Holder& h : ls.holders) {
       if (h.txn == me) mine = &h;
@@ -47,7 +61,7 @@ LockOutcome Partition::TryLockAll(Action* action) {
     }
     ls.holders.push_back(Holder{me, action->xct->priority,
                                 action->shared_locks});
-    action->xct->held_locks.emplace_back(id_, key);
+    action->xct->held_locks.emplace_back(id_, std::string(key));
     ++stats_.locks_taken;
   }
   return LockOutcome::kGranted;
@@ -64,7 +78,8 @@ void Partition::ReleaseLocks(txn::Xct* xct, std::vector<Action*>* ready) {
                                    return h.txn == xct->id;
                                  }),
                   holders.end());
-    if (holders.empty()) locks_.erase(it);
+    // The entry is retained even when empty: re-locking a warm key then
+    // reuses this bucket node instead of allocating a fresh one.
     // Wake every action parked on this key on ANY release — not only when
     // the key frees completely. A parked action re-runs TryLockAll: if an
     // older holder remains it now correctly dies (the holder set may have
@@ -74,7 +89,7 @@ void Partition::ReleaseLocks(txn::Xct* xct, std::vector<Action*>* ready) {
     auto pit = parked_.find(key);
     if (pit != parked_.end()) {
       for (Action* a : pit->second) ready->push_back(a);
-      parked_.erase(pit);
+      pit->second.clear();
     }
   }
   // Drop this partition's entries from the transaction's lock list.

@@ -9,14 +9,22 @@
 // older transaction dies (its transaction aborts and retries); one that
 // conflicts only with younger transactions parks until release. All waits
 // therefore point old -> young and no cycle can form.
+//
+// The lock and park tables use transparent (string_view) lookup so probing
+// with arena-resident action keys never materializes a std::string, and
+// emptied entries are retained so re-locking a warm key reuses its bucket
+// node instead of reallocating it.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "dora/action.h"
 #include "sim/sim_queue.h"
@@ -54,9 +62,11 @@ class Partition {
   /// them through the normal queue so ordering costs stay honest).
   void ReleaseLocks(txn::Xct* xct, std::vector<Action*>* ready);
 
-  /// True if `key` is currently locked (by anyone).
-  bool IsLocked(const std::string& key) const {
-    return locks_.count(key) > 0;
+  /// True if `key` is currently locked (by anyone). Emptied entries stay
+  /// in the table, so presence alone does not mean locked.
+  bool IsLocked(std::string_view key) const {
+    auto it = locks_.find(key);
+    return it != locks_.end() && !it->second.holders.empty();
   }
 
   const PartitionStats& stats() const { return stats_; }
@@ -95,10 +105,24 @@ class Partition {
     std::vector<Holder> holders;
   };
 
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return static_cast<size_t>(common::HashBytes(sv));
+    }
+    size_t operator()(const std::string& s) const {
+      return operator()(std::string_view(s));
+    }
+  };
+
+  template <typename V>
+  using KeyMap =
+      std::unordered_map<std::string, V, TransparentHash, std::equal_to<>>;
+
   uint32_t id_;
   sim::SimQueue<Action*> queue_;
-  std::unordered_map<std::string, LockState> locks_;
-  std::unordered_map<std::string, std::deque<Action*>> parked_;
+  KeyMap<LockState> locks_;
+  KeyMap<std::deque<Action*>> parked_;
   PartitionStats stats_;
 };
 

@@ -58,20 +58,24 @@ Status Table::LoadSecondaryEntry(const std::string& index_name, Slice skey,
 }
 
 Result<storage::Rid> Table::LookupRid(Slice key) const {
-  auto r = primary_.Get(key);
+  auto r = primary_.GetView(key);
   if (!r.ok()) return r.status();
   return index::DecodeRid(*r);
 }
 
 Result<std::string> Table::BaseGet(Slice key) const {
+  auto rec = BaseGetView(key);
+  if (!rec.ok()) return rec.status();
+  return rec->ToString();
+}
+
+Result<Slice> Table::BaseGetView(Slice key) const {
   auto rid = LookupRid(key);
   if (!rid.ok()) return rid.status();
   storage::Page* page = const_cast<storage::SimDisk*>(disk_)
                             ->GetPageForLoad(rid->page_id);
   if (page == nullptr) return Status::NotFound("page missing");
-  auto rec = page->Get(rid->slot);
-  if (!rec.ok()) return rec.status();
-  return rec->ToString();
+  return page->Get(rid->slot);
 }
 
 Status Table::BasePut(Slice key, Slice record) {

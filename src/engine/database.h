@@ -56,6 +56,10 @@ class Table {
   /// Resolves a key to its RID via the primary index (no timing).
   Result<storage::Rid> LookupRid(Slice key) const;
   Result<std::string> BaseGet(Slice key) const;
+  /// Zero-copy base read: the view aliases the row's slotted page (pages
+  /// are stable in host memory for the simulation's life) and is
+  /// invalidated by a later update/delete/compaction of that page.
+  Result<Slice> BaseGetView(Slice key) const;
   Status BasePut(Slice key, Slice record);   ///< Update or insert in place.
   Status BaseDelete(Slice key);
 

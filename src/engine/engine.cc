@@ -152,23 +152,26 @@ sim::Task<void> Engine::ProbeCost(ExecContext& ctx, int levels,
 sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
                                         wal::RecordType type, Table* table,
                                         Slice key, Slice redo, Slice undo) {
+  // Materialize before the first suspension: callers may pass ReadView()
+  // views, which other transactions can invalidate while this waits.
+  std::string key_s = key.ToString();
+  std::string redo_s = redo.ToString();
+  std::string undo_s = undo.ToString();
   const bool hw_log =
       config_.mode == EngineMode::kBionic && config_.offload.logging;
   if (hw_log) {
     // The CPU only posts a descriptor; ordering happens in the unit.
     co_await CpuWork(ctx, static_cast<double>(log_unit_->CpuSubmitCost()),
                      Component::kLog);
-    co_return co_await xm_->LogWrite(ctx.xct, type, table->id(),
-                                     key.ToString(), redo.ToString(),
-                                     undo.ToString(), ctx.socket);
+    co_return co_await xm_->LogWrite(ctx.xct, type, table->id(), key_s,
+                                     redo_s, undo_s, ctx.socket);
   }
   // Software log: the caller burns CPU for the whole reserve/copy/release
   // (plus any contention stall), so the elapsed append time is charged as
   // CPU work on the Log component.
   const SimTime t0 = sim_->Now();
-  Status st = co_await xm_->LogWrite(ctx.xct, type, table->id(),
-                                     key.ToString(), redo.ToString(),
-                                     undo.ToString(), ctx.socket);
+  Status st = co_await xm_->LogWrite(ctx.xct, type, table->id(), key_s,
+                                     redo_s, undo_s, ctx.socket);
   const SimTime elapsed = sim_->Now() - t0;
   platform_->meter().ChargeBusy(platform_->cpu_component(), elapsed, 0);
   breakdown_.Charge(Component::kLog, elapsed);
@@ -179,61 +182,88 @@ sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
 
 sim::Task<Result<std::string>> Engine::Read(ExecContext& ctx, Table* table,
                                             Slice key) {
-  if (UseOverlay()) co_return co_await ReadOverlay(ctx, table, key);
-  co_return co_await ReadPaged(ctx, table, key);
+  // (No `cond ? co_await a : co_await b` — GCC 12 miscompiles it.)
+  if (UseOverlay()) {
+    auto r = co_await ReadOverlayView(ctx, table, key);
+    if (!r.ok()) co_return r.status();
+    co_return r->ToString();
+  }
+  auto r = co_await ReadPagedView(ctx, table, key);
+  if (!r.ok()) co_return r.status();
+  co_return r->ToString();
 }
 
-sim::Task<Result<std::string>> Engine::ReadPaged(ExecContext& ctx,
-                                                 Table* table, Slice key) {
+sim::Task<Result<Slice>> Engine::ReadView(ExecContext& ctx, Table* table,
+                                          Slice key) {
+  if (UseOverlay()) co_return co_await ReadOverlayView(ctx, table, key);
+  co_return co_await ReadPagedView(ctx, table, key);
+}
+
+sim::Task<Result<Slice>> Engine::ReadPagedView(ExecContext& ctx,
+                                               Table* table, Slice key) {
   int visits = 0;
-  auto rid_str = table->primary().GetTraced(key, &visits);
+  auto rid_view = table->primary().GetTracedView(key, &visits);
+  // Decode before suspending: the index view dies with the next index write.
+  storage::Rid rid{};
+  if (rid_view.ok()) rid = index::DecodeRid(*rid_view);
   co_await ProbeCost(ctx, visits, static_cast<uint32_t>(key.size()));
-  if (!rid_str.ok()) co_return rid_str.status();
-  const storage::Rid rid = index::DecodeRid(*rid_str);
+  if (!rid_view.ok()) co_return rid_view.status();
 
   co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(), Component::kBpool);
   auto frame = co_await bpool_->Fetch(rid.page_id);
   if (!frame.ok()) co_return frame.status();
+  // Keep the frame pinned across the tuple-read charge so the record view
+  // is taken after the last suspension; the bytes then stay put until the
+  // caller writes or suspends (frames alias the device's stable pages).
+  co_await CpuWork(ctx, platform_->cost().TupleReadNs(), Component::kOther);
   auto rec = (*frame)->Get(rid.slot);
-  std::string out = rec.ok() ? rec->ToString() : std::string();
   bpool_->Unpin(rid.page_id, false);
   if (!rec.ok()) co_return rec.status();
-  co_await CpuWork(ctx, platform_->cost().TupleReadNs(), Component::kOther);
-  co_return out;
+  co_return *rec;
 }
 
-sim::Task<Result<std::string>> Engine::ReadOverlay(ExecContext& ctx,
-                                                   Table* table, Slice key) {
+sim::Task<Result<Slice>> Engine::ReadOverlayView(ExecContext& ctx,
+                                                 Table* table, Slice key) {
   Overlay* ov = table->overlay();
   BIONICDB_CHECK(ov != nullptr);
   int visits = 0;
-  auto r = ov->GetTraced(key, &visits);
+  Status probe = ov->GetTracedView(key, &visits).status();
   co_await ProbeCost(ctx, visits, static_cast<uint32_t>(key.size()));
-  if (r.ok()) {
+  if (probe.ok()) {
     // Record is inline in the overlay leaf: no buffer pool at all.
     co_await CpuWork(ctx, platform_->cost().InstrNs(20), Component::kOther);
-    co_return std::move(r).value();
+    // Re-probe (untimed) after the last suspension: concurrent overlay
+    // writes during the waits above may have moved the leaf arena.
+    auto view = ov->GetView(key);
+    if (view.ok()) co_return *view;
+    // Evicted while waiting (tiny overlays): fall through to the fetch.
+    probe = view.status();
   }
-  if (r.status().IsNotFound()) co_return r.status();  // tombstone
-  BIONICDB_CHECK(r.status().IsOutOfMemory());
+  if (probe.IsNotFound()) co_return probe;  // tombstone
+  BIONICDB_CHECK(probe.IsOutOfMemory());
 
-  // §5.6: "If disk access is needed, the hardware operation aborts so that
-  // software can trigger a data fetch and then retry." Software fetch:
-  co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(), Component::kBpool);
-  auto rid = table->LookupRid(key);
-  if (!rid.ok()) co_return rid.status();  // genuinely absent
-  storage::Page page;
-  Status io = co_await data_disk_->ReadPage(rid->page_id, &page);
-  if (!io.ok()) co_return io;
-  auto rec = page.Get(rid->slot);
-  if (!rec.ok()) co_return rec.status();
-  ov->InstallClean(key, *rec);
-  // Retry the (now resident) probe.
-  int retry_visits = 0;
-  auto retry = ov->GetTraced(key, &retry_visits);
-  BIONICDB_CHECK(retry.ok());
-  co_await ProbeCost(ctx, retry_visits);
-  co_return std::move(retry).value();
+  for (;;) {
+    // §5.6: "If disk access is needed, the hardware operation aborts so
+    // that software can trigger a data fetch and then retry." Software
+    // fetch:
+    co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                     Component::kBpool);
+    auto rid = table->LookupRid(key);
+    if (!rid.ok()) co_return rid.status();  // genuinely absent
+    storage::Page page;
+    Status io = co_await data_disk_->ReadPage(rid->page_id, &page);
+    if (!io.ok()) co_return io;
+    auto rec = page.Get(rid->slot);
+    if (!rec.ok()) co_return rec.status();
+    ov->InstallClean(key, *rec);
+    // Retry the (now resident) probe.
+    int retry_visits = 0;
+    BIONICDB_CHECK(ov->GetTracedView(key, &retry_visits).ok());
+    co_await ProbeCost(ctx, retry_visits);
+    auto view = ov->GetView(key);
+    if (view.ok()) co_return *view;
+    // Evicted again while the probe cost elapsed: fetch once more.
+  }
 }
 
 sim::Task<void> Engine::MultiReadOne(ExecContext ctx, Table* table,
@@ -269,18 +299,18 @@ sim::Task<std::vector<Result<std::string>>> Engine::MultiRead(
 }
 
 sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
-                                 Slice record, const std::string* known_old) {
-  std::string before;
+                                 Slice record, const Slice* known_old) {
+  // The before-image (a view either way) is consumed by LogWriteTimed
+  // before its first suspension, so no owning copy is made here.
   if (known_old != nullptr) {
-    before = *known_old;
+    BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
+        ctx, wal::RecordType::kUpdate, table, key, record, *known_old));
   } else {
-    auto old = co_await Read(ctx, table, key);
+    auto old = co_await ReadView(ctx, table, key);
     if (!old.ok()) co_return old.status();
-    before = std::move(*old);
+    BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
+        ctx, wal::RecordType::kUpdate, table, key, record, *old));
   }
-
-  BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
-      ctx, wal::RecordType::kUpdate, table, key, record, Slice(before)));
 
   if (UseOverlay()) {
     table->overlay()->Put(key, record);
@@ -306,21 +336,21 @@ sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
 
 sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
                                  Slice record) {
-  // Uniqueness check through the regular probe path.
+  // Uniqueness check through the regular probe path (view probes: only the
+  // outcome is needed, never the bytes).
   if (UseOverlay()) {
     int visits = 0;
-    auto existing = table->overlay()->GetTraced(key, &visits);
+    Status existing = table->overlay()->GetTracedView(key, &visits).status();
     co_await ProbeCost(ctx, visits);
     if (existing.ok()) co_return Status::AlreadyExists("key exists");
-    if (existing.status().IsOutOfMemory() &&
-        table->LookupRid(key).ok()) {
+    if (existing.IsOutOfMemory() && table->LookupRid(key).ok()) {
       co_return Status::AlreadyExists("key exists in base data");
     }
   } else {
     int visits = 0;
-    auto existing = table->primary().GetTraced(key, &visits);
+    const bool exists = table->primary().GetTracedView(key, &visits).ok();
     co_await ProbeCost(ctx, visits);
-    if (existing.ok()) co_return Status::AlreadyExists("key exists");
+    if (exists) co_return Status::AlreadyExists("key exists");
   }
 
   BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
@@ -349,11 +379,12 @@ sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
 }
 
 sim::Task<Status> Engine::Delete(ExecContext& ctx, Table* table, Slice key) {
-  auto old = co_await Read(ctx, table, key);
+  auto old = co_await ReadView(ctx, table, key);
   if (!old.ok()) co_return old.status();
 
+  // The view is consumed by LogWriteTimed before its first suspension.
   BIONICDB_CO_RETURN_NOT_OK(co_await LogWriteTimed(
-      ctx, wal::RecordType::kDelete, table, key, Slice(), Slice(*old)));
+      ctx, wal::RecordType::kDelete, table, key, Slice(), *old));
 
   if (UseOverlay()) {
     table->overlay()->Delete(key);
@@ -850,20 +881,28 @@ sim::Task<Status> Engine::RunPhaseDora(Phase& phase, ExecContext& ctx) {
   const bool async = config_.mode == EngineMode::kBionic;
   dora::Rvp rvp(sim_, static_cast<int>(phase.size()));
   for (TxnStep& step : phase) {
-    auto* action = new dora::Action();
+    // Actions come from the executor's pool and carry their lock keys in a
+    // per-action arena: steady-state dispatch touches no allocator.
+    dora::Action* action = executor_->AcquireAction();
     action->xct = ctx.xct;
     action->rvp = &rvp;
     action->socket = ctx.socket;
     action->shared_locks = step.read_only;
-    action->lock_keys.reserve(step.keys.size());
+    char prefix[16];
+    const int n =
+        std::snprintf(prefix, sizeof(prefix), "t%u:", step.table->id());
     for (const std::string& key : step.keys) {
-      action->lock_keys.push_back(QualifiedKey(step.table, key));
+      action->AddLockKey(Slice(prefix, static_cast<size_t>(n)), Slice(key));
     }
-    std::sort(action->lock_keys.begin(), action->lock_keys.end());
+    action->SortLockKeys();
     Engine* self = this;
-    auto fn = step.fn;
+    // The step outlives every action of the phase (the phase is awaited
+    // below), so the body captures a pointer to it instead of copying the
+    // std::function — the capture set stays within ActionFn's inline
+    // storage.
+    const TxnStep* pstep = &step;
     const int socket = ctx.socket;
-    action->fn = [self, fn, socket,
+    action->fn = [self, pstep, socket,
                   async](dora::ActionContext& actx) -> sim::Task<Status> {
       ExecContext ectx;
       ectx.engine = self;
@@ -872,7 +911,7 @@ sim::Task<Status> Engine::RunPhaseDora(Phase& phase, ExecContext& ctx) {
       // Synchronous agents hold their core through the body; async
       // bodies attach per work chunk.
       ectx.core_held = !async;
-      co_return co_await fn(ectx);
+      co_return co_await pstep->fn(ectx);
     };
     co_await executor_->Dispatch(action);
   }

@@ -4,11 +4,13 @@
 // exposes the transactional and analytic API the workloads run against.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/result.h"
 #include "dora/executor.h"
@@ -66,6 +68,15 @@ class Engine {
   sim::Task<Result<std::string>> Read(ExecContext& ctx, Table* table,
                                       Slice key);
 
+  /// Zero-copy point read: same timing and outcomes as Read(), but the
+  /// record comes back as a view aliasing engine-owned memory (the
+  /// overlay's leaf arena or the row's slotted page) instead of a fresh
+  /// std::string. The view is only guaranteed until the caller's next
+  /// co_await (other transactions may run and move the bytes) — decode or
+  /// copy it before suspending.
+  sim::Task<Result<Slice>> ReadView(ExecContext& ctx, Table* table,
+                                    Slice key);
+
   /// Batched point reads. On the hardware probe path all probes are issued
   /// concurrently and overlap in the pipelined tree probe unit ("no need
   /// for those requests to arrive simultaneously" — §5.3); in software they
@@ -75,9 +86,10 @@ class Engine {
 
   /// Updates a row. `known_old` (optional) supplies the before-image when
   /// the caller just read the row — skipping the second index probe, as an
-  /// engine that keeps the located leaf position would.
+  /// engine that keeps the located leaf position would. It may point at a
+  /// ReadView() view: the bytes are consumed before the first suspension.
   sim::Task<Status> Update(ExecContext& ctx, Table* table, Slice key,
-                           Slice record, const std::string* known_old = nullptr);
+                           Slice record, const Slice* known_old = nullptr);
   sim::Task<Status> Insert(ExecContext& ctx, Table* table, Slice key,
                            Slice record);
   sim::Task<Status> Delete(ExecContext& ctx, Table* table, Slice key);
@@ -204,8 +216,15 @@ class Engine {
   /// are only sound when every access to a key lands on the same agent.
   uint32_t PartitionOf(const Table* table, Slice key) const {
     if (!executor_) return 0;
-    std::hash<std::string> hasher;
-    return executor_->Route(hasher(QualifiedKey(table, key)));
+    // Must agree with the executor's routing, which hashes the action's
+    // qualified first lock key ("t<id>:<key>"); FNV-1a extension over the
+    // two fragments equals hashing the concatenation, no string built.
+    char prefix[16];
+    const int n = std::snprintf(prefix, sizeof(prefix), "t%u:", table->id());
+    uint64_t h = common::FnvExtend(common::kFnvOffsetBasis, prefix,
+                                   static_cast<size_t>(n));
+    h = common::FnvExtend(h, key.data(), key.size());
+    return executor_->Route(h);
   }
 
   /// True when rows live in the overlay instead of buffer-pooled pages.
@@ -242,11 +261,12 @@ class Engine {
                                sim::Completion* done);
 
   /// Overlay read with §5.6 miss handling (abort -> software fetch from
-  /// base -> install -> retry).
-  sim::Task<Result<std::string>> ReadOverlay(ExecContext& ctx, Table* table,
-                                             Slice key);
-  sim::Task<Result<std::string>> ReadPaged(ExecContext& ctx, Table* table,
+  /// base -> install -> retry). Returns a view into the overlay leaf arena.
+  sim::Task<Result<Slice>> ReadOverlayView(ExecContext& ctx, Table* table,
                                            Slice key);
+  /// Buffer-pool read. Returns a view into the row's slotted page.
+  sim::Task<Result<Slice>> ReadPagedView(ExecContext& ctx, Table* table,
+                                         Slice key);
 
   /// Functional rollback of one undo entry.
   void ApplyUndo(const txn::UndoEntry& entry);

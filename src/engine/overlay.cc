@@ -10,18 +10,30 @@ Result<std::string> Overlay::Get(Slice key) const {
 }
 
 Result<std::string> Overlay::GetTraced(Slice key, int* node_visits) const {
-  auto r = index_.GetTraced(key, node_visits);
+  auto r = GetTracedView(key, node_visits);
+  if (!r.ok()) return r.status();
+  return r->ToString();
+}
+
+Result<Slice> Overlay::GetView(Slice key) const {
+  int visits = 0;
+  return GetTracedView(key, &visits);
+}
+
+Result<Slice> Overlay::GetTracedView(Slice key, int* node_visits) const {
+  auto r = index_.GetTracedView(key, node_visits);
   if (!r.ok()) {
     ++stats_.misses;
     return Status::OutOfMemory("key not resident in overlay");
   }
   ++stats_.hits;
-  const std::string& tagged = *r;
+  Slice tagged = *r;
   BIONICDB_DCHECK(!tagged.empty());
   if (tagged[0] == 'D') {
     return Status::NotFound("deleted (overlay tombstone)");
   }
-  return tagged.substr(1);
+  tagged.RemovePrefix(1);
+  return tagged;
 }
 
 void Overlay::Put(Slice key, Slice record) {

@@ -57,6 +57,12 @@ class Overlay {
   /// Traced variant reporting index levels visited (for probe costing).
   Result<std::string> GetTraced(Slice key, int* node_visits) const;
 
+  /// Zero-copy read through the overlay (same outcomes as Get). The view
+  /// aliases the overlay index's value arena, minus the tag byte, and is
+  /// invalidated by the next overlay write — copy before suspending.
+  Result<Slice> GetView(Slice key) const;
+  Result<Slice> GetTracedView(Slice key, int* node_visits) const;
+
   /// Buffers a write (insert or update). Marks the key dirty.
   void Put(Slice key, Slice record);
 

@@ -1,13 +1,99 @@
 #include "index/btree.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace bionicdb::index {
 
+namespace {
+
+/// Compact a node arena once dead bytes dominate and the arena is big
+/// enough for the copy to pay off.
+constexpr size_t kCompactMinBytes = 1024;
+
+}  // namespace
+
+/// First eight key bytes as a big-endian word, zero-padded. Byte order on
+/// these words never contradicts lexicographic byte order (zero padding can
+/// only tie against real bytes, never exceed them), so binary search can
+/// resolve most comparisons from the reference array alone and only touch
+/// the key arena on prefix ties.
+inline uint64_t KeyPrefix(Slice key) {
+  unsigned char buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::memcpy(buf, key.data(), key.size() < 8 ? key.size() : 8);
+  uint64_t le;
+  std::memcpy(&le, buf, 8);
+  return __builtin_bswap64(le);
+}
+
+/// A key reference: arena location plus the cached search prefix.
+struct BTreeKeyRef {
+  uint32_t off;
+  uint32_t len;
+  uint64_t prefix;
+};
+
+/// A value reference into a leaf's value arena.
+struct BTreeValRef {
+  uint32_t off;
+  uint32_t len;
+};
+
 struct BTree::Node {
   bool leaf;
-  std::vector<std::string> keys;
+  /// Key bytes; may contain dead gaps from deletes/splits.
+  std::vector<char> karena;
+  /// Sorted key references into `karena`.
+  std::vector<BTreeKeyRef> keys;
+  uint32_t kdead = 0;
+
   explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  size_t NumKeys() const { return keys.size(); }
+
+  Slice KeyAt(size_t i) const {
+    const BTreeKeyRef& r = keys[i];
+    return Slice(karena.data() + r.off, r.len);
+  }
+
+  /// Appends key bytes and inserts the reference at sorted position `pos`.
+  void InsertKey(size_t pos, Slice key) {
+    const uint32_t off = static_cast<uint32_t>(karena.size());
+    karena.insert(karena.end(), key.data(), key.data() + key.size());
+    keys.insert(
+        keys.begin() + static_cast<long>(pos),
+        BTreeKeyRef{off, static_cast<uint32_t>(key.size()), KeyPrefix(key)});
+  }
+
+  /// Appends a key at the end (bulk-build path; keys must arrive sorted).
+  void AppendKey(Slice key) { InsertKey(keys.size(), key); }
+
+  void EraseKey(size_t pos) {
+    kdead += keys[pos].len;
+    keys.erase(keys.begin() + static_cast<long>(pos));
+  }
+
+  /// Rewrites the arena with only live bytes. Invalidates key views.
+  void CompactKeys() {
+    std::vector<char> fresh;
+    size_t live = 0;
+    for (const BTreeKeyRef& r : keys) live += r.len;
+    fresh.reserve(live);
+    for (BTreeKeyRef& r : keys) {
+      const uint32_t off = static_cast<uint32_t>(fresh.size());
+      fresh.insert(fresh.end(), karena.data() + r.off,
+                   karena.data() + r.off + r.len);
+      r.off = off;
+    }
+    karena = std::move(fresh);
+    kdead = 0;
+  }
+
+  void MaybeCompactKeys() {
+    if (kdead > karena.size() / 2 && karena.size() >= kCompactMinBytes) {
+      CompactKeys();
+    }
+  }
 };
 
 struct BTree::Inner : BTree::Node {
@@ -18,20 +104,85 @@ struct BTree::Inner : BTree::Node {
 };
 
 struct BTree::Leaf : BTree::Node {
-  std::vector<std::string> values;
+  /// Value bytes; may contain dead gaps from overwrites/deletes.
+  std::vector<char> varena;
+  /// Value references, parallel to `keys`.
+  std::vector<BTreeValRef> vals;
+  uint32_t vdead = 0;
   Leaf* next = nullptr;
   Leaf() : Node(true) {}
-};
 
-namespace {
+  Slice ValueAt(size_t i) const {
+    const BTreeValRef& r = vals[i];
+    return Slice(varena.data() + r.off, r.len);
+  }
+
+  void InsertValue(size_t pos, Slice value) {
+    const uint32_t off = static_cast<uint32_t>(varena.size());
+    varena.insert(varena.end(), value.data(), value.data() + value.size());
+    vals.insert(vals.begin() + static_cast<long>(pos),
+                BTreeValRef{off, static_cast<uint32_t>(value.size())});
+  }
+
+  void AppendValue(Slice value) { InsertValue(vals.size(), value); }
+
+  /// Overwrites the value at `pos`: in place when the new value fits in the
+  /// old slot, otherwise appended to the arena (old bytes become dead).
+  void SetValue(size_t pos, Slice value) {
+    BTreeValRef& r = vals[pos];
+    if (value.size() <= r.len) {
+      std::memcpy(varena.data() + r.off, value.data(), value.size());
+      vdead += r.len - static_cast<uint32_t>(value.size());
+      r.len = static_cast<uint32_t>(value.size());
+      return;
+    }
+    vdead += r.len;
+    r.off = static_cast<uint32_t>(varena.size());
+    r.len = static_cast<uint32_t>(value.size());
+    varena.insert(varena.end(), value.data(), value.data() + value.size());
+  }
+
+  void EraseValue(size_t pos) {
+    vdead += vals[pos].len;
+    vals.erase(vals.begin() + static_cast<long>(pos));
+  }
+
+  void CompactValues() {
+    std::vector<char> fresh;
+    size_t live = 0;
+    for (const BTreeValRef& r : vals) live += r.len;
+    fresh.reserve(live);
+    for (BTreeValRef& r : vals) {
+      const uint32_t off = static_cast<uint32_t>(fresh.size());
+      fresh.insert(fresh.end(), varena.data() + r.off,
+                   varena.data() + r.off + r.len);
+      r.off = off;
+    }
+    varena = std::move(fresh);
+    vdead = 0;
+  }
+
+  void MaybeCompactValues() {
+    if (vdead > varena.size() / 2 && varena.size() >= kCompactMinBytes) {
+      CompactValues();
+    }
+  }
+};
 
 /// Index of the child covering `key` in an inner node: first separator
 /// greater than key.
-size_t ChildIndex(const std::vector<std::string>& keys, Slice key) {
-  size_t lo = 0, hi = keys.size();
+size_t BTree::ChildIndex(const Node& node, Slice key) {
+  const char* base = node.karena.data();
+  const BTreeKeyRef* refs = node.keys.data();
+  const uint64_t kp = KeyPrefix(key);
+  size_t lo = 0, hi = node.keys.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
-    if (Slice(keys[mid]).Compare(key) <= 0) {
+    const BTreeKeyRef& r = refs[mid];
+    const int c = (r.prefix != kp)
+                      ? (r.prefix < kp ? -1 : 1)
+                      : Slice(base + r.off, r.len).Compare(key);
+    if (c <= 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -40,12 +191,19 @@ size_t ChildIndex(const std::vector<std::string>& keys, Slice key) {
   return lo;
 }
 
-/// Index of the first key >= `key` in a leaf.
-size_t LowerBound(const std::vector<std::string>& keys, Slice key) {
-  size_t lo = 0, hi = keys.size();
+/// Index of the first key >= `key` in a node.
+size_t BTree::LowerBound(const Node& node, Slice key) {
+  const char* base = node.karena.data();
+  const BTreeKeyRef* refs = node.keys.data();
+  const uint64_t kp = KeyPrefix(key);
+  size_t lo = 0, hi = node.keys.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
-    if (Slice(keys[mid]).Compare(key) < 0) {
+    const BTreeKeyRef& r = refs[mid];
+    const int c = (r.prefix != kp)
+                      ? (r.prefix < kp ? -1 : 1)
+                      : Slice(base + r.off, r.len).Compare(key);
+    if (c < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -53,8 +211,6 @@ size_t LowerBound(const std::vector<std::string>& keys, Slice key) {
   }
   return lo;
 }
-
-}  // namespace
 
 BTree::Leaf* BTree::LeftmostLeafFor(Node* node) {
   while (!node->leaf) node = static_cast<Inner*>(node)->children.front();
@@ -86,7 +242,7 @@ BTree::Leaf* BTree::FindLeaf(Slice key, int* node_visits) const {
   ++visits;
   while (!node->leaf) {
     Inner* inner = static_cast<Inner*>(node);
-    node = inner->children[ChildIndex(inner->keys, key)];
+    node = inner->children[ChildIndex(*inner, key)];
     ++visits;
   }
   if (node_visits) *node_visits = visits;
@@ -99,7 +255,7 @@ Status BTree::Insert(Slice key, Slice value, bool overwrite) {
   if (!st.ok()) return st;
   if (split.split) {
     Inner* new_root = new Inner();
-    new_root->keys.push_back(std::move(split.separator));
+    new_root->AppendKey(split.separator);
     new_root->children.push_back(root_);
     new_root->children.push_back(split.right);
     root_ = new_root;
@@ -112,49 +268,56 @@ BTree::SplitResult BTree::InsertRec(Node* node, Slice key, Slice value,
                                     bool overwrite, Status* st) {
   if (node->leaf) {
     Leaf* leaf = static_cast<Leaf*>(node);
-    const size_t pos = LowerBound(leaf->keys, key);
-    if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
+    const size_t pos = LowerBound(*leaf, key);
+    if (pos < leaf->NumKeys() && leaf->KeyAt(pos) == key) {
       if (!overwrite) {
         *st = Status::AlreadyExists("duplicate key");
         return {};
       }
-      leaf->values[pos] = value.ToString();
+      leaf->SetValue(pos, value);
+      leaf->MaybeCompactValues();
       return {};
     }
-    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key.ToString());
-    leaf->values.insert(leaf->values.begin() + static_cast<long>(pos),
-                        value.ToString());
+    leaf->InsertKey(pos, key);
+    leaf->InsertValue(pos, value);
     ++size_;
     ++stats_.inserts;
-    if (leaf->keys.size() <= static_cast<size_t>(config_.leaf_capacity)) {
+    if (leaf->NumKeys() <= static_cast<size_t>(config_.leaf_capacity)) {
       return {};
     }
-    // Split the leaf.
+    // Split the leaf: upper half moves to a new right sibling (compact by
+    // construction); the left half's arenas are compacted to drop the
+    // moved bytes.
     Leaf* right = new Leaf();
-    const size_t mid = leaf->keys.size() / 2;
-    right->keys.assign(leaf->keys.begin() + static_cast<long>(mid), leaf->keys.end());
-    right->values.assign(leaf->values.begin() + static_cast<long>(mid),
-                         leaf->values.end());
+    const size_t n = leaf->NumKeys();
+    const size_t mid = n / 2;
+    right->keys.reserve(n - mid);
+    right->vals.reserve(n - mid);
+    for (size_t i = mid; i < n; ++i) {
+      right->AppendKey(leaf->KeyAt(i));
+      right->AppendValue(leaf->ValueAt(i));
+    }
     leaf->keys.resize(mid);
-    leaf->values.resize(mid);
+    leaf->vals.resize(mid);
+    leaf->CompactKeys();
+    leaf->CompactValues();
     right->next = leaf->next;
     leaf->next = right;
     ++stats_.splits;
     SplitResult out;
     out.split = true;
-    out.separator = right->keys.front();
+    out.separator = right->KeyAt(0).ToString();
     out.right = right;
     return out;
   }
 
   Inner* inner = static_cast<Inner*>(node);
-  const size_t ci = ChildIndex(inner->keys, key);
+  const size_t ci = ChildIndex(*inner, key);
   SplitResult child_split =
       InsertRec(inner->children[ci], key, value, overwrite, st);
   if (!st->ok() || !child_split.split) return {};
 
-  inner->keys.insert(inner->keys.begin() + static_cast<long>(ci),
-                     std::move(child_split.separator));
+  inner->InsertKey(ci, child_split.separator);
   inner->children.insert(inner->children.begin() + static_cast<long>(ci) + 1,
                          child_split.right);
   if (inner->children.size() <= static_cast<size_t>(config_.inner_fanout)) {
@@ -162,16 +325,18 @@ BTree::SplitResult BTree::InsertRec(Node* node, Slice key, Slice value,
   }
   // Split the inner node: middle separator moves up.
   Inner* right = new Inner();
-  const size_t mid = inner->keys.size() / 2;
+  const size_t mid = inner->NumKeys() / 2;
   SplitResult out;
   out.split = true;
-  out.separator = inner->keys[mid];
-  right->keys.assign(inner->keys.begin() + static_cast<long>(mid) + 1,
-                     inner->keys.end());
+  out.separator = inner->KeyAt(mid).ToString();
+  const size_t n = inner->NumKeys();
+  right->keys.reserve(n - mid - 1);
+  for (size_t i = mid + 1; i < n; ++i) right->AppendKey(inner->KeyAt(i));
   right->children.assign(inner->children.begin() + static_cast<long>(mid) + 1,
                          inner->children.end());
   inner->keys.resize(mid);
   inner->children.resize(mid + 1);
+  inner->CompactKeys();
   ++stats_.splits;
   out.right = right;
   return out;
@@ -183,12 +348,23 @@ Result<std::string> BTree::Get(Slice key) const {
 }
 
 Result<std::string> BTree::GetTraced(Slice key, int* node_visits) const {
+  Result<Slice> view = GetTracedView(key, node_visits);
+  if (!view.ok()) return view.status();
+  return view->ToString();
+}
+
+Result<Slice> BTree::GetView(Slice key) const {
+  int visits = 0;
+  return GetTracedView(key, &visits);
+}
+
+Result<Slice> BTree::GetTracedView(Slice key, int* node_visits) const {
   Leaf* leaf = FindLeaf(key, node_visits);
   ++stats_.probes;
   stats_.node_visits += static_cast<uint64_t>(*node_visits);
-  const size_t pos = LowerBound(leaf->keys, key);
-  if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
-    return leaf->values[pos];
+  const size_t pos = LowerBound(*leaf, key);
+  if (pos < leaf->NumKeys() && leaf->KeyAt(pos) == key) {
+    return leaf->ValueAt(pos);
   }
   return Status::NotFound("key not in index");
 }
@@ -196,9 +372,10 @@ Result<std::string> BTree::GetTraced(Slice key, int* node_visits) const {
 Status BTree::Update(Slice key, Slice value) {
   int visits = 0;
   Leaf* leaf = FindLeaf(key, &visits);
-  const size_t pos = LowerBound(leaf->keys, key);
-  if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
-    leaf->values[pos] = value.ToString();
+  const size_t pos = LowerBound(*leaf, key);
+  if (pos < leaf->NumKeys() && leaf->KeyAt(pos) == key) {
+    leaf->SetValue(pos, value);
+    leaf->MaybeCompactValues();
     return Status::OK();
   }
   return Status::NotFound("key not in index");
@@ -222,20 +399,22 @@ Status BTree::Delete(Slice key) {
 Status BTree::DeleteRec(Node* node, Slice key, bool* empty) {
   if (node->leaf) {
     Leaf* leaf = static_cast<Leaf*>(node);
-    const size_t pos = LowerBound(leaf->keys, key);
-    if (pos >= leaf->keys.size() || Slice(leaf->keys[pos]) != key) {
+    const size_t pos = LowerBound(*leaf, key);
+    if (pos >= leaf->NumKeys() || leaf->KeyAt(pos) != key) {
       return Status::NotFound("key not in index");
     }
-    leaf->keys.erase(leaf->keys.begin() + static_cast<long>(pos));
-    leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
+    leaf->EraseKey(pos);
+    leaf->EraseValue(pos);
+    leaf->MaybeCompactKeys();
+    leaf->MaybeCompactValues();
     --size_;
     ++stats_.deletes;
-    *empty = leaf->keys.empty();
+    *empty = leaf->NumKeys() == 0;
     return Status::OK();
   }
 
   Inner* inner = static_cast<Inner*>(node);
-  const size_t ci = ChildIndex(inner->keys, key);
+  const size_t ci = ChildIndex(*inner, key);
   bool child_empty = false;
   BIONICDB_RETURN_NOT_OK(DeleteRec(inner->children[ci], key, &child_empty));
   if (child_empty && inner->children.size() > 1) {
@@ -254,11 +433,12 @@ Status BTree::DeleteRec(Node* node, Slice key, bool* empty) {
     }
     FreeNode(victim);
     inner->children.erase(inner->children.begin() + static_cast<long>(ci));
-    if (ci < inner->keys.size()) {
-      inner->keys.erase(inner->keys.begin() + static_cast<long>(ci));
+    if (ci < inner->NumKeys()) {
+      inner->EraseKey(ci);
     } else {
-      inner->keys.pop_back();
+      inner->EraseKey(inner->NumKeys() - 1);
     }
+    inner->MaybeCompactKeys();
   }
   *empty = inner->children.empty();
   return Status::OK();
@@ -268,8 +448,8 @@ BTree::Iterator BTree::Seek(Slice start) const {
   Iterator it;
   int visits = 0;
   Leaf* leaf = FindLeaf(start, &visits);
-  size_t pos = LowerBound(leaf->keys, start);
-  if (pos >= leaf->keys.size()) {
+  size_t pos = LowerBound(*leaf, start);
+  if (pos >= leaf->NumKeys()) {
     leaf = leaf->next;
     pos = 0;
   }
@@ -290,7 +470,7 @@ BTree::Iterator BTree::SeekRange(Slice start, Slice end) const {
 BTree::Iterator BTree::Begin() const {
   Iterator it;
   Leaf* leaf = LeftmostLeafFor(root_);
-  if (leaf->keys.empty()) {
+  if (leaf->NumKeys() == 0) {
     // An empty tree has one empty leaf; treat as end.
     it.node_ = leaf->next;  // nullptr unless structure is odd
   } else {
@@ -302,18 +482,18 @@ BTree::Iterator BTree::Begin() const {
 
 Slice BTree::Iterator::key() const {
   const Leaf* leaf = static_cast<const Leaf*>(node_);
-  return Slice(leaf->keys[idx_]);
+  return leaf->KeyAt(idx_);
 }
 
 Slice BTree::Iterator::value() const {
   const Leaf* leaf = static_cast<const Leaf*>(node_);
-  return Slice(leaf->values[idx_]);
+  return leaf->ValueAt(idx_);
 }
 
 void BTree::Iterator::Next() {
   const Leaf* leaf = static_cast<const Leaf*>(node_);
   ++idx_;
-  while (leaf && idx_ >= leaf->keys.size()) {
+  while (leaf && idx_ >= leaf->NumKeys()) {
     leaf = leaf->next;
     idx_ = 0;
   }
@@ -350,12 +530,12 @@ Status BTree::Rebuild(double fill_factor) {
     Leaf* leaf = new Leaf();
     const size_t end = std::min(entries.size(), i + per_leaf);
     for (size_t j = i; j < end; ++j) {
-      leaf->keys.push_back(std::move(entries[j].first));
-      leaf->values.push_back(std::move(entries[j].second));
+      leaf->AppendKey(entries[j].first);
+      leaf->AppendValue(entries[j].second);
     }
     if (prev != nullptr) prev->next = leaf;
     prev = leaf;
-    level.emplace_back(leaf, leaf->keys.front());
+    level.emplace_back(leaf, leaf->KeyAt(0).ToString());
   }
 
   // Build inner levels bottom-up until a single root remains.
@@ -370,7 +550,7 @@ Status BTree::Rebuild(double fill_factor) {
       const size_t end = std::min(level.size(), i + per_inner);
       for (size_t j = i; j < end; ++j) {
         inner->children.push_back(level[j].first);
-        if (j > i) inner->keys.push_back(level[j].second);
+        if (j > i) inner->AppendKey(level[j].second);
       }
       next_level.emplace_back(inner, level[i].second);
     }
@@ -387,24 +567,38 @@ Status BTree::CheckInvariants() const {
   return CheckNode(root_, 1, nullptr, nullptr, &leaf_depth);
 }
 
-Status BTree::CheckNode(const Node* node, int depth, const std::string* lo,
-                        const std::string* hi, int* leaf_depth) const {
-  // Keys sorted strictly ascending and within (lo, hi].
-  for (size_t i = 0; i < node->keys.size(); ++i) {
-    if (i > 0 && !(Slice(node->keys[i - 1]) < Slice(node->keys[i]))) {
+Status BTree::CheckNode(const Node* node, int depth, const Slice* lo,
+                        const Slice* hi, int* leaf_depth) const {
+  // Keys sorted strictly ascending and within (lo, hi]. Reference sanity:
+  // every ref must lie inside the arena (catches layout bugs before they
+  // turn into wild reads).
+  for (size_t i = 0; i < node->NumKeys(); ++i) {
+    const BTreeKeyRef& r = node->keys[i];
+    if (static_cast<size_t>(r.off) + r.len > node->karena.size()) {
+      return Status::Corruption("key ref outside arena");
+    }
+    if (r.prefix != KeyPrefix(node->KeyAt(i))) {
+      return Status::Corruption("stale cached key prefix");
+    }
+    if (i > 0 && !(node->KeyAt(i - 1) < node->KeyAt(i))) {
       return Status::Corruption("keys out of order");
     }
-    if (lo && Slice(node->keys[i]).Compare(Slice(*lo)) < 0) {
+    if (lo && node->KeyAt(i).Compare(*lo) < 0) {
       return Status::Corruption("key below subtree lower bound");
     }
-    if (hi && Slice(node->keys[i]).Compare(Slice(*hi)) >= 0) {
+    if (hi && node->KeyAt(i).Compare(*hi) >= 0) {
       return Status::Corruption("key above subtree upper bound");
     }
   }
   if (node->leaf) {
     const Leaf* leaf = static_cast<const Leaf*>(node);
-    if (leaf->keys.size() != leaf->values.size()) {
+    if (leaf->keys.size() != leaf->vals.size()) {
       return Status::Corruption("leaf key/value count mismatch");
+    }
+    for (const BTreeValRef& r : leaf->vals) {
+      if (static_cast<size_t>(r.off) + r.len > leaf->varena.size()) {
+        return Status::Corruption("value ref outside arena");
+      }
     }
     if (*leaf_depth == -1) {
       *leaf_depth = depth;
@@ -421,8 +615,11 @@ Status BTree::CheckNode(const Node* node, int depth, const std::string* lo,
     return Status::Corruption("inner child/separator count mismatch");
   }
   for (size_t i = 0; i < inner->children.size(); ++i) {
-    const std::string* clo = (i == 0) ? lo : &inner->keys[i - 1];
-    const std::string* chi = (i == inner->keys.size()) ? hi : &inner->keys[i];
+    const Slice clo_s = (i == 0) ? Slice() : inner->KeyAt(i - 1);
+    const Slice chi_s =
+        (i == inner->NumKeys()) ? Slice() : inner->KeyAt(i);
+    const Slice* clo = (i == 0) ? lo : &clo_s;
+    const Slice* chi = (i == inner->NumKeys()) ? hi : &chi_s;
     BIONICDB_RETURN_NOT_OK(
         CheckNode(inner->children[i], depth + 1, clo, chi, leaf_depth));
   }

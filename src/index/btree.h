@@ -14,6 +14,15 @@
 // Deletion uses empty-node removal rather than full merge/borrow
 // rebalancing: underflowed nodes are allowed (they only waste space, never
 // break ordering or uniform depth), and nodes are unlinked when they empty.
+//
+// Node layout: each node stores its key bytes in one contiguous per-node
+// arena with a sorted array of {offset, length} references; leaves keep
+// value bytes in a second arena. Binary search touches the reference array
+// plus arena bytes instead of chasing one heap string per key, and point
+// reads can return views into the leaf arena (GetView) without
+// materializing a std::string. Deleted/overwritten bytes become dead space
+// that node compaction reclaims (on splits, and when a node is mostly
+// dead).
 #pragma once
 
 #include <cstdint>
@@ -54,12 +63,22 @@ class BTree {
   /// with AlreadyExists; with true, the value is replaced (upsert).
   Status Insert(Slice key, Slice value, bool overwrite = false);
 
-  /// Point lookup.
+  /// Point lookup returning an owned copy of the value.
   Result<std::string> Get(Slice key) const;
 
   /// Point lookup that also reports the number of node visits (the probe
   /// depth the cost models consume).
   Result<std::string> GetTraced(Slice key, int* node_visits) const;
+
+  /// Zero-copy point lookup: the returned slice aliases the leaf's value
+  /// arena and is valid until the next modifying call on this tree
+  /// (insert/update/delete/rebuild). Callers that need the bytes past a
+  /// write — or past a coroutine suspension that could interleave one —
+  /// must copy.
+  Result<Slice> GetView(Slice key) const;
+
+  /// GetView + node-visit count (see GetTraced).
+  Result<Slice> GetTracedView(Slice key, int* node_visits) const;
 
   /// Replaces the value of an existing key.
   Status Update(Slice key, Slice value);
@@ -119,6 +138,11 @@ class BTree {
   Leaf* FindLeaf(Slice key, int* node_visits) const;
   static Leaf* LeftmostLeafFor(Node* node);
 
+  /// Binary searches over a node's key refs: first separator > key (inner
+  /// routing) and first key >= key (leaf position).
+  static size_t ChildIndex(const Node& node, Slice key);
+  static size_t LowerBound(const Node& node, Slice key);
+
   /// Recursive insert; returns a (separator, new right sibling) pair when
   /// the child split.
   struct SplitResult {
@@ -132,8 +156,8 @@ class BTree {
   /// Recursive delete; sets *empty when `node` has no entries left.
   Status DeleteRec(Node* node, Slice key, bool* empty);
 
-  Status CheckNode(const Node* node, int depth, const std::string* lo,
-                   const std::string* hi, int* leaf_depth) const;
+  Status CheckNode(const Node* node, int depth, const Slice* lo,
+                   const Slice* hi, int* leaf_depth) const;
 
   void FreeNode(Node* node);
 

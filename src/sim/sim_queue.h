@@ -2,11 +2,11 @@
 // DORA action queues and hardware work queues.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/macros.h"
+#include "queueing/ring.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -15,56 +15,49 @@ namespace bionicdb::sim {
 /// Bounded multi-producer multi-consumer queue over simulated time.
 /// Push blocks when full (backpressure); Pop blocks when empty. FIFO on
 /// both sides, deterministic wakeups.
+///
+/// Storage is a fixed ring buffer sized once at construction, so the
+/// steady-state push/pop cycle never touches the allocator (the simulator
+/// is single-threaded, so the SPSC ring's producer/consumer sides are
+/// never entered concurrently; the semaphores serialize logical access).
 template <typename T>
 class SimQueue {
  public:
+  // The ring reserves one slot (usable = pow2 - 1), so ask for capacity+1
+  // to guarantee `capacity` usable slots; the `space_` semaphore enforces
+  // the exact logical bound.
   SimQueue(Simulator* sim, size_t capacity)
       : sim_(sim), capacity_(capacity), space_(sim, static_cast<int64_t>(capacity)),
-        items_(sim, 0) {}
+        items_(sim, 0), ring_(capacity + 1) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(SimQueue);
 
   /// Blocking push (waits while the queue is full).
   Task<void> Push(T item) {
     co_await space_.Acquire();
-    q_.push_back(std::move(item));
-    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
-    ++pushes_;
-    items_.Release();
+    DoPush(std::move(item));
   }
 
   /// Non-blocking push. Returns false if the queue is full.
   bool TryPush(T item) {
     if (!space_.TryAcquire()) return false;
-    q_.push_back(std::move(item));
-    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
-    ++pushes_;
-    items_.Release();
+    DoPush(std::move(item));
     return true;
   }
 
   /// Blocking pop (waits while the queue is empty).
   Task<T> Pop() {
     co_await items_.Acquire();
-    BIONICDB_DCHECK(!q_.empty());
-    T item = std::move(q_.front());
-    q_.pop_front();
-    ++pops_;
-    space_.Release();
-    co_return item;
+    co_return DoPop();
   }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
     if (!items_.TryAcquire()) return std::nullopt;
-    T item = std::move(q_.front());
-    q_.pop_front();
-    ++pops_;
-    space_.Release();
-    return item;
+    return DoPop();
   }
 
-  size_t size() const { return q_.size(); }
-  bool empty() const { return q_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   size_t capacity() const { return capacity_; }
   uint64_t pushes() const { return pushes_; }
   uint64_t pops() const { return pops_; }
@@ -73,11 +66,29 @@ class SimQueue {
   size_t num_blocked_producers() const { return space_.num_waiters(); }
 
  private:
+  void DoPush(T item) {
+    BIONICDB_CHECK(ring_.TryPush(std::move(item)));
+    ++size_;
+    if (size_ > high_watermark_) high_watermark_ = size_;
+    ++pushes_;
+    items_.Release();
+  }
+
+  T DoPop() {
+    std::optional<T> item = ring_.TryPop();
+    BIONICDB_DCHECK(item.has_value());
+    --size_;
+    ++pops_;
+    space_.Release();
+    return std::move(*item);
+  }
+
   Simulator* sim_;
   size_t capacity_;
   Semaphore space_;
   Semaphore items_;
-  std::deque<T> q_;
+  queueing::SpscRing<T> ring_;
+  size_t size_ = 0;
   uint64_t pushes_ = 0;
   uint64_t pops_ = 0;
   size_t high_watermark_ = 0;

@@ -1,15 +1,59 @@
 // Cooperative synchronization primitives for simulated activities:
 // CondVar (wait/notify) and Semaphore. Wakeups always go through the event
 // queue, never reentrantly, so notification order is deterministic (FIFO).
+//
+// Waiter bookkeeping is allocation-free: each awaiter object lives in the
+// suspended coroutine's frame and doubles as an intrusive FIFO list node.
+// An awaiter stays alive (and linked) until its coroutine resumes, and
+// resumption always happens via the simulator's event queue after the
+// notifier unlinks it, so the links are never dangling.
 #pragma once
 
 #include <coroutine>
-#include <deque>
+#include <cstddef>
 
 #include "common/macros.h"
 #include "sim/simulator.h"
 
 namespace bionicdb::sim {
+
+namespace detail {
+
+/// Intrusive FIFO of suspended coroutines. Nodes are the awaiter objects
+/// themselves; pushing and popping never allocates.
+struct WaiterList {
+  struct Node {
+    std::coroutine_handle<> handle;
+    Node* next = nullptr;
+  };
+
+  Node* head = nullptr;
+  Node* tail = nullptr;
+  size_t count = 0;
+
+  bool empty() const { return head == nullptr; }
+
+  void PushBack(Node* n) {
+    n->next = nullptr;
+    if (tail) {
+      tail->next = n;
+    } else {
+      head = n;
+    }
+    tail = n;
+    ++count;
+  }
+
+  Node* PopFront() {
+    Node* n = head;
+    head = n->next;
+    if (head == nullptr) tail = nullptr;
+    --count;
+    return n;
+  }
+};
+
+}  // namespace detail
 
 /// Broadcast/one-shot wakeup point. There is no implicit predicate: waiters
 /// must re-check their condition after resuming (standard condvar idiom).
@@ -18,11 +62,13 @@ class CondVar {
   explicit CondVar(Simulator* sim) : sim_(sim) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(CondVar);
 
-  struct Awaiter {
+  struct Awaiter : detail::WaiterList::Node {
     CondVar* cv;
+    explicit Awaiter(CondVar* c) : cv(c) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      cv->waiters_.push_back(h);
+      handle = h;
+      cv->waiters_.PushBack(this);
     }
     void await_resume() const noexcept {}
   };
@@ -33,21 +79,19 @@ class CondVar {
   /// Wakes the longest-waiting task (if any).
   void NotifyOne() {
     if (waiters_.empty()) return;
-    sim_->ScheduleNow(waiters_.front());
-    waiters_.pop_front();
+    sim_->ScheduleNow(waiters_.PopFront()->handle);
   }
 
   /// Wakes every waiting task.
   void NotifyAll() {
-    for (auto h : waiters_) sim_->ScheduleNow(h);
-    waiters_.clear();
+    while (!waiters_.empty()) sim_->ScheduleNow(waiters_.PopFront()->handle);
   }
 
-  size_t num_waiters() const { return waiters_.size(); }
+  size_t num_waiters() const { return waiters_.count; }
 
  private:
   Simulator* sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaiterList waiters_;
 };
 
 /// Counted semaphore with FIFO handoff. Used to model latches, lock-table
@@ -58,8 +102,9 @@ class Semaphore {
       : sim_(sim), count_(initial) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Semaphore);
 
-  struct Awaiter {
+  struct Awaiter : detail::WaiterList::Node {
     Semaphore* sem;
+    explicit Awaiter(Semaphore* s) : sem(s) {}
     bool await_ready() const noexcept {
       if (sem->count_ > 0 && sem->waiters_.empty()) {
         --sem->count_;
@@ -68,7 +113,8 @@ class Semaphore {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      sem->waiters_.push_back(h);
+      handle = h;
+      sem->waiters_.PushBack(this);
     }
     void await_resume() const noexcept {}
   };
@@ -89,20 +135,19 @@ class Semaphore {
   void Release() {
     if (!waiters_.empty()) {
       // Direct handoff: the unit is consumed by the waiter, count unchanged.
-      sim_->ScheduleNow(waiters_.front());
-      waiters_.pop_front();
+      sim_->ScheduleNow(waiters_.PopFront()->handle);
     } else {
       ++count_;
     }
   }
 
   int64_t count() const { return count_; }
-  size_t num_waiters() const { return waiters_.size(); }
+  size_t num_waiters() const { return waiters_.count; }
 
  private:
   Simulator* sim_;
   int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaiterList waiters_;
 };
 
 /// One-shot completion flag: a Task can await Done() and another can Set()

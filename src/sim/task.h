@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "sim/frame_pool.h"
 
 namespace bionicdb::sim {
 
@@ -22,6 +23,18 @@ namespace detail {
 
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+
+#ifndef BIONICDB_NO_FRAME_POOL
+  // Coroutine frames allocate through the size-class FramePool, so
+  // steady-state task churn stays off the global allocator. Sanitizer
+  // builds define BIONICDB_NO_FRAME_POOL to keep each frame an individual
+  // heap allocation ASan can track.
+  static void* operator new(size_t n) { return FramePool::Allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::Deallocate(p); }
+  static void operator delete(void* p, size_t) noexcept {
+    FramePool::Deallocate(p);
+  }
+#endif
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }

@@ -131,7 +131,7 @@ Engine::TxnSpec TatpWorkload::MakeGetSubscriberData(uint64_t s_id) {
   step.keys = {key};
   step.read_only = true;
   step.fn = [eng, table, key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-    auto r = co_await eng->Read(ctx, table, key);
+    auto r = co_await eng->ReadView(ctx, table, key);
     // A missing subscriber is a valid TATP outcome, not a system abort.
     if (!r.ok() && !r.status().IsNotFound()) co_return r.status();
     co_return Status::OK();
@@ -151,7 +151,7 @@ Engine::TxnSpec TatpWorkload::MakeGetAccessData(uint64_t s_id) {
   step.keys = {key};
   step.read_only = true;
   step.fn = [eng, table, key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-    auto r = co_await eng->Read(ctx, table, key);
+    auto r = co_await eng->ReadView(ctx, table, key);
     if (!r.ok() && !r.status().IsNotFound()) co_return r.status();
     co_return Status::OK();
   };
@@ -178,9 +178,9 @@ Engine::TxnSpec TatpWorkload::MakeGetNewDestination(uint64_t s_id) {
     step.read_only = true;
     step.fn = [eng, table, key,
                state](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, table, key);
+      auto r = co_await eng->ReadView(ctx, table, key);
       if (r.ok()) {
-        state->active = DecodeRow<SpecialFacilityRow>(Slice(*r)).is_active != 0;
+        state->active = DecodeRow<SpecialFacilityRow>(*r).is_active != 0;
       } else if (!r.status().IsNotFound()) {
         co_return r.status();
       }
@@ -227,9 +227,11 @@ Engine::TxnSpec TatpWorkload::MakeUpdateSubscriberData(uint64_t s_id) {
     step.keys = {key};
     step.fn = [eng, table, key,
                new_bit](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, table, key);
+      // Zero-copy read-modify-write: the view is decoded and handed to
+      // Update as the before-image without suspending in between.
+      auto r = co_await eng->ReadView(ctx, table, key);
       if (!r.ok()) co_return r.status();
-      SubscriberRow row = DecodeRow<SubscriberRow>(Slice(*r));
+      SubscriberRow row = DecodeRow<SubscriberRow>(*r);
       row.bit[0] = new_bit;
       co_return co_await eng->Update(ctx, table, key, EncodeRow(row), &*r);
     };
@@ -244,11 +246,11 @@ Engine::TxnSpec TatpWorkload::MakeUpdateSubscriberData(uint64_t s_id) {
     step.keys = {key};
     step.fn = [eng, table, key,
                new_data_a](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, table, key);
+      auto r = co_await eng->ReadView(ctx, table, key);
       if (!r.ok()) {
         co_return r.status().IsNotFound() ? Status::OK() : r.status();
       }
-      SpecialFacilityRow row = DecodeRow<SpecialFacilityRow>(Slice(*r));
+      SpecialFacilityRow row = DecodeRow<SpecialFacilityRow>(*r);
       row.data_a = new_data_a;
       co_return co_await eng->Update(ctx, table, key, EncodeRow(row), &*r);
     };
@@ -295,9 +297,9 @@ Engine::TxnSpec TatpWorkload::MakeUpdateLocation(const std::string& sub_nbr,
     step.fn = [eng, table, key, state,
                new_location](Engine::ExecContext& ctx) -> sim::Task<Status> {
       if (state->s_key.empty()) co_return Status::OK();  // unknown number
-      auto r = co_await eng->Read(ctx, table, state->s_key);
+      auto r = co_await eng->ReadView(ctx, table, state->s_key);
       if (!r.ok()) co_return r.status();
-      SubscriberRow row = DecodeRow<SubscriberRow>(Slice(*r));
+      SubscriberRow row = DecodeRow<SubscriberRow>(*r);
       row.vlr_location = new_location;
       co_return co_await eng->Update(ctx, table, state->s_key,
                                      EncodeRow(row), &*r);
@@ -322,7 +324,7 @@ Engine::TxnSpec TatpWorkload::MakeInsertCallForwarding(uint64_t s_id) {
     step.keys = {key};
     step.read_only = true;
     step.fn = [eng, table, key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, table, key);
+      auto r = co_await eng->ReadView(ctx, table, key);
       if (!r.ok() && !r.status().IsNotFound()) co_return r.status();
       co_return Status::OK();
     };

@@ -220,7 +220,7 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
     const std::string key = EncodeKeyU64(w);
     step.fn = [eng, warehouse,
                key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      co_return (co_await eng->Read(ctx, warehouse, key)).status();
+      co_return (co_await eng->ReadView(ctx, warehouse, key)).status();
     };
     phase1.push_back(std::move(step));
   }
@@ -231,9 +231,9 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
     step.keys = {key};
     step.fn = [eng, district, key,
                state](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, district, key);
+      auto r = co_await eng->ReadView(ctx, district, key);
       if (!r.ok()) co_return r.status();
-      DistrictRow row = DecodeRow<DistrictRow>(Slice(*r));
+      DistrictRow row = DecodeRow<DistrictRow>(*r);
       state->o_id = row.next_o_id;
       row.next_o_id += 1;
       co_return co_await eng->Update(ctx, district, key, EncodeRow(row), &*r);
@@ -248,7 +248,7 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
     step.read_only = true;
     step.fn = [eng, customer,
                key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      co_return (co_await eng->Read(ctx, customer, key)).status();
+      co_return (co_await eng->ReadView(ctx, customer, key)).status();
     };
     phase1.push_back(std::move(step));
   }
@@ -273,9 +273,9 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
       step.fn = [eng, item_tbl, ids_copy,
                  state](Engine::ExecContext& ctx) -> sim::Task<Status> {
         for (uint64_t id : *ids_copy) {
-          auto r = co_await eng->Read(ctx, item_tbl, EncodeKeyU64(id));
+          auto r = co_await eng->ReadView(ctx, item_tbl, EncodeKeyU64(id));
           if (!r.ok()) co_return r.status();
-          state->total_cents += DecodeRow<ItemRow>(Slice(*r)).price_cents;
+          state->total_cents += DecodeRow<ItemRow>(*r).price_cents;
         }
         co_return Status::OK();
       };
@@ -314,8 +314,9 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
                              : row.quantity - line.qty + 91;
           row.ytd += line.qty;
           row.order_cnt += 1;
+          const Slice before(*reads[i]);
           Status st = co_await eng->Update(ctx, stock_tbl, keys[i],
-                                           EncodeRow(row), &*reads[i]);
+                                           EncodeRow(row), &before);
           if (!st.ok()) co_return st;
         }
         co_return Status::OK();
@@ -418,9 +419,9 @@ Engine::TxnSpec TpccWorkload::MakePayment(uint64_t w, uint64_t d,
     step.keys = {key};
     step.fn = [eng, tbl, key,
                amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, tbl, key);
+      auto r = co_await eng->ReadView(ctx, tbl, key);
       if (!r.ok()) co_return r.status();
-      WarehouseRow row = DecodeRow<WarehouseRow>(Slice(*r));
+      WarehouseRow row = DecodeRow<WarehouseRow>(*r);
       row.ytd_cents += amount;
       co_return co_await eng->Update(ctx, tbl, key, EncodeRow(row), &*r);
     };
@@ -434,9 +435,9 @@ Engine::TxnSpec TpccWorkload::MakePayment(uint64_t w, uint64_t d,
     step.keys = {key};
     step.fn = [eng, tbl, key,
                amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, tbl, key);
+      auto r = co_await eng->ReadView(ctx, tbl, key);
       if (!r.ok()) co_return r.status();
-      DistrictRow row = DecodeRow<DistrictRow>(Slice(*r));
+      DistrictRow row = DecodeRow<DistrictRow>(*r);
       row.ytd_cents += amount;
       co_return co_await eng->Update(ctx, tbl, key, EncodeRow(row), &*r);
     };
@@ -450,9 +451,9 @@ Engine::TxnSpec TpccWorkload::MakePayment(uint64_t w, uint64_t d,
     step.keys = {key};
     step.fn = [eng, tbl, key,
                amount](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, tbl, key);
+      auto r = co_await eng->ReadView(ctx, tbl, key);
       if (!r.ok()) co_return r.status();
-      CustomerRow row = DecodeRow<CustomerRow>(Slice(*r));
+      CustomerRow row = DecodeRow<CustomerRow>(*r);
       row.balance_cents -= amount;
       row.ytd_payment_cents += amount;
       row.payment_cnt += 1;
@@ -503,9 +504,9 @@ Engine::TxnSpec TpccWorkload::MakeStockLevel(uint64_t w, uint64_t d,
     step.read_only = true;
     step.fn = [eng, district, key,
                state](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, district, key);
+      auto r = co_await eng->ReadView(ctx, district, key);
       if (!r.ok()) co_return r.status();
-      state->next_o_id = DecodeRow<DistrictRow>(Slice(*r)).next_o_id;
+      state->next_o_id = DecodeRow<DistrictRow>(*r).next_o_id;
       co_return Status::OK();
     };
     spec.phases.push_back({std::move(step)});
@@ -602,7 +603,7 @@ Engine::TxnSpec TpccWorkload::MakeOrderStatus(uint64_t w, uint64_t d,
     step.read_only = true;
     step.fn = [eng, customer,
                key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      co_return (co_await eng->Read(ctx, customer, key)).status();
+      co_return (co_await eng->ReadView(ctx, customer, key)).status();
     };
     phase1.push_back(std::move(step));
   }
@@ -639,7 +640,7 @@ Engine::TxnSpec TpccWorkload::MakeOrderStatus(uint64_t w, uint64_t d,
       const std::string key = state->order_key;
       step.fn = [eng, orders_tbl,
                  key](Engine::ExecContext& ctx) -> sim::Task<Status> {
-        co_return (co_await eng->Read(ctx, orders_tbl, key)).status();
+        co_return (co_await eng->ReadView(ctx, orders_tbl, key)).status();
       };
       out->push_back(std::move(step));
     }
@@ -724,9 +725,9 @@ Engine::TxnSpec TpccWorkload::MakeDelivery(uint64_t w, int carrier) {
           step.keys = {key};
           step.fn = [eng, orders_tbl, key, du, carrier,
                      state](Engine::ExecContext& ctx) -> sim::Task<Status> {
-            auto r = co_await eng->Read(ctx, orders_tbl, key);
+            auto r = co_await eng->ReadView(ctx, orders_tbl, key);
             if (!r.ok()) co_return r.status();
-            OrderRow row = DecodeRow<OrderRow>(Slice(*r));
+            OrderRow row = DecodeRow<OrderRow>(*r);
             (*state)[du].c_id = row.c_id;
             row.carrier_id = carrier;
             co_return co_await eng->Update(ctx, orders_tbl, key,
@@ -769,9 +770,9 @@ Engine::TxnSpec TpccWorkload::MakeDelivery(uint64_t w, int carrier) {
         step.keys = {key};
         step.fn = [eng, customer, key, du,
                    state](Engine::ExecContext& ctx) -> sim::Task<Status> {
-          auto r = co_await eng->Read(ctx, customer, key);
+          auto r = co_await eng->ReadView(ctx, customer, key);
           if (!r.ok()) co_return r.status();
-          CustomerRow row = DecodeRow<CustomerRow>(Slice(*r));
+          CustomerRow row = DecodeRow<CustomerRow>(*r);
           row.balance_cents += (*state)[du].sum_cents;
           co_return co_await eng->Update(ctx, customer, key, EncodeRow(row),
                                          &*r);

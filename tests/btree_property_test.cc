@@ -1,0 +1,159 @@
+// Randomized property test: the B+Tree against a std::map oracle.
+//
+// Drives long random sequences of insert / overwrite / update / delete /
+// point-get / range-iterate at both a degenerate fanout (4, maximizing
+// structure-modification operations) and the production fanout (64,
+// exercising the flat node layout's binary search over wide nodes), and
+// checks every answer — and the structural invariants — against the oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/codec.h"
+
+namespace bionicdb {
+namespace {
+
+using index::BTree;
+using index::BTreeConfig;
+using index::EncodeKeyU64;
+
+struct FanoutParam {
+  int fanout;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<FanoutParam> {};
+
+std::string OracleValue(uint64_t key, uint64_t version) {
+  // Variable-length values (0..~120 bytes) so leaf arenas see reuse,
+  // growth, and compaction, not just fixed-size slots.
+  std::string v = "v" + std::to_string(key) + ":" + std::to_string(version);
+  v.append(version % 120, 'x');
+  return v;
+}
+
+TEST_P(BTreePropertyTest, RandomOpsMatchMapOracle) {
+  BTreeConfig cfg;
+  cfg.inner_fanout = GetParam().fanout;
+  cfg.leaf_capacity = GetParam().fanout;
+  BTree tree(cfg);
+  std::map<std::string, std::string> oracle;
+
+  Rng rng(20260805 + static_cast<uint64_t>(GetParam().fanout));
+  const uint64_t kKeySpace = 2000;
+  const int kOps = 30000;
+  uint64_t version = 0;
+
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t k = rng.Uniform(kKeySpace);
+    const std::string key = EncodeKeyU64(k);
+    switch (rng.Uniform(6)) {
+      case 0:    // insert (no overwrite): must fail iff present
+      case 1: {
+        const std::string val = OracleValue(k, ++version);
+        Status st = tree.Insert(key, val, /*overwrite=*/false);
+        if (oracle.count(key)) {
+          ASSERT_FALSE(st.ok()) << "insert succeeded over existing key " << k;
+        } else {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          oracle[key] = val;
+        }
+        break;
+      }
+      case 2: {  // upsert
+        const std::string val = OracleValue(k, ++version);
+        ASSERT_TRUE(tree.Insert(key, val, /*overwrite=*/true).ok());
+        oracle[key] = val;
+        break;
+      }
+      case 3: {  // update: must fail iff absent
+        const std::string val = OracleValue(k, ++version);
+        Status st = tree.Update(key, val);
+        if (oracle.count(key)) {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          oracle[key] = val;
+        } else {
+          ASSERT_FALSE(st.ok()) << "update succeeded for missing key " << k;
+        }
+        break;
+      }
+      case 4: {  // delete: must fail iff absent
+        Status st = tree.Delete(key);
+        if (oracle.count(key)) {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          oracle.erase(key);
+        } else {
+          ASSERT_FALSE(st.ok()) << "delete succeeded for missing key " << k;
+        }
+        break;
+      }
+      default: {  // point get, owning and view flavors
+        auto r = tree.Get(key);
+        auto view = tree.GetView(key);
+        auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          ASSERT_FALSE(r.ok());
+          ASSERT_FALSE(view.ok());
+        } else {
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          ASSERT_EQ(*r, it->second);
+          ASSERT_TRUE(view.ok()) << view.status().ToString();
+          ASSERT_EQ(view->ToString(), it->second);
+        }
+        break;
+      }
+    }
+
+    ASSERT_EQ(tree.size(), oracle.size());
+
+    // Periodically: full structural check + ordered scan vs the oracle.
+    if (op % 2500 == 2499) {
+      Status inv = tree.CheckInvariants();
+      ASSERT_TRUE(inv.ok()) << inv.ToString();
+      auto it = oracle.begin();
+      size_t seen = 0;
+      for (auto ti = tree.Begin(); ti.Valid(); ti.Next(), ++it, ++seen) {
+        ASSERT_NE(it, oracle.end());
+        ASSERT_EQ(ti.key().ToString(), it->first);
+        ASSERT_EQ(ti.value().ToString(), it->second);
+      }
+      ASSERT_EQ(seen, oracle.size());
+
+      // Bounded range over a random window.
+      const uint64_t lo = rng.Uniform(kKeySpace);
+      const uint64_t hi = lo + rng.Uniform(kKeySpace - lo + 1);
+      const std::string lo_k = EncodeKeyU64(lo), hi_k = EncodeKeyU64(hi);
+      auto oit = oracle.lower_bound(lo_k);
+      for (auto ti = tree.SeekRange(lo_k, hi_k); ti.Valid(); ti.Next(), ++oit) {
+        ASSERT_NE(oit, oracle.end());
+        ASSERT_LT(oit->first, hi_k);
+        ASSERT_EQ(ti.key().ToString(), oit->first);
+        ASSERT_EQ(ti.value().ToString(), oit->second);
+      }
+      ASSERT_TRUE(oit == oracle.end() || oit->first >= hi_k);
+    }
+  }
+
+  // Drain everything through Delete and confirm the tree empties cleanly.
+  while (!oracle.empty()) {
+    auto it = oracle.begin();
+    ASSERT_TRUE(tree.Delete(it->first).ok());
+    oracle.erase(it);
+  }
+  ASSERT_TRUE(tree.empty());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreePropertyTest,
+                         ::testing::Values(FanoutParam{4}, FanoutParam{64}),
+                         [](const auto& info) {
+                           return "Fanout" +
+                                  std::to_string(info.param.fanout);
+                         });
+
+}  // namespace
+}  // namespace bionicdb

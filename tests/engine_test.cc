@@ -614,7 +614,7 @@ TEST(KnownOldTest, UpdateSkipsReprobeAndStillLogsUndo) {
     step.table = t;
     step.keys = {EncodeKeyU64(1)};
     step.fn = [eng, t](Engine::ExecContext& ctx) -> sim::Task<Status> {
-      auto r = co_await eng->Read(ctx, t, EncodeKeyU64(1));
+      auto r = co_await eng->ReadView(ctx, t, EncodeKeyU64(1));
       EXPECT_TRUE(r.ok());
       const SimTime btree_before = eng->breakdown().ns(hw::Component::kBtree);
       Status st =

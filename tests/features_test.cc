@@ -459,5 +459,46 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ProjectionTest,
                            return EngineModeName(info.param);
                          });
 
+// ------------------------------------------------------------- routing --
+
+// Route() must balance even when the incoming hashes are structured: the
+// SplitMix64 finalizer avalanches the bits before the modulo. Without it,
+// hashes that stride by a multiple of the partition count (as identity
+// integer hashes of sequential IDs easily do) all land on one partition.
+TEST(RoutingTest, MixedRouteBalancesStructuredHashes) {
+  sim::Simulator sim;
+  hw::Platform platform(&sim, hw::PlatformSpec::CommodityServer());
+  hw::Breakdown bd;
+  dora::ExecutorConfig ec;
+  ec.num_partitions = 6;
+  dora::Executor ex(&platform, ec, nullptr, &bd);
+
+  const int kKeys = 60000;
+  const int kParts = ec.num_partitions;
+  const double expect = static_cast<double>(kKeys) / kParts;
+
+  // Pathological input: hashes striding by a multiple of num_partitions.
+  // A bare modulo maps every single one to partition 0.
+  std::vector<int> strided(kParts, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    strided[ex.Route(static_cast<uint64_t>(i) * 6 * 64)]++;
+  }
+  for (int p = 0; p < kParts; ++p) {
+    EXPECT_GT(strided[p], expect * 0.9) << "partition " << p;
+    EXPECT_LT(strided[p], expect * 1.1) << "partition " << p;
+  }
+
+  // Real input: FNV-1a over qualified keys, the executor's dispatch hash.
+  std::vector<int> real(kParts, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string q = "t1:" + EncodeKeyU64(static_cast<uint64_t>(i));
+    real[ex.Route(common::HashBytes(q))]++;
+  }
+  for (int p = 0; p < kParts; ++p) {
+    EXPECT_GT(real[p], expect * 0.9) << "partition " << p;
+    EXPECT_LT(real[p], expect * 1.1) << "partition " << p;
+  }
+}
+
 }  // namespace
 }  // namespace bionicdb
