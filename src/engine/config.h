@@ -18,6 +18,7 @@
 #include "hw/tree_probe_unit.h"
 #include "index/btree.h"
 #include "queueing/scheduler.h"
+#include "sim/fault.h"
 
 namespace bionicdb::engine {
 
@@ -55,6 +56,10 @@ struct EngineConfig {
   /// Overlay entry budget per table (0 == unlimited). Past it, clean rows
   /// are evicted FIFO and re-fetched from base data on demand (§5.6).
   size_t overlay_capacity = 0;
+
+  /// Deterministic fault schedule for the simulated I/O stack. Empty (the
+  /// default) means an infallible platform — no injector is created.
+  sim::FaultPlan fault_plan;
 
   OffloadConfig offload = OffloadConfig::AllOff();
   index::BTreeConfig index_config;

@@ -9,7 +9,11 @@ using hw::Component;
 
 Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
     : sim_(sim), config_(config) {
-  platform_ = std::make_unique<hw::Platform>(sim, config.platform);
+  if (!config.fault_plan.empty()) {
+    fault_ = std::make_unique<sim::FaultInjector>(config.fault_plan);
+  }
+  platform_ = std::make_unique<hw::Platform>(sim, config.platform,
+                                             fault_.get());
 
   // Data lives on the FPGA-side SAS disks (bionic) or the same simulated
   // spindles on a commodity box; the log SSD is CPU-side in both.
@@ -45,6 +49,7 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
     log_ = std::make_unique<wal::SoftwareLogManager>(
         platform_.get(), &platform_->ssd(), config.sockets);
   }
+  log_->SetFaultInjector(fault_.get());
   xm_ = std::make_unique<txn::XctManager>(log_.get());
 
   if (config.mode == EngineMode::kConventional) {
@@ -101,6 +106,11 @@ void Engine::ResetStats() {
 void Engine::FinishRun() {
   metrics_.elapsed_ns = sim_->Now() - epoch_;
   metrics_.joules = platform_->TotalJoules(metrics_.elapsed_ns);
+  const wal::LogStats& ls = log_->stats();
+  metrics_.log_flush_retries = ls.flush_retries;
+  metrics_.log_flush_failures = ls.flush_failures;
+  metrics_.log_backoff_ns = ls.flush_backoff_ns;
+  if (fault_) metrics_.faults_injected = fault_->total_injected();
 }
 
 // --------------------------------------------------------- cost helpers --
@@ -130,12 +140,21 @@ sim::Task<void> Engine::CpuWorkNoCore(double ns, Component c) {
 
 sim::Task<void> Engine::ProbeCost(ExecContext& ctx, int levels,
                                   uint32_t key_bytes) {
-  if (UseHwProbe()) {
+  bool software = !UseHwProbe();
+  if (!software) {
     // Post the probe descriptor (tiny CPU cost), then the asynchronous
     // hardware round trip.
     co_await CpuWork(ctx, 25.0, Component::kBtree);
-    co_await probe_unit_->ProbeFromHost(levels, key_bytes);
-  } else {
+    const Status hw = co_await probe_unit_->ProbeFromHost(levels, key_bytes);
+    if (!hw.ok()) {
+      // Degraded mode: a failed hardware probe falls back to the software
+      // walk (the index is functionally host-visible) and is counted, not
+      // silently absorbed.
+      ++metrics_.hw_fallbacks;
+      software = true;
+    }
+  }
+  if (software) {
     // Software comparisons also pay per extra key word.
     const double extra =
         key_bytes > 8
@@ -470,7 +489,13 @@ Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
     // the qualifying rows over PCIe.
     uint64_t bytes = 0;
     for (auto& [k, v] : rows) bytes += k.size() + v.size();
-    if (bytes > 0) co_await platform_->pcie().Transfer(bytes);
+    if (bytes > 0) {
+      const Status io = co_await platform_->pcie().Transfer(bytes);
+      if (!io.ok()) {
+        ++metrics_.io_errors;
+        co_return io;
+      }
+    }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(12.0) *
                          static_cast<double>(rows.size()),
@@ -514,7 +539,13 @@ Engine::RangeReadIndex(ExecContext& ctx, Table* table,
   if (UseHwProbe()) {
     uint64_t bytes = 0;
     for (auto& [k, v] : rows) bytes += k.size() + v.size();
-    if (bytes > 0) co_await platform_->pcie().Transfer(bytes);
+    if (bytes > 0) {
+      const Status io = co_await platform_->pcie().Transfer(bytes);
+      if (!io.ok()) {
+        ++metrics_.io_errors;
+        co_return io;
+      }
+    }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(12.0) *
                          static_cast<double>(rows.size()),
@@ -545,26 +576,37 @@ sim::Task<Result<uint64_t>> Engine::ScanCount(
                    : static_cast<double>(matches) /
                          static_cast<double>(rows.size());
 
-  const bool hw_scan =
+  bool hw_scan =
       config_.mode == EngineMode::kBionic && config_.offload.scanner;
   if (hw_scan) {
     // Netezza-style filtering at the FPGA: only qualifying bytes cross PCIe.
-    (void)co_await scanner_unit_->Scan(bytes, selectivity);
-    co_await CpuWork(ctx,
-                     platform_->cost().InstrNs(6.0) *
-                         static_cast<double>(matches),
-                     Component::kOther);
-  } else if (config_.platform.has_fpga) {
-    // Data is FPGA-side but filtering is not offloaded: everything crosses
-    // the PCI bus, then the CPU filters.
-    co_await platform_->pcie().Transfer(bytes);
-    co_await CpuWork(ctx,
-                     platform_->cost().InstrNs(10.0) *
-                         static_cast<double>(rows.size()),
-                     Component::kOther);
-  } else {
-    // Commodity: stream from host memory, filter on the CPU.
-    co_await platform_->host_dram().Transfer(bytes);
+    auto timing = co_await scanner_unit_->Scan(bytes, selectivity);
+    if (timing.ok()) {
+      co_await CpuWork(ctx,
+                       platform_->cost().InstrNs(6.0) *
+                           static_cast<double>(matches),
+                       Component::kOther);
+    } else {
+      // Degraded mode: the scanner died mid-stream; re-run the scan the
+      // expensive way (everything over PCIe, CPU filters).
+      ++metrics_.hw_fallbacks;
+      hw_scan = false;
+    }
+  }
+  if (!hw_scan) {
+    Status io;
+    if (config_.platform.has_fpga) {
+      // Data is FPGA-side but filtering is not offloaded: everything
+      // crosses the PCI bus, then the CPU filters.
+      io = co_await platform_->pcie().Transfer(bytes);
+    } else {
+      // Commodity: stream from host memory, filter on the CPU.
+      io = co_await platform_->host_dram().Transfer(bytes);
+    }
+    if (!io.ok()) {
+      ++metrics_.io_errors;
+      co_return io;
+    }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(10.0) *
                          static_cast<double>(rows.size()),
@@ -616,18 +658,26 @@ sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
   // host; aggregation ships only the result. Patching costs CPU per
   // delta row.
   const uint64_t bytes = proj->SizeBytes();
-  const bool hw_scan =
+  bool hw_scan =
       config_.mode == EngineMode::kBionic && config_.offload.scanner;
   if (hw_scan) {
-    (void)co_await scanner_unit_->Scan(bytes, 0.0);
-  } else if (config_.platform.has_fpga) {
-    co_await platform_->pcie().Transfer(bytes);
-    co_await CpuWork(ctx,
-                     platform_->cost().InstrNs(3.0) *
-                         static_cast<double>(proj->values.size()),
-                     Component::kOther);
-  } else {
-    co_await platform_->host_dram().Transfer(bytes);
+    auto timing = co_await scanner_unit_->Scan(bytes, 0.0);
+    if (!timing.ok()) {
+      ++metrics_.hw_fallbacks;
+      hw_scan = false;
+    }
+  }
+  if (!hw_scan) {
+    Status io;
+    if (config_.platform.has_fpga) {
+      io = co_await platform_->pcie().Transfer(bytes);
+    } else {
+      io = co_await platform_->host_dram().Transfer(bytes);
+    }
+    if (!io.ok()) {
+      ++metrics_.io_errors;
+      co_return io;
+    }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(3.0) *
                          static_cast<double>(proj->values.size()),
@@ -772,6 +822,12 @@ sim::Task<Status> Engine::CommitTxn(ExecContext& ctx, txn::Xct* xct) {
     breakdown_.Charge(Component::kLog, append_elapsed);
   }
   Status st = co_await xm_->WaitCommitDurable(xct, commit_lsn);
+  if (!st.ok()) {
+    // The commit record never became durable (flush abandoned / device
+    // crashed): the transaction is NOT committed. Surface it instead of
+    // silently succeeding; recovery will treat it as a loser.
+    ++metrics_.durability_failures;
+  }
   co_await ReleaseAllLocks(xct);
   co_return st;
 }
@@ -820,6 +876,7 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
       ++metrics_.aborts;
     }
   } else {
+    if (st.IsIOError()) ++metrics_.io_errors;
     Status abort_st = co_await AbortTxn(ctx, xct.get());
     BIONICDB_CHECK(abort_st.ok());
     ++metrics_.aborts;

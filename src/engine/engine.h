@@ -201,6 +201,8 @@ class Engine {
   RunMetrics& metrics() { return metrics_; }
   hw::Breakdown& breakdown() { return breakdown_; }
   wal::LogManager* log() { return log_.get(); }
+  /// Null unless config.fault_plan is non-empty.
+  sim::FaultInjector* fault_injector() { return fault_.get(); }
   txn::XctManager& xct_manager() { return *xm_; }
   txn::LockManager* lock_manager() { return lm_.get(); }
   dora::Executor* executor() { return executor_.get(); }
@@ -284,6 +286,8 @@ class Engine {
 
   sim::Simulator* sim_;
   EngineConfig config_;
+  /// Must outlive platform_ (links keep a raw pointer); declared first.
+  std::unique_ptr<sim::FaultInjector> fault_;
   std::unique_ptr<hw::Platform> platform_;
   std::unique_ptr<storage::SimDisk> data_disk_;
   std::unique_ptr<storage::SimDisk> log_disk_;

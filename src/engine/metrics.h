@@ -16,6 +16,22 @@ struct RunMetrics {
   SimTime elapsed_ns = 0;   ///< Measurement window.
   double joules = 0.0;      ///< Whole-platform energy over the window.
 
+  // Degraded-mode accounting under fault injection: the engine keeps
+  // serving (retry, software fallback) and reports, instead of silently
+  // succeeding or crashing. See docs/RECOVERY.md.
+  uint64_t io_errors = 0;            ///< Transactions failed on device I/O.
+  uint64_t durability_failures = 0;  ///< Commits lost to failed log flushes.
+  uint64_t hw_fallbacks = 0;         ///< HW-unit ops retried in software.
+  uint64_t faults_injected = 0;      ///< Total faults fired platform-wide.
+  uint64_t log_flush_retries = 0;    ///< WAL flush re-attempts.
+  uint64_t log_flush_failures = 0;   ///< WAL flushes abandoned.
+  SimTime log_backoff_ns = 0;        ///< Virtual time spent in flush backoff.
+
+  bool Degraded() const {
+    return io_errors > 0 || durability_failures > 0 || hw_fallbacks > 0 ||
+           log_flush_failures > 0;
+  }
+
   double TxnPerSecond() const {
     return elapsed_ns > 0 ? static_cast<double>(commits) * 1e9 /
                                 static_cast<double>(elapsed_ns)

@@ -12,13 +12,12 @@ LogInsertionUnit::LogInsertionUnit(Platform* platform,
   open_.resize(static_cast<size_t>(config.sockets));
 }
 
-sim::Task<void> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
+sim::Task<Status> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
   BIONICDB_CHECK(socket >= 0 && socket < config_.sockets);
   const uint32_t framed = bytes + config_.descriptor_overhead_bytes;
 
   if (!config_.aggregate) {
-    co_await ShipBatch(framed, 1);
-    co_return;
+    co_return co_await ShipBatch(framed, 1);
   }
 
   auto& slot = open_[static_cast<size_t>(socket)];
@@ -34,35 +33,42 @@ sim::Task<void> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
     b.bytes = framed;
     b.records = 1;
     b.done = std::make_shared<sim::Completion>(platform_->simulator());
+    b.result = std::make_shared<Status>();
     slot = b;
     auto done = b.done;
+    auto result = b.result;
     co_await sim::Delay{platform_->simulator(),
                         config_.aggregation_window_ns};
     const Batch closed = *slot;
     slot.reset();
-    co_await ShipBatch(closed.bytes, closed.records);
+    *result = co_await ShipBatch(closed.bytes, closed.records);
     done->Set();
+    co_return *result;
   } else {
     // Follower: piggyback on the open batch.
     slot->bytes += framed;
     slot->records += 1;
     auto done = slot->done;
+    auto result = slot->result;
     co_await done->Wait();
+    co_return *result;
   }
 }
 
-sim::Task<void> LogInsertionUnit::ShipBatch(uint32_t payload_bytes,
-                                            uint32_t records) {
-  co_await platform_->pcie().Transfer(payload_bytes);
+sim::Task<Status> LogInsertionUnit::ShipBatch(uint32_t payload_bytes,
+                                              uint32_t records) {
+  const Status pcie = co_await platform_->pcie().Transfer(payload_bytes);
   co_await arbiter_->Process(config_.arbitration_ii_ns);
   if (records > 1) {
     co_await sim::Delay{platform_->simulator(),
                         config_.arbitration_ii_ns *
                             static_cast<SimTime>(records - 1)};
   }
+  if (!pcie.ok()) co_return pcie;
   ++batches_;
   records_ += records;
   bytes_ += payload_bytes;
+  co_return Status::OK();
 }
 
 }  // namespace bionicdb::hw

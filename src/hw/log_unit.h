@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "hw/platform.h"
 #include "sim/resource.h"
 #include "sim/sync.h"
@@ -43,8 +44,10 @@ class LogInsertionUnit {
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(LogInsertionUnit);
 
   /// Timing of inserting a `bytes`-sized record from `socket`. Resumes when
-  /// the record has been arbitrated into the FPGA log buffer.
-  sim::Task<void> Insert(uint32_t bytes, int socket);
+  /// the record has been arbitrated into the FPGA log buffer. Returns
+  /// IOError when the PCIe hop failed under fault injection; every record
+  /// riding the failed batch sees the same error.
+  sim::Task<Status> Insert(uint32_t bytes, int socket);
 
   /// Host-side CPU cost of posting one insert (charged by the caller to
   /// the Log component).
@@ -64,9 +67,12 @@ class LogInsertionUnit {
     uint32_t bytes = 0;
     uint32_t records = 0;
     std::shared_ptr<sim::Completion> done;
+    /// Ship outcome, written by the leader before `done` fires so that
+    /// followers can report the batch's fate.
+    std::shared_ptr<Status> result;
   };
 
-  sim::Task<void> ShipBatch(uint32_t payload_bytes, uint32_t records);
+  sim::Task<Status> ShipBatch(uint32_t payload_bytes, uint32_t records);
 
   Platform* platform_;
   LogUnitConfig config_;

@@ -26,8 +26,9 @@ PlatformSpec PlatformSpec::CommodityServer() {
   return s;
 }
 
-Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec)
-    : sim_(sim), spec_(spec), meter_(sim) {
+Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec,
+                   sim::FaultInjector* faults)
+    : sim_(sim), spec_(spec), meter_(sim), faults_(faults) {
   cpu_component_ = meter_.RegisterComponent("cpu", spec_.cpu_core_power);
   fpga_component_ = meter_.RegisterComponent("fpga", spec_.fpga_unit_power);
   dram_component_ = meter_.RegisterComponent("dram", spec_.dram_power);
@@ -59,6 +60,13 @@ Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec)
   ssd_ = std::make_unique<sim::Link>(sim, "ssd", spec_.ssd.gbps,
                                      spec_.ssd.latency_ns, &meter_,
                                      storage_component_);
+  if (faults_ != nullptr) {
+    host_dram_->SetFaultInjector(faults_);
+    sg_dram_->SetFaultInjector(faults_);
+    pcie_->SetFaultInjector(faults_);
+    sas_disk_->SetFaultInjector(faults_);
+    ssd_->SetFaultInjector(faults_);
+  }
   // Four FPGA units (tree probe, log, queue, scanner) share the meter
   // component; idle power accounts for all four.
   meter_.SetParallelism(fpga_component_, spec_.has_fpga ? 4.0 : 0.0);

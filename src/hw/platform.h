@@ -61,10 +61,14 @@ struct PlatformSpec {
 /// meter. One Platform per Simulator run.
 class Platform {
  public:
-  Platform(sim::Simulator* sim, const PlatformSpec& spec);
+  /// `faults` (optional) subjects every link to a deterministic fault plan;
+  /// must outlive the platform.
+  Platform(sim::Simulator* sim, const PlatformSpec& spec,
+           sim::FaultInjector* faults = nullptr);
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Platform);
 
   sim::Simulator* simulator() { return sim_; }
+  sim::FaultInjector* fault_injector() { return faults_; }
   const PlatformSpec& spec() const { return spec_; }
   const CostModel& cost() const { return spec_.cost; }
   sim::EnergyMeter& meter() { return meter_; }
@@ -102,6 +106,7 @@ class Platform {
   sim::Simulator* sim_;
   PlatformSpec spec_;
   sim::EnergyMeter meter_;
+  sim::FaultInjector* faults_;
 
   int cpu_component_;
   int fpga_component_;

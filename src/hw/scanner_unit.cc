@@ -7,8 +7,8 @@ namespace bionicdb::hw {
 ScannerUnit::ScannerUnit(Platform* platform, const ScannerConfig& config)
     : platform_(platform), config_(config) {}
 
-sim::Task<ScanTiming> ScannerUnit::Scan(uint64_t bytes,
-                                        double output_fraction) {
+sim::Task<Result<ScanTiming>> ScannerUnit::Scan(uint64_t bytes,
+                                                double output_fraction) {
   BIONICDB_CHECK(output_fraction >= 0.0 && output_fraction <= 1.0);
   co_await sim::Delay{platform_->simulator(), config_.setup_ns};
 
@@ -17,7 +17,8 @@ sim::Task<ScanTiming> ScannerUnit::Scan(uint64_t bytes,
   while (remaining > 0) {
     const uint64_t chunk =
         std::min<uint64_t>(remaining, config_.chunk_bytes);
-    co_await platform_->sg_dram().Transfer(chunk);
+    Status st = co_await platform_->sg_dram().Transfer(chunk);
+    if (!st.ok()) co_return st;
     const SimTime filter_ns = static_cast<SimTime>(
         static_cast<double>(chunk) / 1024.0 * config_.fpga_ns_per_kib);
     co_await sim::Delay{platform_->simulator(), filter_ns};
@@ -25,7 +26,8 @@ sim::Task<ScanTiming> ScannerUnit::Scan(uint64_t bytes,
     const uint64_t out = static_cast<uint64_t>(
         static_cast<double>(chunk) * output_fraction);
     if (out > 0) {
-      co_await platform_->pcie().Transfer(out);
+      st = co_await platform_->pcie().Transfer(out);
+      if (!st.ok()) co_return st;
       shipped += out;
     }
     remaining -= chunk;

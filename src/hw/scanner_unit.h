@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/macros.h"
+#include "common/result.h"
 #include "hw/platform.h"
 #include "sim/resource.h"
 #include "sim/task.h"
@@ -37,8 +38,9 @@ class ScannerUnit {
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(ScannerUnit);
 
   /// Scans `bytes` of FPGA-resident data, shipping `output_fraction` of
-  /// them (selectivity x projection width) to the host.
-  sim::Task<ScanTiming> Scan(uint64_t bytes, double output_fraction);
+  /// them (selectivity x projection width) to the host. Returns IOError
+  /// when an SG-DRAM or PCIe leg fails under fault injection.
+  sim::Task<Result<ScanTiming>> Scan(uint64_t bytes, double output_fraction);
 
   uint64_t bytes_scanned() const { return scanned_; }
   uint64_t bytes_shipped() const { return shipped_; }

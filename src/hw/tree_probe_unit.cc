@@ -9,7 +9,7 @@ TreeProbeUnit::TreeProbeUnit(Platform* platform,
   BIONICDB_CHECK(config.contexts > 0);
 }
 
-sim::Task<void> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
+sim::Task<Status> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
   co_await contexts_.Acquire();
   ++active_;
   if (active_ > max_active_) max_active_ = active_;
@@ -21,24 +21,29 @@ sim::Task<void> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
       static_cast<SimTime>(beats - 1) * config_.compare_beat_ns;
   const uint32_t fetch = config_.node_fetch_bytes +
                          (beats - 1) * 8 * 4 /* extra key material */;
+  Status st = Status::OK();
   for (int l = 0; l < levels; ++l) {
     // One dependent SG-DRAM access per node; 400 ns latency dominates, the
     // fetch costs ~1 ns of the 80 GB/s bandwidth.
-    co_await platform_->sg_dram().Transfer(fetch);
+    st = co_await platform_->sg_dram().Transfer(fetch);
+    if (!st.ok()) break;
     co_await sim::Delay{platform_->simulator(), compute};
     ++node_visits_;
     platform_->meter().ChargeBusy(platform_->fpga_component(), compute);
   }
-  ++probes_;
+  if (st.ok()) ++probes_;
   --active_;
   contexts_.Release();
+  co_return st;
 }
 
-sim::Task<void> TreeProbeUnit::ProbeFromHost(int levels, uint32_t key_bytes) {
+sim::Task<Status> TreeProbeUnit::ProbeFromHost(int levels,
+                                               uint32_t key_bytes) {
   const uint32_t extra = key_bytes > 8 ? key_bytes - 8 : 0;
-  co_await platform_->pcie().Transfer(config_.request_bytes + extra);
-  co_await Probe(levels, key_bytes);
-  co_await platform_->pcie().Transfer(config_.response_bytes);
+  BIONICDB_CO_RETURN_NOT_OK(
+      co_await platform_->pcie().Transfer(config_.request_bytes + extra));
+  BIONICDB_CO_RETURN_NOT_OK(co_await Probe(levels, key_bytes));
+  co_return co_await platform_->pcie().Transfer(config_.response_bytes);
 }
 
 }  // namespace bionicdb::hw

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "hw/platform.h"
 #include "sim/resource.h"
 #include "sim/sync.h"
@@ -42,13 +43,15 @@ class TreeProbeUnit {
   /// nodes through SG-DRAM. `key_bytes` sizes the comparator datapath:
   /// the unit handles "both integer and variable-length string keys"
   /// (§5.3); longer keys stream through the comparator in 8-byte beats
-  /// and fetch proportionally more of each node.
-  sim::Task<void> Probe(int levels, uint32_t key_bytes = 8);
+  /// and fetch proportionally more of each node. Returns IOError when an
+  /// SG-DRAM access fails under fault injection (the context is released
+  /// either way).
+  sim::Task<Status> Probe(int levels, uint32_t key_bytes = 8);
 
   /// Full host-initiated probe: request descriptor over PCIe, probe, and
   /// response back. The submitting agent should treat this as asynchronous
-  /// (switch to other work while awaiting).
-  sim::Task<void> ProbeFromHost(int levels, uint32_t key_bytes = 8);
+  /// (switch to other work while awaiting). Propagates PCIe/SG-DRAM faults.
+  sim::Task<Status> ProbeFromHost(int levels, uint32_t key_bytes = 8);
 
   uint64_t probes_completed() const { return probes_; }
   uint64_t node_visits() const { return node_visits_; }

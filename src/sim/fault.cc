@@ -1,0 +1,72 @@
+#include "sim/fault.h"
+
+namespace bionicdb::sim {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+int FaultInjector::RegisterResource(const std::string& name) {
+  auto it = handles_.find(name);
+  if (it != handles_.end()) return it->second;
+  const int handle = static_cast<int>(states_.size());
+  // Per-resource stream: independent of registration order and of how other
+  // resources' ops interleave in virtual time.
+  states_.emplace_back(name, plan_.seed ^ common::HashBytes(name));
+  ResourceState& st = states_.back();
+  auto pit = plan_.resources.find(name);
+  if (pit != plan_.resources.end()) {
+    st.error_rate = pit->second.error_rate;
+    st.fail_once.insert(pit->second.fail_once_ops.begin(),
+                        pit->second.fail_once_ops.end());
+  }
+  handles_.emplace(name, handle);
+  return handle;
+}
+
+Status FaultInjector::OnOp(int handle) {
+  ResourceState& st = states_[static_cast<size_t>(handle)];
+  if (crashed_) {
+    return Status::IOError("fault injector: crashed (" + crash_reason_ + ")");
+  }
+  const uint64_t op = st.ops++;
+  const uint64_t global_op = total_ops_++;
+  if (global_op >= plan_.crash_at_op) {
+    TriggerCrash("crash_at_op " + std::to_string(plan_.crash_at_op));
+    ++st.injected;
+    ++total_injected_;
+    return Status::IOError("fault injector: crashed (" + crash_reason_ + ")");
+  }
+  bool inject = false;
+  if (st.fail_once.erase(op) > 0) inject = true;
+  // Always draw, even when a one-shot already fired: keeps the Bernoulli
+  // stream aligned with the op index regardless of one-shot placement.
+  const bool bernoulli = st.rng.Bernoulli(st.error_rate);
+  if (bernoulli) inject = true;
+  if (inject) {
+    ++st.injected;
+    ++total_injected_;
+    return Status::IOError("injected fault: " + st.name + " op " +
+                           std::to_string(op));
+  }
+  return Status::OK();
+}
+
+void FaultInjector::TriggerCrash(const std::string& why) {
+  if (crashed_) return;
+  crashed_ = true;
+  crash_reason_ = why;
+}
+
+uint64_t FaultInjector::resource_ops(const std::string& name) const {
+  auto it = handles_.find(name);
+  return it == handles_.end() ? 0
+                              : states_[static_cast<size_t>(it->second)].ops;
+}
+
+uint64_t FaultInjector::resource_injected(const std::string& name) const {
+  auto it = handles_.find(name);
+  return it == handles_.end()
+             ? 0
+             : states_[static_cast<size_t>(it->second)].injected;
+}
+
+}  // namespace bionicdb::sim

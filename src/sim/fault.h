@@ -1,0 +1,114 @@
+// Deterministic fault injection for the simulated I/O stack.
+//
+// A FaultPlan is pure data: per-resource error rates, one-shot op-index
+// triggers, and crash points (at a log LSN or a global fault-op count).
+// A FaultInjector executes the plan. Determinism contract: every resource
+// draws from its own Rng stream seeded `plan.seed ^ FNV1a(resource name)`,
+// so the fault sequence seen by a resource depends only on the plan and on
+// that resource's own op ordering — never on how unrelated resources
+// interleave in virtual time. The same seed therefore yields the same
+// virtual-time trace and the same injected-fault set, run after run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace bionicdb::sim {
+
+/// Sentinel for "trigger disabled" (no op/LSN ever reaches it).
+constexpr uint64_t kFaultTriggerDisabled = ~0ull;
+
+/// Declarative fault schedule. Resource names match `Link::name()` — the
+/// platform wires "host_dram", "sg_dram", "pcie", "sas_disk", "ssd".
+struct FaultPlan {
+  struct ResourceFaults {
+    /// Probability that any given op on this resource fails (Bernoulli per
+    /// op, drawn from the resource's private stream).
+    double error_rate = 0.0;
+    /// Zero-based op indices that fail exactly once (deterministic
+    /// triggers, e.g. "the 3rd ssd flush fails").
+    std::vector<uint64_t> fail_once_ops;
+  };
+
+  /// Master seed; each resource stream is derived from it.
+  uint64_t seed = 1;
+  std::unordered_map<std::string, ResourceFaults> resources;
+  /// Freeze durability at exactly this LSN: flushes clamp to it and the
+  /// injector enters the crashed state (models pulling the plug mid-log).
+  uint64_t crash_at_lsn = kFaultTriggerDisabled;
+  /// Crash after this many total faultable ops across all resources.
+  uint64_t crash_at_op = kFaultTriggerDisabled;
+
+  bool empty() const {
+    return resources.empty() && crash_at_lsn == kFaultTriggerDisabled &&
+           crash_at_op == kFaultTriggerDisabled;
+  }
+
+  FaultPlan& WithErrorRate(const std::string& resource, double rate) {
+    resources[resource].error_rate = rate;
+    return *this;
+  }
+  FaultPlan& WithFailOnce(const std::string& resource, uint64_t op_index) {
+    resources[resource].fail_once_ops.push_back(op_index);
+    return *this;
+  }
+};
+
+/// Executes a FaultPlan. Resources register once (by name) and consult
+/// OnOp() before doing work; an error Status means "this op failed at the
+/// device" — the resource burns the same virtual time but reports failure.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Registers `name` and returns a stable handle for OnOp(). Idempotent:
+  /// the same name always maps to the same handle (and fault stream).
+  int RegisterResource(const std::string& name);
+
+  /// Consults the plan for the next op on `handle`. Returns OK to proceed,
+  /// or an IOError to inject. After a crash trigger fires, every op fails.
+  Status OnOp(int handle);
+
+  /// Enters the crashed state; all subsequent ops fail with IOError.
+  void TriggerCrash(const std::string& why);
+
+  bool crashed() const { return crashed_; }
+  const std::string& crash_reason() const { return crash_reason_; }
+  uint64_t crash_at_lsn() const { return plan_.crash_at_lsn; }
+
+  /// Faultable ops observed / faults injected, for assertions and metrics.
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t total_injected() const { return total_injected_; }
+  uint64_t resource_ops(const std::string& name) const;
+  uint64_t resource_injected(const std::string& name) const;
+
+ private:
+  struct ResourceState {
+    std::string name;
+    double error_rate = 0.0;
+    std::unordered_set<uint64_t> fail_once;
+    Rng rng;
+    uint64_t ops = 0;
+    uint64_t injected = 0;
+
+    ResourceState(std::string n, uint64_t seed)
+        : name(std::move(n)), rng(seed) {}
+  };
+
+  FaultPlan plan_;
+  std::vector<ResourceState> states_;
+  std::unordered_map<std::string, int> handles_;
+  uint64_t total_ops_ = 0;
+  uint64_t total_injected_ = 0;
+  bool crashed_ = false;
+  std::string crash_reason_;
+};
+
+}  // namespace bionicdb::sim

@@ -7,8 +7,10 @@
 #include <string>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "sim/energy.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -78,16 +80,27 @@ class Link {
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Link);
 
   /// Moves `bytes` across the link; resumes after serialization + latency.
-  Task<void> Transfer(uint64_t bytes) {
+  /// Returns IOError when a registered FaultInjector fails this op: the
+  /// transfer still occupies the wire and experiences latency (the device
+  /// spent the time before reporting the error), but the payload does not
+  /// count as delivered.
+  Task<Status> Transfer(uint64_t bytes) {
     const SimTime ser =
         static_cast<SimTime>(static_cast<double>(bytes) * ns_per_byte_ + 0.5);
     const SimTime start = std::max(sim_->Now(), next_free_);
     next_free_ = start + ser;
     busy_ns_ += ser;
-    bytes_ += bytes;
     ++ops_;
     if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, ser);
+    Status st = Status::OK();
+    if (faults_ != nullptr) st = faults_->OnOp(fault_handle_);
+    if (st.ok()) {
+      bytes_ += bytes;
+    } else {
+      ++faults_injected_;
+    }
     co_await DelayUntil{sim_, start + ser + latency_ns_};
+    co_return st;
   }
 
   /// Latency-only round trip carrying negligible payload (doorbells, CSRs).
@@ -95,10 +108,19 @@ class Link {
     co_await Delay{sim_, 2 * latency_ns_};
   }
 
+  /// Subjects this link's transfers to `faults` (nullptr detaches). The
+  /// link registers itself under its name; per-link fault streams key off
+  /// that name, so renaming a link re-seeds its stream.
+  void SetFaultInjector(FaultInjector* faults) {
+    faults_ = faults;
+    fault_handle_ = faults ? faults->RegisterResource(name_) : -1;
+  }
+
   const std::string& name() const { return name_; }
   SimTime latency_ns() const { return latency_ns_; }
   uint64_t bytes_transferred() const { return bytes_; }
   uint64_t ops() const { return ops_; }
+  uint64_t faults_injected() const { return faults_injected_; }
   SimTime busy_ns() const { return busy_ns_; }
   double Utilization(SimTime elapsed) const {
     return elapsed > 0
@@ -113,10 +135,13 @@ class Link {
   SimTime latency_ns_;
   EnergyMeter* meter_;
   int component_;
+  FaultInjector* faults_ = nullptr;
+  int fault_handle_ = -1;
   SimTime next_free_ = 0;
   SimTime busy_ns_ = 0;
   uint64_t bytes_ = 0;
   uint64_t ops_ = 0;
+  uint64_t faults_injected_ = 0;
 };
 
 /// A pipelined hardware unit: accepts one new request per initiation

@@ -13,7 +13,7 @@ PageId SimDisk::AllocPage() {
 }
 
 sim::Task<Status> SimDisk::ReadPage(PageId id, Page* out) {
-  co_await link_->Transfer(kPageSize);
+  BIONICDB_CO_RETURN_NOT_OK(co_await link_->Transfer(kPageSize));
   if (poisoned_.erase(id) > 0) {
     co_return Status::IOError("injected read error on " + name_);
   }
@@ -21,7 +21,7 @@ sim::Task<Status> SimDisk::ReadPage(PageId id, Page* out) {
 }
 
 sim::Task<Status> SimDisk::AccessPage(PageId id, bool is_write) {
-  co_await link_->Transfer(kPageSize);
+  BIONICDB_CO_RETURN_NOT_OK(co_await link_->Transfer(kPageSize));
   if (poisoned_.erase(id) > 0) {
     co_return Status::IOError("injected error on " + name_);
   }
@@ -37,12 +37,12 @@ sim::Task<Status> SimDisk::AccessPage(PageId id, bool is_write) {
 }
 
 sim::Task<Status> SimDisk::WritePage(PageId id, const Page& page) {
-  co_await link_->Transfer(kPageSize);
+  BIONICDB_CO_RETURN_NOT_OK(co_await link_->Transfer(kPageSize));
   co_return WritePageSync(id, page);
 }
 
 sim::Task<Status> SimDisk::AppendRaw(uint64_t bytes) {
-  co_await link_->Transfer(bytes);
+  BIONICDB_CO_RETURN_NOT_OK(co_await link_->Transfer(bytes));
   ++writes_;
   co_return Status::OK();
 }

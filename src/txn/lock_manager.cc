@@ -58,6 +58,9 @@ sim::Task<Status> LockManager::Acquire(Xct* xct, const std::string& key,
 
     if (ShouldDie(ls, *xct, mode)) {
       ++stats_.wait_die_aborts;
+      // A woken waiter that dies here may be the last party interested in
+      // this key; reclaim the slot it would otherwise orphan.
+      MaybeReclaim(key);
       co_return Status::Aborted("wait-die: lock " + key +
                                 " held by older transaction");
     }
@@ -86,13 +89,24 @@ void LockManager::ReleaseAll(Xct* xct) {
                        [&](const Holder& h) { return h.txn == xct->id; }),
         ls.holders.end());
     if (ls.waiters != nullptr && ls.waiting > 0) {
+      // Waiters requeue on wakeup; whichever leaves last (by acquiring or
+      // dying) reclaims the slot via MaybeReclaim.
       ls.waiters->NotifyAll();
-    } else if (ls.holders.empty()) {
-      delete ls.waiters;
-      table_.erase(it);
+    } else {
+      MaybeReclaim(key);
     }
   }
   xct->held_locks.clear();
+}
+
+void LockManager::MaybeReclaim(const std::string& key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  LockState& ls = it->second;
+  if (!ls.holders.empty() || ls.waiting > 0) return;
+  if (ls.waiters != nullptr && ls.waiters->num_waiters() > 0) return;
+  delete ls.waiters;
+  table_.erase(it);
 }
 
 }  // namespace bionicdb::txn

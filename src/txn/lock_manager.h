@@ -58,6 +58,11 @@ class LockManager {
   };
 
   bool Compatible(const LockState& ls, TxnId txn, LockMode mode) const;
+  /// Frees `key`'s slot (and CondVar) once nothing holds, waits on, or is
+  /// queued behind it. Without this, a key whose waiters all die via
+  /// wait-die keeps its entry forever: ReleaseAll only reclaims when no
+  /// waiter is registered at release time.
+  void MaybeReclaim(const std::string& key);
   /// True when some incompatible holder is older (higher priority) than
   /// the requester: wait-die lets the older transaction wait; the younger
   /// one must die. Priorities survive retries, so retried transactions age.

@@ -1,5 +1,7 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
+
 namespace bionicdb::wal {
 
 Lsn LogManager::AppendToBuffer(const LogRecord& rec) {
@@ -15,22 +17,63 @@ sim::Task<Status> LogManager::WaitDurable(Lsn lsn) {
   // flushes everything appended so far; others ride along (or re-loop if
   // their records landed after the leader's snapshot).
   while (durable_lsn_ < lsn) {
+    // Sticky failure: once the device is abandoned (or an injected crash
+    // fired), no LSN above the durable prefix will ever become durable.
+    if (!device_error_.ok()) co_return device_error_;
     if (flush_in_progress_) {
       co_await flush_cv_.Wait();
       continue;
     }
     flush_in_progress_ = true;
-    const Lsn target = current_lsn();
-    const uint64_t bytes = target - durable_lsn_;
-    if (bytes > 0) {
-      co_await DeviceFlush(bytes);
+    Lsn target = current_lsn();
+    // crash-at-LSN: freeze durability at exactly the planned point. The
+    // final flush covers only the prefix up to it, so commits at or below
+    // the crash LSN succeed and everything after fails.
+    bool crash_now = false;
+    if (faults_ != nullptr && target > faults_->crash_at_lsn()) {
+      target = std::max(durable_lsn_,
+                        static_cast<Lsn>(faults_->crash_at_lsn()));
+      crash_now = true;
     }
-    durable_lsn_ = target;
-    ++stats_.flushes;
+    const uint64_t bytes = target - durable_lsn_;
+    Status flush = Status::OK();
+    if (bytes > 0) {
+      flush = co_await FlushWithRetry(bytes);
+    }
+    if (flush.ok()) {
+      durable_lsn_ = target;
+      ++stats_.flushes;
+    } else {
+      ++stats_.flush_failures;
+      device_error_ = flush;
+    }
+    if (crash_now) {
+      faults_->TriggerCrash("crash_at_lsn " +
+                            std::to_string(faults_->crash_at_lsn()));
+      device_error_ = Status::IOError("log device lost (crash_at_lsn)");
+    }
     flush_in_progress_ = false;
     flush_cv_.NotifyAll();
+    if (!flush.ok()) co_return flush;
   }
   co_return Status::OK();
+}
+
+sim::Task<Status> LogManager::FlushWithRetry(uint64_t bytes) {
+  Status st = Status::OK();
+  SimTime backoff = retry_.backoff_base_ns;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    st = co_await DeviceFlush(bytes);
+    if (st.ok()) co_return st;
+    ++stats_.flush_errors;
+    if (attempt + 1 < retry_.max_attempts) {
+      ++stats_.flush_retries;
+      stats_.flush_backoff_ns += backoff;
+      co_await sim::Delay{sim_, backoff};
+      backoff = std::min(backoff * 2, retry_.backoff_max_ns);
+    }
+  }
+  co_return st;
 }
 
 SoftwareLogManager::SoftwareLogManager(hw::Platform* platform,
@@ -58,8 +101,8 @@ sim::Task<Lsn> SoftwareLogManager::Append(LogRecord rec, int socket) {
   co_return lsn;
 }
 
-sim::Task<void> SoftwareLogManager::DeviceFlush(uint64_t bytes) {
-  co_await log_device_->Transfer(bytes);
+sim::Task<Status> SoftwareLogManager::DeviceFlush(uint64_t bytes) {
+  co_return co_await log_device_->Transfer(bytes);
 }
 
 HardwareLogManager::HardwareLogManager(hw::Platform* platform,
@@ -73,15 +116,25 @@ sim::Task<Lsn> HardwareLogManager::Append(LogRecord rec, int socket) {
   // LSN order is fixed at submission (the unit preserves FIFO order per
   // socket and the simulator is deterministic across sockets).
   const Lsn lsn = AppendToBuffer(rec);
-  co_await unit_->Insert(rec.SerializedSize(), socket);
+  Status st = co_await unit_->Insert(rec.SerializedSize(), socket);
+  // A failed insert only lost the descriptor ride-along — the record is
+  // already ordered in the log buffer — so re-submission is cheap and
+  // bounded. Past the budget the append proceeds degraded (the flush path
+  // will move the bytes); it must not fail the transaction.
+  for (int attempt = 0; !st.ok() && attempt < 2; ++attempt) {
+    ++stats_.append_retries;
+    co_await sim::Delay{sim_, retry_.backoff_base_ns};
+    st = co_await unit_->Insert(rec.SerializedSize(), socket);
+  }
+  if (!st.ok()) ++stats_.append_errors;
   stats_.append_wait_ns += sim_->Now() - t0;
   co_return lsn;
 }
 
-sim::Task<void> HardwareLogManager::DeviceFlush(uint64_t bytes) {
+sim::Task<Status> HardwareLogManager::DeviceFlush(uint64_t bytes) {
   // FPGA log buffer -> PCIe -> CPU-side log SSD (Figure 4's storage path).
-  co_await platform_->pcie().Transfer(bytes);
-  co_await log_device_->Transfer(bytes);
+  BIONICDB_CO_RETURN_NOT_OK(co_await platform_->pcie().Transfer(bytes));
+  co_return co_await log_device_->Transfer(bytes);
 }
 
 }  // namespace bionicdb::wal

@@ -25,6 +25,21 @@ struct LogStats {
   uint64_t flushes = 0;
   uint64_t bytes_appended = 0;
   SimTime append_wait_ns = 0;  ///< Time callers spent blocked in Append.
+  // Degraded-mode accounting (fault injection; see docs/RECOVERY.md).
+  uint64_t flush_errors = 0;    ///< Individual device-flush attempts failed.
+  uint64_t flush_retries = 0;   ///< Re-attempts after a failed flush.
+  uint64_t flush_failures = 0;  ///< Flushes abandoned after the retry budget.
+  SimTime flush_backoff_ns = 0; ///< Virtual time spent backing off.
+  uint64_t append_retries = 0;  ///< HW insert path re-submissions.
+  uint64_t append_errors = 0;   ///< HW inserts that failed past retries.
+};
+
+/// Bounded-retry policy for device flushes: exponential backoff in virtual
+/// time, doubling from `backoff_base_ns` up to `backoff_max_ns`.
+struct RetryPolicy {
+  int max_attempts = 6;
+  SimTime backoff_base_ns = 2000;
+  SimTime backoff_max_ns = 256000;
 };
 
 /// Common WAL interface. Append orders a record in the log buffer (and
@@ -41,8 +56,16 @@ class LogManager {
   virtual sim::Task<Lsn> Append(LogRecord rec, int socket) = 0;
 
   /// Resumes when the log is durable at least through `lsn`. Group commit:
-  /// concurrent waiters share one device flush.
+  /// concurrent waiters share one device flush. Returns IOError when the
+  /// flush failed past the retry budget or the device is gone (sticky
+  /// failure / injected crash); `lsn`s at or below durable_lsn() still
+  /// succeed.
   sim::Task<Status> WaitDurable(Lsn lsn);
+
+  /// Subjects flushes to `faults` (crash-at-LSN clamping + crash state).
+  void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Next LSN to be assigned (== total bytes appended).
   Lsn current_lsn() const { return static_cast<Lsn>(buffer_.size()); }
@@ -63,8 +86,13 @@ class LogManager {
   Lsn AppendToBuffer(const LogRecord& rec);
 
   /// Device-specific flush of bytes (durable_lsn_, target]: SSD write for
-  /// the software log, PCIe + SSD for the hardware log.
-  virtual sim::Task<void> DeviceFlush(uint64_t bytes) = 0;
+  /// the software log, PCIe + SSD for the hardware log. Returns the device
+  /// outcome (IOError under fault injection).
+  virtual sim::Task<Status> DeviceFlush(uint64_t bytes) = 0;
+
+  /// One logical flush: attempts DeviceFlush up to retry_.max_attempts
+  /// times, backing off exponentially in virtual time between attempts.
+  sim::Task<Status> FlushWithRetry(uint64_t bytes);
 
   sim::Simulator* sim_;
   std::string buffer_;
@@ -72,6 +100,11 @@ class LogManager {
   bool flush_in_progress_ = false;
   sim::CondVar flush_cv_;
   LogStats stats_;
+  RetryPolicy retry_;
+  sim::FaultInjector* faults_ = nullptr;
+  /// Sticky: set when a flush is abandoned (retry budget exhausted or
+  /// injected crash); every later WaitDurable above durable_lsn_ fails.
+  Status device_error_;
 };
 
 /// Software WAL: every append serializes through the central log buffer.
@@ -86,7 +119,7 @@ class SoftwareLogManager : public LogManager {
   sim::Task<Lsn> Append(LogRecord rec, int socket) override;
 
  protected:
-  sim::Task<void> DeviceFlush(uint64_t bytes) override;
+  sim::Task<Status> DeviceFlush(uint64_t bytes) override;
 
  private:
   hw::Platform* platform_;
@@ -110,7 +143,7 @@ class HardwareLogManager : public LogManager {
   const hw::LogInsertionUnit* unit() const { return unit_; }
 
  protected:
-  sim::Task<void> DeviceFlush(uint64_t bytes) override;
+  sim::Task<Status> DeviceFlush(uint64_t bytes) override;
 
  private:
   hw::Platform* platform_;

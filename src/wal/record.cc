@@ -109,7 +109,12 @@ Result<LogRecord> LogRecord::Parse(Slice* in) {
   const uint32_t klen = GetU32(p + 25);
   const uint32_t rlen = GetU32(p + 29);
   const uint32_t ulen = GetU32(p + 33);
-  if (kHeaderSize + klen + rlen + ulen + kTrailerSize != len) {
+  // 64-bit sum: corrupt/crafted length fields near UINT32_MAX would wrap a
+  // 32-bit sum back to `len` and pass, sending the assigns below out of
+  // bounds.
+  const uint64_t body = static_cast<uint64_t>(kHeaderSize) + klen + rlen +
+                        ulen + kTrailerSize;
+  if (body != len) {
     return Status::Corruption("log record length mismatch");
   }
   rec.key.assign(p + kHeaderSize, klen);
@@ -119,19 +124,90 @@ Result<LogRecord> LogRecord::Parse(Slice* in) {
   return rec;
 }
 
-Result<std::vector<LogRecord>> ParseLogStream(Slice stream) {
+const char* TornTailKindName(TornTailInfo::Kind k) {
+  switch (k) {
+    case TornTailInfo::Kind::kNone:
+      return "None";
+    case TornTailInfo::Kind::kTruncatedHeader:
+      return "TruncatedHeader";
+    case TornTailInfo::Kind::kTruncatedRecord:
+      return "TruncatedRecord";
+    case TornTailInfo::Kind::kZeroFill:
+      return "ZeroFill";
+    case TornTailInfo::Kind::kBadLength:
+      return "BadLength";
+    case TornTailInfo::Kind::kCorruptRecord:
+      return "CorruptRecord";
+  }
+  return "?";
+}
+
+namespace {
+
+bool AllZero(const char* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<LogRecord>> ParseLogStream(Slice stream,
+                                              TornTailInfo* torn_tail) {
   std::vector<LogRecord> out;
+  uint64_t offset = 0;
+  TornTailInfo tail;
   while (!stream.empty()) {
-    // A torn tail (clean truncation shorter than a header or shorter than
-    // the advertised length) ends recovery; CRC damage mid-record is real
-    // corruption.
-    if (stream.size() < kHeaderSize + kTrailerSize) break;
+    const size_t remaining = stream.size();
+    auto stop = [&](TornTailInfo::Kind kind) {
+      tail.kind = kind;
+      tail.offset = offset;
+      tail.bytes_dropped = remaining;
+    };
+    // Tails that cannot even hold a length field + fixed header are clean
+    // truncation, whether zero-padded or mid-record torn.
+    if (remaining < kHeaderSize + kTrailerSize) {
+      stop(AllZero(stream.data(), remaining)
+               ? TornTailInfo::Kind::kZeroFill
+               : TornTailInfo::Kind::kTruncatedHeader);
+      break;
+    }
     const uint32_t len = GetU32(stream.data());
-    if (len > stream.size()) break;
+    if (len < kHeaderSize + kTrailerSize) {
+      // A zero (or tiny) length field is what a preallocated, zero-filled
+      // log file's tail looks like — end of the valid prefix, not
+      // corruption. A nonzero tail with a sub-minimum length is
+      // indistinguishable from a torn write that landed on garbage; treat
+      // it as end-of-log too (the CRC of any real record would fail
+      // anyway), but classify it separately.
+      stop(AllZero(stream.data(), remaining)
+               ? TornTailInfo::Kind::kZeroFill
+               : TornTailInfo::Kind::kBadLength);
+      break;
+    }
+    if (len > remaining) {
+      stop(TornTailInfo::Kind::kTruncatedRecord);
+      break;
+    }
     auto rec = LogRecord::Parse(&stream);
-    if (!rec.ok()) return rec.status();
+    if (!rec.ok()) {
+      // A damaged *final* record is a torn tail (the crash interrupted its
+      // write). "Final" means nothing but zero padding follows its
+      // advertised extent; damage with live records after it is mid-stream
+      // corruption and must fail recovery.
+      if (len == remaining ||
+          AllZero(stream.data() + len, remaining - len)) {
+        stop(TornTailInfo::Kind::kCorruptRecord);
+        break;
+      }
+      return rec.status();
+    }
+    rec.value().lsn = offset;
+    offset += len;
     out.push_back(std::move(rec).value());
   }
+  if (torn_tail != nullptr) *torn_tail = tail;
   return out;
 }
 

@@ -35,6 +35,9 @@ struct LogRecord {
   uint64_t txn_id = 0;
   uint32_t table_id = 0;
   Lsn prev_lsn = kInvalidLsn;  ///< Previous record of the same transaction.
+  /// Byte offset of this record in the parsed stream. Not serialized;
+  /// filled by ParseLogStream (kInvalidLsn when parsed via Parse directly).
+  Lsn lsn = kInvalidLsn;
   std::string key;
   std::string redo;  ///< After-image (empty for deletes).
   std::string undo;  ///< Before-image (empty for inserts).
@@ -50,8 +53,30 @@ struct LogRecord {
   static Result<LogRecord> Parse(Slice* in);
 };
 
-/// Parses an entire log stream; stops cleanly at truncation (torn tail),
-/// fails on mid-stream corruption.
-Result<std::vector<LogRecord>> ParseLogStream(Slice stream);
+/// How a log stream ended, when it did not end exactly on a record
+/// boundary. All of these are *clean* stops (the tail is discarded and
+/// recovery proceeds with the preceding prefix); mid-stream damage followed
+/// by live records is reported as Corruption instead.
+struct TornTailInfo {
+  enum class Kind : uint8_t {
+    kNone = 0,          ///< Stream ended exactly on a record boundary.
+    kTruncatedHeader,   ///< Tail shorter than the fixed header+trailer.
+    kTruncatedRecord,   ///< Advertised length exceeds the remaining bytes.
+    kZeroFill,          ///< Zero-filled tail (preallocated log file).
+    kBadLength,         ///< Nonzero tail with a sub-minimum length field.
+    kCorruptRecord,     ///< Final record damaged (torn or bit-flipped).
+  };
+  Kind kind = Kind::kNone;
+  uint64_t offset = 0;         ///< Stream offset where the tail begins.
+  uint64_t bytes_dropped = 0;  ///< Bytes discarded after `offset`.
+};
+
+const char* TornTailKindName(TornTailInfo::Kind k);
+
+/// Parses an entire log stream; stops cleanly at a torn tail (classified
+/// into `*torn_tail` when non-null), fails on mid-stream corruption. Each
+/// returned record carries its stream offset in `lsn`.
+Result<std::vector<LogRecord>> ParseLogStream(
+    Slice stream, TornTailInfo* torn_tail = nullptr);
 
 }  // namespace bionicdb::wal

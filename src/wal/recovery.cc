@@ -5,7 +5,7 @@
 namespace bionicdb::wal {
 
 Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
-  auto parsed = ParseLogStream(stream);
+  auto parsed = ParseLogStream(stream, &stats->torn_tail);
   if (!parsed.ok()) return parsed.status();
   std::vector<LogRecord>& all_records = *parsed;
 
@@ -14,7 +14,11 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
   for (size_t i = 0; i < all_records.size(); ++i) {
     if (all_records[i].type == RecordType::kCheckpoint) {
       start = i + 1;
-      stats->checkpoint_lsn = all_records[i].prev_lsn;
+      // The checkpoint's own LSN, not its prev_lsn: prev_lsn records where
+      // the log stood when the checkpoint was *initiated*, which undercounts
+      // whenever anything was appended between that read and the
+      // checkpoint's append.
+      stats->checkpoint_lsn = all_records[i].lsn;
     }
   }
   const std::vector<LogRecord> records(all_records.begin() + static_cast<long>(start),
@@ -25,10 +29,13 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
   std::unordered_set<uint64_t> seen;
   for (const LogRecord& rec : records) {
     ++stats->records_scanned;
+    // Any record — not just kBegin — marks its transaction as seen: a
+    // transaction whose kBegin landed before the checkpoint but whose later
+    // records span it would otherwise escape loser accounting entirely.
+    if (rec.type != RecordType::kCheckpoint && rec.txn_id != 0) {
+      seen.insert(rec.txn_id);
+    }
     switch (rec.type) {
-      case RecordType::kBegin:
-        seen.insert(rec.txn_id);
-        break;
       case RecordType::kCommit:
         committed.insert(rec.txn_id);
         break;

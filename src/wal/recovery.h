@@ -36,7 +36,10 @@ struct RecoveryStats {
   uint64_t loser_txns = 0;       ///< In-flight or explicitly aborted.
   uint64_t redo_applied = 0;
   uint64_t redo_skipped = 0;     ///< Loser records not redone.
+  /// LSN (stream offset) of the last checkpoint record, if any.
   Lsn checkpoint_lsn = kInvalidLsn;
+  /// How the stream ended; kind == kNone means a clean record boundary.
+  TornTailInfo torn_tail;
 };
 
 /// Replays the durable log `stream` into `target`. Returns Corruption if

@@ -1,0 +1,91 @@
+// Crash-recovery property harness: runs a workload (TATP or TPC-C) once,
+// under an optional fault plan, captures the WAL image, and then checks
+// recovery at arbitrary crash points — with a corpus of tail corruptions —
+// against a committed-transaction oracle computed from the log itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/config.h"
+#include "sim/fault.h"
+#include "wal/log_manager.h"
+#include "wal/record.h"
+#include "wal/recovery.h"
+
+namespace bionicdb::workload {
+
+/// How the simulated crash mangles the log tail.
+enum class TailFault {
+  kCleanCut,  ///< Pure truncation at the crash point.
+  kZeroFill,  ///< Truncation followed by preallocated-file zero padding.
+  kBitFlip,   ///< Last durable record hit by a single flipped bit.
+};
+
+const char* TailFaultName(TailFault f);
+
+struct CrashHarnessConfig {
+  engine::EngineMode mode = engine::EngineMode::kDora;
+  uint64_t seed = 1;
+  bool use_tpcc = false;  ///< false == TATP.
+  int clients = 4;
+  int txns = 200;   ///< Transactions across all clients.
+  int scale = 100;  ///< TATP subscribers / TPC-C customers per district.
+  sim::FaultPlan fault_plan;  ///< Applied to the original run only.
+};
+
+/// Everything the original (crashing) run produced.
+struct CrashRunResult {
+  std::string log;  ///< Full in-memory log image.
+  wal::Lsn durable_lsn = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  wal::LogStats log_stats;
+  uint64_t faults_injected = 0;
+  uint64_t durability_failures = 0;
+  uint64_t hw_fallbacks = 0;
+  uint64_t io_errors = 0;
+  SimTime end_time_ns = 0;
+  uint64_t events_processed = 0;
+};
+
+class CrashHarness {
+ public:
+  explicit CrashHarness(const CrashHarnessConfig& config);
+
+  /// Runs the workload (once; lazily) and returns the captured run.
+  const CrashRunResult& Run();
+
+  /// Start offsets of every record in the captured log, ascending.
+  const std::vector<size_t>& record_offsets();
+
+  /// Crashes the log at byte `cut` with the given tail fault, recovers a
+  /// freshly loaded engine from the mangled image, and compares its logical
+  /// state against the committed-transaction oracle for the surviving
+  /// prefix. Returns "" on success, a divergence description otherwise.
+  /// `seed` randomizes the corruption (zero-run length / flipped bit).
+  std::string CheckCrashPoint(size_t cut, TailFault fault, uint64_t seed,
+                              wal::RecoveryStats* stats_out = nullptr);
+
+ private:
+  using State = std::map<std::string, std::string>;
+
+  void EnsureRan();
+  /// Expected logical state after recovering the prefix [0, oracle_len):
+  /// the loaded state plus the effects of every transaction whose commit
+  /// record lies wholly inside the prefix.
+  State Oracle(size_t oracle_len) const;
+
+  CrashHarnessConfig cfg_;
+  bool ran_ = false;
+  CrashRunResult result_;
+  State initial_state_;  ///< After Load, before any transaction.
+  std::vector<std::string> table_names_;  ///< Indexed by table id.
+  std::vector<wal::LogRecord> records_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace bionicdb::workload

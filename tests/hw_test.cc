@@ -307,7 +307,7 @@ TEST(ScannerUnitTest, ShipsOnlySelectedBytes) {
   ScannerUnit scanner(&p);
   ScanTiming result;
   sim.Spawn([](ScannerUnit* sc, ScanTiming* out) -> Task<> {
-    *out = co_await sc->Scan(10 * kMiB, 0.02);
+    *out = (co_await sc->Scan(10 * kMiB, 0.02)).value();
   }(&scanner, &result));
   sim.Run();
   EXPECT_EQ(result.bytes_scanned, 10 * kMiB);
@@ -336,7 +336,7 @@ TEST(ScannerUnitTest, FullProjectionShipsEverything) {
   ScannerUnit scanner(&p);
   ScanTiming result;
   sim.Spawn([](ScannerUnit* sc, ScanTiming* out) -> Task<> {
-    *out = co_await sc->Scan(1 * kMiB, 1.0);
+    *out = (co_await sc->Scan(1 * kMiB, 1.0)).value();
   }(&scanner, &result));
   sim.Run();
   EXPECT_EQ(result.bytes_shipped, 1 * kMiB);

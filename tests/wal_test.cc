@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "hw/log_unit.h"
 #include "hw/platform.h"
 #include "sim/simulator.h"
@@ -109,6 +110,84 @@ TEST(ParseLogStreamTest, MidStreamCorruptionFails) {
   MakeUpdate(2, "b", "r", "u").AppendTo(&buf);
   buf[first_end / 2] ^= 1;
   EXPECT_TRUE(ParseLogStream(Slice(buf)).status().IsCorruption());
+}
+
+void OverwriteU32(std::string* buf, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*buf)[at + i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+TEST(LogRecordTest, WrappingLengthFieldsAreCorruption) {
+  // klen/rlen crafted so a 32-bit sum of header + payload lengths + trailer
+  // wraps back to the record's length field: a 32-bit check would pass and
+  // the payload assigns would read ~4 GiB out of bounds. The CRC is
+  // refreshed so only the 64-bit length check can catch the craft.
+  LogRecord rec = MakeUpdate(7, "key", "redo", "undo");
+  std::string buf;
+  rec.AppendTo(&buf);
+  const uint32_t len = static_cast<uint32_t>(buf.size());
+  OverwriteU32(&buf, 25, 0x80000000u + 3);  // klen += 2^31
+  OverwriteU32(&buf, 29, 0x80000000u + 4);  // rlen += 2^31
+  OverwriteU32(&buf, len - 4, MaskCrc(Crc32c(0, buf.data(), len - 4)));
+  Slice in(buf);
+  EXPECT_TRUE(LogRecord::Parse(&in).status().IsCorruption());
+}
+
+TEST(ParseLogStreamTest, ZeroFilledTailStopsCleanly) {
+  std::string buf;
+  MakeUpdate(1, "a", "r", "u").AppendTo(&buf);
+  const size_t rec_end = buf.size();
+  buf.append(200, '\0');  // Preallocated log file past the durable prefix.
+  TornTailInfo tail;
+  auto recs = ParseLogStream(Slice(buf), &tail);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 1u);
+  EXPECT_EQ(tail.kind, TornTailInfo::Kind::kZeroFill);
+  EXPECT_EQ(tail.offset, rec_end);
+  EXPECT_EQ(tail.bytes_dropped, 200u);
+}
+
+TEST(ParseLogStreamTest, SubMinimumLengthGarbageTailIsBadLength) {
+  std::string buf;
+  MakeUpdate(1, "a", "r", "u").AppendTo(&buf);
+  // Nonzero tail whose length field is below the fixed header + trailer.
+  buf += '\x05';
+  buf.append(3, '\0');
+  buf.append(50, 'g');
+  TornTailInfo tail;
+  auto recs = ParseLogStream(Slice(buf), &tail);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 1u);
+  EXPECT_EQ(tail.kind, TornTailInfo::Kind::kBadLength);
+}
+
+TEST(ParseLogStreamTest, CorruptFinalRecordWithZeroPaddingStopsCleanly) {
+  std::string buf;
+  MakeUpdate(1, "a", "r", "u").AppendTo(&buf);
+  const size_t first_end = buf.size();
+  MakeUpdate(2, "b", "r", "u").AppendTo(&buf);
+  buf[first_end + 20] ^= 1;  // Damage the final record's body.
+  buf.append(64, '\0');      // Zero padding follows its extent.
+  TornTailInfo tail;
+  auto recs = ParseLogStream(Slice(buf), &tail);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 1u);
+  EXPECT_EQ(tail.kind, TornTailInfo::Kind::kCorruptRecord);
+  EXPECT_EQ(tail.offset, first_end);
+}
+
+TEST(ParseLogStreamTest, RecordsCarryTheirStreamOffsets) {
+  std::string buf;
+  MakeUpdate(1, "a", "r", "u").AppendTo(&buf);
+  const size_t second = buf.size();
+  MakeUpdate(2, "b", "r", "u").AppendTo(&buf);
+  auto recs = ParseLogStream(Slice(buf));
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  EXPECT_EQ((*recs)[0].lsn, 0u);
+  EXPECT_EQ((*recs)[1].lsn, second);
 }
 
 TEST(LogRecordTest, TypeNames) {
@@ -324,6 +403,38 @@ TEST(RecoveryTest, DeletesAreRedone) {
   RecoveryStats stats;
   ASSERT_TRUE(Recover(Slice(log), &target, &stats).ok());
   EXPECT_TRUE(target.data_.empty());
+}
+
+TEST(RecoveryTest, TxnsSpanningCheckpointAreAccountedAndReplayed) {
+  // txn 1 begins before the quiescent checkpoint and commits after it: its
+  // pre-checkpoint effect is already in base data, so only the suffix
+  // update replays. txn 2 also spans the checkpoint and never commits —
+  // it must be counted as a loser even though its kBegin lies before the
+  // checkpoint (its suffix records alone mark it as seen).
+  std::vector<LogRecord> recs = {
+      Ctl(RecordType::kBegin, 1),
+      Op(RecordType::kInsert, 1, "a", "1"),
+      Ctl(RecordType::kBegin, 2),
+      Ctl(RecordType::kCheckpoint, 0),
+      Op(RecordType::kUpdate, 1, "a", "1.1"),
+      Ctl(RecordType::kCommit, 1),
+      Op(RecordType::kInsert, 2, "b", "2"),
+  };
+  const std::string log = BuildLog(recs);
+  MapTarget target;
+  RecoveryStats stats;
+  ASSERT_TRUE(Recover(Slice(log), &target, &stats).ok());
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_EQ(stats.loser_txns, 1u);
+  EXPECT_EQ(stats.redo_applied, 1u);
+  EXPECT_EQ(stats.redo_skipped, 1u);
+  // checkpoint_lsn is the checkpoint record's own stream offset, not the
+  // prev_lsn snapshot taken when the checkpoint began.
+  EXPECT_EQ(stats.checkpoint_lsn,
+            recs[0].SerializedSize() + recs[1].SerializedSize() +
+                recs[2].SerializedSize());
+  EXPECT_EQ(target.data_.at({1, "a"}), "1.1");
+  EXPECT_EQ(target.data_.count({1, "b"}), 0u);
 }
 
 TEST(RecoveryTest, TornTailIgnored) {
