@@ -5,14 +5,16 @@
 // the *simulated* throughput/energy/breakdown, not host wall time. Each
 // binary registers google-benchmark entries (one iteration each) whose
 // counters carry the simulated results, and prints a paper-style table.
+//
+// Header-only and benchmark-framework-free on purpose: tier-1 tests
+// (tests/breakdown_test.cc) include it too.
 #pragma once
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "sim/simulator.h"
 #include "workload/driver.h"
 #include "workload/tatp.h"
@@ -27,9 +29,10 @@ struct RunResult {
   double p95_latency_us = 0;
   uint64_t commits = 0;
   uint64_t aborts = 0;
-  hw::Breakdown breakdown;
+  obs::BreakdownReport breakdown;  ///< String-keyed Figure-3 components.
   double cpu_utilization = 0;   ///< fraction of core-time busy
   uint64_t pcie_bytes = 0;
+  bool degraded = false;        ///< Any degraded-mode event in the window.
 };
 
 struct WorkloadScale {
@@ -47,17 +50,23 @@ struct WorkloadScale {
 
 inline RunResult CollectResult(engine::Engine& engine,
                                const WorkloadScale& scale) {
+  // Everything flows through the metrics registry: the same named metrics
+  // any other consumer (trace_dump, tests, future exporters) reads. Each
+  // bench used to poke engine internals by hand; drift between them is
+  // gone because there is one producer per quantity.
   RunResult r;
-  const auto& m = engine.metrics();
-  r.txn_per_sec = m.TxnPerSecond();
-  r.uj_per_txn = m.MicrojoulesPerTxn();
-  r.mean_latency_us = m.latency.Mean() / 1e3;
-  r.p95_latency_us = static_cast<double>(m.latency.Percentile(95)) / 1e3;
-  r.commits = m.commits;
-  r.aborts = m.aborts;
-  r.breakdown = engine.breakdown();
-  r.cpu_utilization = engine.platform().TotalCpuUtilization(m.elapsed_ns);
-  r.pcie_bytes = engine.platform().pcie().bytes_transferred();
+  const obs::Registry& reg = engine.registry();
+  r.txn_per_sec = reg.Value("engine.txn_per_sec");
+  r.uj_per_txn = reg.Value("engine.uj_per_txn");
+  const Histogram* lat = reg.GetHistogram("engine.latency_ns");
+  r.mean_latency_us = lat->Mean() / 1e3;
+  r.p95_latency_us = static_cast<double>(lat->Percentile(95)) / 1e3;
+  r.commits = static_cast<uint64_t>(reg.Value("engine.commits"));
+  r.aborts = static_cast<uint64_t>(reg.Value("engine.aborts"));
+  r.breakdown = engine.BreakdownSnapshot();
+  r.cpu_utilization = reg.Value("platform.cpu_utilization");
+  r.pcie_bytes = static_cast<uint64_t>(reg.Value("sim.pcie.bytes"));
+  r.degraded = reg.Value("engine.degraded") != 0.0;
   return r;
 }
 

@@ -29,7 +29,12 @@ int64_t Histogram::BucketUpperBound(int bucket) {
   const int range = bucket / kSub;  // >= 1
   const int sub = bucket % kSub;
   const int msb = range + kSubBits - 1;
-  return ((static_cast<int64_t>(kSub) + sub + 1) << (msb - kSubBits)) - 1;
+  const int shift = msb - kSubBits;
+  const int64_t base = static_cast<int64_t>(kSub) + sub + 1;  // in [17, 32]
+  // base needs 6 bits; past shift 57 the product leaves int64 (the shift
+  // was UB for the top buckets). Saturate: callers clamp against max().
+  if (shift > 57) return std::numeric_limits<int64_t>::max();
+  return (base << shift) - 1;
 }
 
 void Histogram::Add(int64_t value) {
@@ -55,6 +60,9 @@ double Histogram::Mean() const {
 
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
+  // p == 0 used to fall through to the bucket walk with target 0, which the
+  // first (possibly empty) bucket satisfied — reporting 0 instead of min.
+  if (p <= 0.0) return min();
   p = std::clamp(p, 0.0, 100.0);
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t seen = 0;

@@ -13,6 +13,15 @@ Executor::Executor(hw::Platform* platform, const ExecutorConfig& config,
         platform->simulator(), static_cast<uint32_t>(i),
         config.queue_capacity));
   }
+  if (obs::Tracer* t = platform->tracer(); t != nullptr) {
+    tracer_ = t;
+    trace_action_ = t->InternName("action");
+    trace_cat_ = t->InternCategory("dora");
+    for (int i = 0; i < config.num_partitions; ++i) {
+      trace_tracks_.push_back(
+          t->RegisterTrack("dora/partition" + std::to_string(i)));
+    }
+  }
 }
 
 SimTime Executor::QueueOpCost() const {
@@ -161,12 +170,29 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
 }
 
 sim::Task<void> Executor::RunAction(Partition* p, Action* action) {
+  const SimTime start = platform_->simulator()->Now();
+  uint64_t span_id = 0;
+  if (tracer_ != nullptr && config_.async_actions) {
+    span_id = ++trace_seq_;
+    tracer_->AsyncBegin(trace_tracks_[p->id()], trace_action_, trace_cat_,
+                        start, span_id);
+  }
   ActionContext ctx;
   ctx.xct = action->xct;
   ctx.partition = p;
   ctx.socket = action->socket;
   Status st = co_await action->fn(ctx);
   ++stats_.executed;
+  if (tracer_ != nullptr) {
+    const SimTime end = platform_->simulator()->Now();
+    if (config_.async_actions) {
+      tracer_->AsyncEnd(trace_tracks_[p->id()], trace_action_, trace_cat_,
+                        end, span_id);
+    } else {
+      tracer_->Complete(trace_tracks_[p->id()], trace_action_, trace_cat_,
+                        start, end - start);
+    }
+  }
   action->rvp->Arrive(st);
   pool_.Release(action);
 }

@@ -98,6 +98,14 @@ class Executor {
   ActionPool pool_;
   ExecutorStats stats_;
   bool running_ = false;
+  // One track per partition ("dora/partition<i>"). Synchronous agents run
+  // one action at a time (Complete spans); async agents overlap bodies
+  // (async pairs keyed by a monotone id).
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<uint16_t> trace_tracks_;
+  uint16_t trace_action_ = 0;
+  uint8_t trace_cat_ = 0;
+  uint64_t trace_seq_ = 0;
 };
 
 }  // namespace bionicdb::dora

@@ -17,6 +17,7 @@
 #include "hw/scanner_unit.h"
 #include "hw/tree_probe_unit.h"
 #include "index/btree.h"
+#include "obs/trace.h"
 #include "queueing/scheduler.h"
 #include "sim/fault.h"
 
@@ -60,6 +61,12 @@ struct EngineConfig {
   /// Deterministic fault schedule for the simulated I/O stack. Empty (the
   /// default) means an infallible platform — no injector is created.
   sim::FaultPlan fault_plan;
+
+  /// Observability switch. Disabled (the default) costs one predicted-
+  /// not-taken branch per record site and allocates nothing; enabled, the
+  /// engine traces every layer and samples utilization/queue-depth
+  /// timelines (see docs/OBSERVABILITY.md).
+  obs::TraceConfig trace;
 
   OffloadConfig offload = OffloadConfig::AllOff();
   index::BTreeConfig index_config;

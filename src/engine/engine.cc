@@ -9,11 +9,16 @@ using hw::Component;
 
 Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
     : sim_(sim), config_(config) {
+  // The tracer exists only when enabled; every layer takes a possibly-null
+  // pointer and skips interning entirely otherwise.
+  if (config.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(config.trace);
+  }
   if (!config.fault_plan.empty()) {
     fault_ = std::make_unique<sim::FaultInjector>(config.fault_plan);
   }
   platform_ = std::make_unique<hw::Platform>(sim, config.platform,
-                                             fault_.get());
+                                             fault_.get(), tracer_.get());
 
   // Data lives on the FPGA-side SAS disks (bionic) or the same simulated
   // spindles on a commodity box; the log SSD is CPU-side in both.
@@ -50,6 +55,7 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
         platform_.get(), &platform_->ssd(), config.sockets);
   }
   log_->SetFaultInjector(fault_.get());
+  log_->AttachTracer(tracer_.get());
   xm_ = std::make_unique<txn::XctManager>(log_.get());
 
   if (config.mode == EngineMode::kConventional) {
@@ -65,6 +71,52 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
     executor_ = std::make_unique<dora::Executor>(
         platform_.get(), ec, queue_engine_.get(), &breakdown_);
   }
+
+  if (tracer_) {
+    trace_txn_track_ = tracer_->RegisterTrack("engine/txn");
+    trace_txn_name_ = tracer_->InternName("txn");
+    trace_commit_name_ = tracer_->InternName("commit");
+    trace_abort_name_ = tracer_->InternName("abort");
+    trace_txn_cat_ = tracer_->InternCategory("txn");
+
+    sampler_ = std::make_unique<obs::TimelineSampler>(tracer_.get());
+    // Queue depths: one series per DORA partition.
+    if (executor_) {
+      for (int i = 0; i < executor_->num_partitions(); ++i) {
+        dora::Partition* p = executor_->partition(static_cast<uint32_t>(i));
+        sampler_->AddGauge(
+            "dora.partition" + std::to_string(i) + ".queue_depth",
+            [p] { return static_cast<double>(p->queue().size()); });
+      }
+    }
+    // WAL flush backlog: bytes appended but not yet durable.
+    sampler_->AddGauge("wal.backlog_bytes", [this] {
+      return static_cast<double>(log_->current_lsn() - log_->durable_lsn());
+    });
+    // Windowed link/CPU utilization: delta busy-ns over the tick interval.
+    for (sim::Link* l : {&platform_->pcie(), &platform_->sg_dram(),
+                         &platform_->host_dram(), &platform_->sas_disk(),
+                         &platform_->ssd()}) {
+      sampler_->AddRate("sim." + l->name() + ".util",
+                        [l] { return static_cast<double>(l->busy_ns()); });
+    }
+    {
+      hw::Platform* pf = platform_.get();
+      const double cores = static_cast<double>(config.platform.cpu_cores) *
+                           static_cast<double>(config.platform.cpu_sockets);
+      sampler_->AddRate(
+          "platform.cpu.util",
+          [pf, spec = &config_] {
+            double busy = 0.0;
+            for (int s = 0; s < spec->platform.cpu_sockets; ++s) {
+              busy += static_cast<double>(pf->cpu(s).busy_ns());
+            }
+            return busy;
+          },
+          1.0 / cores);
+    }
+  }
+  RegisterMetrics();
 }
 
 Engine::~Engine() = default;
@@ -79,8 +131,108 @@ Status Engine::LoadRow(Table* table, Slice key, Slice record) {
   return table->LoadRow(key, record, resident);
 }
 
+void Engine::RegisterMetrics() {
+  // RunMetrics fields, bound in place (metrics_ is reassigned by
+  // ResetStats(), never moved, so the addresses are stable).
+  registry_.BindCounter("engine.commits", &metrics_.commits,
+                        "Committed transactions");
+  registry_.BindCounter("engine.aborts", &metrics_.aborts,
+                        "Aborted transactions (incl. wait-die retries)");
+  registry_.BindCounter("engine.io_errors", &metrics_.io_errors,
+                        "Transactions failed on device I/O");
+  registry_.BindCounter("engine.durability_failures",
+                        &metrics_.durability_failures,
+                        "Commits lost to failed log flushes");
+  registry_.BindCounter("engine.hw_fallbacks", &metrics_.hw_fallbacks,
+                        "HW-unit ops retried in software");
+  registry_.BindCounter("engine.faults_injected", &metrics_.faults_injected,
+                        "Faults fired in the measurement window");
+  registry_.BindCounter("engine.log_flush_retries",
+                        &metrics_.log_flush_retries, "WAL flush re-attempts");
+  registry_.BindCounter("engine.log_flush_failures",
+                        &metrics_.log_flush_failures,
+                        "WAL flushes abandoned");
+  registry_.BindCounter("engine.log_backoff_ns", &metrics_.log_backoff_ns,
+                        "Virtual time in flush backoff");
+  registry_.BindCounter("engine.elapsed_ns", &metrics_.elapsed_ns,
+                        "Measurement window (virtual ns)");
+  registry_.BindHistogram("engine.latency_ns", &metrics_.latency,
+                          "Per-transaction latency (virtual ns)");
+  registry_.BindGauge("engine.joules", [this] { return metrics_.joules; },
+                      "Whole-platform energy over the window");
+  registry_.BindGauge("engine.txn_per_sec",
+                      [this] { return metrics_.TxnPerSecond(); },
+                      "Committed txns per virtual second");
+  registry_.BindGauge("engine.uj_per_txn",
+                      [this] { return metrics_.MicrojoulesPerTxn(); },
+                      "Microjoules per committed txn");
+  registry_.BindGauge("engine.abort_rate",
+                      [this] { return metrics_.AbortRate(); },
+                      "Aborts / (commits + aborts)");
+  registry_.BindGauge("engine.degraded",
+                      [this] { return Degraded() ? 1.0 : 0.0; },
+                      "1 when the window saw degraded-mode events");
+
+  // Figure-3 breakdown: one gauge per component; the help string carries
+  // the display label so BreakdownReport can render the legend.
+  for (int i = 0; i < hw::kNumComponents; ++i) {
+    const auto c = static_cast<hw::Component>(i);
+    registry_.BindGauge(
+        std::string("breakdown.") + hw::ComponentKey(c) + "_ns",
+        [this, c] { return static_cast<double>(breakdown_.ns(c)); },
+        hw::ComponentName(c));
+  }
+
+  // WAL counters, measurement-window relative (cumulative minus the
+  // ResetStats() baseline).
+  registry_.BindGauge("wal.appends", [this] {
+    return static_cast<double>(log_->stats().appends -
+                               log_baseline_.appends);
+  }, "WAL records appended");
+  registry_.BindGauge("wal.bytes_appended", [this] {
+    return static_cast<double>(log_->stats().bytes_appended -
+                               log_baseline_.bytes_appended);
+  }, "WAL bytes appended");
+  registry_.BindGauge("wal.flushes", [this] {
+    return static_cast<double>(log_->stats().flushes -
+                               log_baseline_.flushes);
+  }, "Group-commit device flushes");
+  registry_.BindGauge("wal.flush_errors", [this] {
+    return static_cast<double>(log_->stats().flush_errors -
+                               log_baseline_.flush_errors);
+  }, "Individual device-flush attempts failed");
+  registry_.BindGauge("wal.flush_retries", [this] {
+    return static_cast<double>(log_->stats().flush_retries -
+                               log_baseline_.flush_retries);
+  }, "Flush re-attempts after a failure");
+  registry_.BindGauge("wal.flush_failures", [this] {
+    return static_cast<double>(log_->stats().flush_failures -
+                               log_baseline_.flush_failures);
+  }, "Flushes abandoned past the retry budget");
+
+  // Platform gauges read engine.elapsed_ns, so they are meaningful after
+  // FinishRun() (mid-run they under-report by the unfinished window).
+  registry_.BindGauge("platform.cpu_utilization", [this] {
+    return platform_->TotalCpuUtilization(metrics_.elapsed_ns);
+  }, "Mean CPU utilization over the window");
+  registry_.BindGauge("sim.pcie.bytes", [this] {
+    return static_cast<double>(platform_->pcie().bytes_transferred());
+  }, "PCIe bytes moved since construction");
+}
+
 void Engine::Start() {
   if (executor_ && !executor_->running()) executor_->Start();
+  if (tracer_ && sampler_ && !sampler_running_) {
+    sampler_running_ = true;
+    sim_->Spawn(SamplerLoop());
+  }
+}
+
+sim::Task<void> Engine::SamplerLoop() {
+  while (sampler_running_) {
+    sampler_->SampleOnce(sim_->Now());
+    co_await sim::Delay{sim_, config_.trace.sample_interval_ns};
+  }
 }
 
 sim::Task<void> Engine::PreheatBufferPool() {
@@ -92,6 +244,9 @@ sim::Task<void> Engine::PreheatBufferPool() {
 }
 
 sim::Task<void> Engine::Shutdown() {
+  // The sampler wakes once more after the flag clears and exits, so the
+  // simulator still runs to quiescence.
+  sampler_running_ = false;
   if (executor_ && executor_->running()) co_await executor_->Drain();
 }
 
@@ -101,16 +256,26 @@ void Engine::ResetStats() {
   platform_->meter().Reset();
   bpool_->ResetStats();
   epoch_ = sim_->Now();
+  // The WAL and the fault injector count from construction; snapshot them
+  // so FinishRun() reports the measurement window only (warmup used to
+  // contaminate these counters).
+  log_baseline_ = log_->stats();
+  faults_baseline_ = fault_ ? fault_->total_injected() : 0;
+  // Restart the trace too: the exported timeline covers the window.
+  if (tracer_) tracer_->Clear();
 }
 
 void Engine::FinishRun() {
   metrics_.elapsed_ns = sim_->Now() - epoch_;
   metrics_.joules = platform_->TotalJoules(metrics_.elapsed_ns);
   const wal::LogStats& ls = log_->stats();
-  metrics_.log_flush_retries = ls.flush_retries;
-  metrics_.log_flush_failures = ls.flush_failures;
-  metrics_.log_backoff_ns = ls.flush_backoff_ns;
-  if (fault_) metrics_.faults_injected = fault_->total_injected();
+  metrics_.log_flush_retries = ls.flush_retries - log_baseline_.flush_retries;
+  metrics_.log_flush_failures =
+      ls.flush_failures - log_baseline_.flush_failures;
+  metrics_.log_backoff_ns = ls.flush_backoff_ns - log_baseline_.flush_backoff_ns;
+  if (fault_) {
+    metrics_.faults_injected = fault_->total_injected() - faults_baseline_;
+  }
 }
 
 // --------------------------------------------------------- cost helpers --
@@ -490,11 +655,9 @@ Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
     uint64_t bytes = 0;
     for (auto& [k, v] : rows) bytes += k.size() + v.size();
     if (bytes > 0) {
-      const Status io = co_await platform_->pcie().Transfer(bytes);
-      if (!io.ok()) {
-        ++metrics_.io_errors;
-        co_return io;
-      }
+      // The transaction-level accounting in Execute() counts the IOError
+      // once; counting it here too used to double-book io_errors.
+      BIONICDB_CO_RETURN_NOT_OK(co_await platform_->pcie().Transfer(bytes));
     }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(12.0) *
@@ -540,11 +703,7 @@ Engine::RangeReadIndex(ExecContext& ctx, Table* table,
     uint64_t bytes = 0;
     for (auto& [k, v] : rows) bytes += k.size() + v.size();
     if (bytes > 0) {
-      const Status io = co_await platform_->pcie().Transfer(bytes);
-      if (!io.ok()) {
-        ++metrics_.io_errors;
-        co_return io;
-      }
+      BIONICDB_CO_RETURN_NOT_OK(co_await platform_->pcie().Transfer(bytes));
     }
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(12.0) *
@@ -603,10 +762,7 @@ sim::Task<Result<uint64_t>> Engine::ScanCount(
       // Commodity: stream from host memory, filter on the CPU.
       io = co_await platform_->host_dram().Transfer(bytes);
     }
-    if (!io.ok()) {
-      ++metrics_.io_errors;
-      co_return io;
-    }
+    BIONICDB_CO_RETURN_NOT_OK(io);
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(10.0) *
                          static_cast<double>(rows.size()),
@@ -674,10 +830,7 @@ sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
     } else {
       io = co_await platform_->host_dram().Transfer(bytes);
     }
-    if (!io.ok()) {
-      ++metrics_.io_errors;
-      co_return io;
-    }
+    BIONICDB_CO_RETURN_NOT_OK(io);
     co_await CpuWork(ctx,
                      platform_->cost().InstrNs(3.0) *
                          static_cast<double>(proj->values.size()),
@@ -846,6 +999,13 @@ sim::Task<Status> Engine::AbortTxn(ExecContext& ctx, txn::Xct* xct) {
 sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
                                   uint64_t* priority) {
   const SimTime start = sim_->Now();
+  // In-flight transactions overlap arbitrarily -> async spans on one track.
+  uint64_t span_id = 0;
+  if (tracer_) {
+    span_id = ++trace_txn_seq_;
+    tracer_->AsyncBegin(trace_txn_track_, trace_txn_name_, trace_txn_cat_,
+                        start, span_id);
+  }
   // Conventional engine: admission waits for a worker-pool slot.
   if (workers_sem_) co_await workers_sem_->Acquire();
   co_await CpuWorkNoCore(platform_->cost().FrontendDispatchNs(),
@@ -880,6 +1040,14 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
     Status abort_st = co_await AbortTxn(ctx, xct.get());
     BIONICDB_CHECK(abort_st.ok());
     ++metrics_.aborts;
+  }
+  if (tracer_) {
+    const SimTime end = sim_->Now();
+    tracer_->Instant(trace_txn_track_,
+                     st.ok() ? trace_commit_name_ : trace_abort_name_,
+                     trace_txn_cat_, end);
+    tracer_->AsyncEnd(trace_txn_track_, trace_txn_name_, trace_txn_cat_, end,
+                      span_id);
   }
   metrics_.latency.Add(sim_->Now() - start);
   if (workers_sem_) workers_sem_->Release();

@@ -24,6 +24,9 @@
 #include "hw/scanner_unit.h"
 #include "hw/tree_probe_unit.h"
 #include "index/btree.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "storage/buffer_pool.h"
@@ -200,6 +203,25 @@ class Engine {
   // ------------------------------------------------------------- telemetry --
   RunMetrics& metrics() { return metrics_; }
   hw::Breakdown& breakdown() { return breakdown_; }
+  /// Every run quantity under a stable dotted name ("engine.commits",
+  /// "breakdown.btree_ns", "wal.flush_retries", ...). Bound directly to the
+  /// live fields — reading is always current; see docs/OBSERVABILITY.md.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// Tracer shared by every layer; null-object (disabled) unless
+  /// config.trace.enabled.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// Figure-3 component breakdown of the measurement window so far.
+  obs::BreakdownReport BreakdownSnapshot() const {
+    return obs::BreakdownReport::FromRegistry(registry_);
+  }
+  /// Live degraded-mode check: unlike metrics().Degraded(), this also sees
+  /// abandoned flushes that happened since ResetStats() but before
+  /// FinishRun() copied the WAL stats over.
+  bool Degraded() const {
+    return metrics_.Degraded() ||
+           log_->stats().flush_failures > log_baseline_.flush_failures;
+  }
   wal::LogManager* log() { return log_.get(); }
   /// Null unless config.fault_plan is non-empty.
   sim::FaultInjector* fault_injector() { return fault_.get(); }
@@ -284,8 +306,16 @@ class Engine {
 
   static std::string QualifiedKey(const Table* table, Slice key);
 
+  /// Binds every RunMetrics field, breakdown component, WAL/fault counter,
+  /// and platform gauge into registry_ (construction time, once).
+  void RegisterMetrics();
+  /// Ticks sampler_ at config.trace.sample_interval_ns until Shutdown.
+  sim::Task<void> SamplerLoop();
+
   sim::Simulator* sim_;
   EngineConfig config_;
+  /// Created before the platform so links/units can intern at setup time.
+  std::unique_ptr<obs::Tracer> tracer_;
   /// Must outlive platform_ (links keep a raw pointer); declared first.
   std::unique_ptr<sim::FaultInjector> fault_;
   std::unique_ptr<hw::Platform> platform_;
@@ -309,7 +339,22 @@ class Engine {
 
   hw::Breakdown breakdown_;
   RunMetrics metrics_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::TimelineSampler> sampler_;
+  bool sampler_running_ = false;
   SimTime epoch_ = 0;
+  /// Measurement-window baselines, snapped in ResetStats(): the WAL and the
+  /// fault injector count cumulatively from construction, so FinishRun()
+  /// subtracts these to keep warmup out of the reported window.
+  wal::LogStats log_baseline_;
+  uint64_t faults_baseline_ = 0;
+  /// "engine/txn" async-span interning (one begin/end pair per Execute).
+  uint16_t trace_txn_track_ = 0;
+  uint16_t trace_txn_name_ = 0;
+  uint16_t trace_commit_name_ = 0;
+  uint16_t trace_abort_name_ = 0;
+  uint8_t trace_txn_cat_ = 0;
+  uint64_t trace_txn_seq_ = 0;
 };
 
 }  // namespace bionicdb::engine

@@ -50,6 +50,28 @@ const char* ComponentName(Component c) {
   return "?";
 }
 
+const char* ComponentKey(Component c) {
+  switch (c) {
+    case Component::kBtree:
+      return "btree";
+    case Component::kBpool:
+      return "bpool";
+    case Component::kLog:
+      return "log";
+    case Component::kXct:
+      return "xct";
+    case Component::kDora:
+      return "dora";
+    case Component::kFrontend:
+      return "frontend";
+    case Component::kOther:
+      return "other";
+    case Component::kNumComponents:
+      break;
+  }
+  return "?";
+}
+
 double CostModel::BtreeNodeVisitNs(int fanout, bool leaf) const {
   const double steps = std::log2(std::max(2, fanout));
   const double instrs = btree_node_instrs + steps * btree_step_instrs;

@@ -30,6 +30,10 @@ constexpr int kNumComponents = static_cast<int>(Component::kNumComponents);
 /// Display name ("Btree mgmt", ... exactly the Figure-3 legend).
 const char* ComponentName(Component c);
 
+/// Stable lowercase key ("btree", "bpool", ...) used in metric names
+/// ("breakdown.<key>_ns") and obs::BreakdownReport lookups.
+const char* ComponentKey(Component c);
+
 /// Per-primitive software costs on the host CPU (virtual ns).
 ///
 /// The model assumes a 2.5 GHz core executing database code at IPC ~0.7

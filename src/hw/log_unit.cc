@@ -10,6 +10,13 @@ LogInsertionUnit::LogInsertionUnit(Platform* platform,
       platform->simulator(), "log_arbiter", config.arbitration_ii_ns,
       &platform->meter(), platform->fpga_component());
   open_.resize(static_cast<size_t>(config.sockets));
+  if (obs::Tracer* t = platform->tracer(); t != nullptr) {
+    tracer_ = t;
+    trace_track_ = t->RegisterTrack("hw/log_unit");
+    trace_name_ = t->InternName("ship_batch");
+    trace_cat_ = t->InternCategory("log");
+    arbiter_->SetTracer(t);
+  }
 }
 
 sim::Task<Status> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
@@ -57,12 +64,21 @@ sim::Task<Status> LogInsertionUnit::Insert(uint32_t bytes, int socket) {
 
 sim::Task<Status> LogInsertionUnit::ShipBatch(uint32_t payload_bytes,
                                               uint32_t records) {
+  const uint64_t span_id = ++trace_seq_;
+  if (tracer_ != nullptr) {
+    tracer_->AsyncBegin(trace_track_, trace_name_, trace_cat_,
+                        platform_->simulator()->Now(), span_id);
+  }
   const Status pcie = co_await platform_->pcie().Transfer(payload_bytes);
   co_await arbiter_->Process(config_.arbitration_ii_ns);
   if (records > 1) {
     co_await sim::Delay{platform_->simulator(),
                         config_.arbitration_ii_ns *
                             static_cast<SimTime>(records - 1)};
+  }
+  if (tracer_ != nullptr) {
+    tracer_->AsyncEnd(trace_track_, trace_name_, trace_cat_,
+                      platform_->simulator()->Now(), span_id);
   }
   if (!pcie.ok()) co_return pcie;
   ++batches_;

@@ -81,6 +81,12 @@ class LogInsertionUnit {
   uint64_t records_ = 0;
   uint64_t batches_ = 0;
   uint64_t bytes_ = 0;
+  // Batches from different sockets ship concurrently -> async spans.
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_name_ = 0;
+  uint8_t trace_cat_ = 0;
+  uint64_t trace_seq_ = 0;
 };
 
 }  // namespace bionicdb::hw

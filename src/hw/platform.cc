@@ -27,8 +27,9 @@ PlatformSpec PlatformSpec::CommodityServer() {
 }
 
 Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec,
-                   sim::FaultInjector* faults)
-    : sim_(sim), spec_(spec), meter_(sim), faults_(faults) {
+                   sim::FaultInjector* faults, obs::Tracer* tracer)
+    : sim_(sim), spec_(spec), meter_(sim), faults_(faults),
+      tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
   cpu_component_ = meter_.RegisterComponent("cpu", spec_.cpu_core_power);
   fpga_component_ = meter_.RegisterComponent("fpga", spec_.fpga_unit_power);
   dram_component_ = meter_.RegisterComponent("dram", spec_.dram_power);
@@ -66,6 +67,14 @@ Platform::Platform(sim::Simulator* sim, const PlatformSpec& spec,
     pcie_->SetFaultInjector(faults_);
     sas_disk_->SetFaultInjector(faults_);
     ssd_->SetFaultInjector(faults_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->BindClock(sim_->NowPtr());
+    host_dram_->SetTracer(tracer_);
+    sg_dram_->SetTracer(tracer_);
+    pcie_->SetTracer(tracer_);
+    sas_disk_->SetTracer(tracer_);
+    ssd_->SetTracer(tracer_);
   }
   // Four FPGA units (tree probe, log, queue, scanner) share the meter
   // component; idle power accounts for all four.

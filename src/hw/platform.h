@@ -62,13 +62,18 @@ struct PlatformSpec {
 class Platform {
  public:
   /// `faults` (optional) subjects every link to a deterministic fault plan;
-  /// must outlive the platform.
+  /// `tracer` (optional, enabled) records link activity on "sim/*" tracks
+  /// and binds the tracer's clock to this simulator. Both must outlive the
+  /// platform.
   Platform(sim::Simulator* sim, const PlatformSpec& spec,
-           sim::FaultInjector* faults = nullptr);
+           sim::FaultInjector* faults = nullptr,
+           obs::Tracer* tracer = nullptr);
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Platform);
 
   sim::Simulator* simulator() { return sim_; }
   sim::FaultInjector* fault_injector() { return faults_; }
+  /// The tracer every layer shares, or nullptr when tracing is off.
+  obs::Tracer* tracer() { return tracer_; }
   const PlatformSpec& spec() const { return spec_; }
   const CostModel& cost() const { return spec_.cost; }
   sim::EnergyMeter& meter() { return meter_; }
@@ -107,6 +112,7 @@ class Platform {
   PlatformSpec spec_;
   sim::EnergyMeter meter_;
   sim::FaultInjector* faults_;
+  obs::Tracer* tracer_;
 
   int cpu_component_;
   int fpga_component_;

@@ -7,6 +7,9 @@ QueueEngine::QueueEngine(Platform* platform, const QueueEngineConfig& config)
   arbiter_ = std::make_unique<sim::PipelinedUnit>(
       platform->simulator(), "queue_engine", config.arbitration_ii_ns,
       &platform->meter(), platform->fpga_component());
+  // Queue-op issue slots show up on "sim/queue_engine"; per-op spans would
+  // be noise at 4 ns each, so the arbiter's own track is the whole story.
+  arbiter_->SetTracer(platform->tracer());
 }
 
 sim::Task<void> QueueEngine::Operate() {

@@ -5,11 +5,21 @@
 namespace bionicdb::hw {
 
 ScannerUnit::ScannerUnit(Platform* platform, const ScannerConfig& config)
-    : platform_(platform), config_(config) {}
+    : platform_(platform), config_(config) {
+  if (obs::Tracer* t = platform->tracer(); t != nullptr) {
+    tracer_ = t;
+    trace_track_ = t->RegisterTrack("hw/scanner");
+    trace_name_ = t->InternName("scan");
+    trace_cat_ = t->InternCategory("scan");
+  }
+}
 
 sim::Task<Result<ScanTiming>> ScannerUnit::Scan(uint64_t bytes,
                                                 double output_fraction) {
   BIONICDB_CHECK(output_fraction >= 0.0 && output_fraction <= 1.0);
+  // RAII so the span closes on every exit path, including fault-induced
+  // early co_returns; it lives in the frame, so co_await is safe.
+  obs::SpanScope span(tracer_, trace_track_, trace_name_, trace_cat_);
   co_await sim::Delay{platform_->simulator(), config_.setup_ns};
 
   uint64_t shipped = 0;

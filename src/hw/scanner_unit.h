@@ -50,6 +50,10 @@ class ScannerUnit {
   ScannerConfig config_;
   uint64_t scanned_ = 0;
   uint64_t shipped_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_name_ = 0;
+  uint8_t trace_cat_ = 0;
 };
 
 }  // namespace bionicdb::hw

@@ -7,9 +7,20 @@ TreeProbeUnit::TreeProbeUnit(Platform* platform,
     : platform_(platform), config_(config),
       contexts_(platform->simulator(), config.contexts) {
   BIONICDB_CHECK(config.contexts > 0);
+  if (obs::Tracer* t = platform->tracer(); t != nullptr) {
+    tracer_ = t;
+    trace_track_ = t->RegisterTrack("hw/tree_probe");
+    trace_name_ = t->InternName("probe");
+    trace_cat_ = t->InternCategory("btree");
+  }
 }
 
 sim::Task<Status> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
+  const uint64_t span_id = ++trace_seq_;
+  if (tracer_ != nullptr) {
+    tracer_->AsyncBegin(trace_track_, trace_name_, trace_cat_,
+                        platform_->simulator()->Now(), span_id);
+  }
   co_await contexts_.Acquire();
   ++active_;
   if (active_ > max_active_) max_active_ = active_;
@@ -34,6 +45,10 @@ sim::Task<Status> TreeProbeUnit::Probe(int levels, uint32_t key_bytes) {
   if (st.ok()) ++probes_;
   --active_;
   contexts_.Release();
+  if (tracer_ != nullptr) {
+    tracer_->AsyncEnd(trace_track_, trace_name_, trace_cat_,
+                      platform_->simulator()->Now(), span_id);
+  }
   co_return st;
 }
 

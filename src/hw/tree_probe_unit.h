@@ -67,6 +67,13 @@ class TreeProbeUnit {
   int max_active_ = 0;
   uint64_t probes_ = 0;
   uint64_t node_visits_ = 0;
+  // Probes overlap (that is the point of the unit), so each traces as an
+  // async begin/end pair keyed by a monotone sequence number.
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_name_ = 0;
+  uint8_t trace_cat_ = 0;
+  uint64_t trace_seq_ = 0;
 };
 
 }  // namespace bionicdb::hw

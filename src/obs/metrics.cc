@@ -1,0 +1,89 @@
+#include "obs/metrics.h"
+
+#include <memory>
+
+namespace bionicdb::obs {
+
+double Registry::Entry::Read() const {
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (owned) return static_cast<double>(owned->value());
+      if (bound_u64 != nullptr) return static_cast<double>(*bound_u64);
+      return static_cast<double>(*bound_time);
+    case MetricKind::kGauge:
+      return fn();
+    case MetricKind::kHistogram:
+      return static_cast<double>(hist->count());
+  }
+  return 0.0;
+}
+
+Registry::Entry* Registry::NewEntry(const std::string& name,
+                                    const std::string& help,
+                                    MetricKind kind) {
+  BIONICDB_CHECK_MSG(!Has(name), "duplicate metric \"%s\"", name.c_str());
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.name = name;
+  e.help = help;
+  e.kind = kind;
+  return &e;
+}
+
+Counter* Registry::AddCounter(const std::string& name,
+                              const std::string& help) {
+  Entry* e = NewEntry(name, help, MetricKind::kCounter);
+  e->owned = std::make_unique<Counter>();
+  return e->owned.get();
+}
+
+void Registry::BindCounter(const std::string& name, const uint64_t* src,
+                           const std::string& help) {
+  NewEntry(name, help, MetricKind::kCounter)->bound_u64 = src;
+}
+
+void Registry::BindCounter(const std::string& name, const SimTime* src,
+                           const std::string& help) {
+  NewEntry(name, help, MetricKind::kCounter)->bound_time = src;
+}
+
+void Registry::BindGauge(const std::string& name, std::function<double()> fn,
+                         const std::string& help) {
+  NewEntry(name, help, MetricKind::kGauge)->fn = std::move(fn);
+}
+
+void Registry::BindHistogram(const std::string& name, const Histogram* src,
+                             const std::string& help) {
+  NewEntry(name, help, MetricKind::kHistogram)->hist = src;
+}
+
+const Registry::Entry* Registry::Find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+double Registry::Value(std::string_view name) const {
+  const Entry* e = Find(name);
+  BIONICDB_CHECK_MSG(e != nullptr, "unknown metric \"%.*s\"",
+                     static_cast<int>(name.size()), name.data());
+  return e->Read();
+}
+
+const Histogram* Registry::GetHistogram(std::string_view name) const {
+  const Entry* e = Find(name);
+  return e != nullptr && e->kind == MetricKind::kHistogram ? e->hist
+                                                           : nullptr;
+}
+
+std::vector<Registry::Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(Sample{e.name, e.help, e.kind, e.Read(), e.hist});
+  }
+  return out;
+}
+
+}  // namespace bionicdb::obs

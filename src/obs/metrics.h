@@ -1,0 +1,109 @@
+// Metrics registry: named, enumerable counters, gauges, and histograms.
+//
+// The registry replaces the ad-hoc aggregation each bench used to do by
+// hand over engine::RunMetrics and per-resource accessors: every quantity a
+// run can report is registered once under a stable dotted name
+// ("engine.commits", "wal.flush_retries", "breakdown.btree_ns", ...) and a
+// consumer enumerates or looks up by name. Three registration styles:
+//
+//  * owned counters  — the registry owns the cell; producers Add() to it.
+//  * bound counters  — the registry reads an existing uint64 (or SimTime)
+//                      the producer already maintains; zero hot-path change.
+//  * callback gauges — computed on read (ratios, windowed deltas).
+//
+// Reads happen at report time, never on the transaction hot path, so the
+// std::function indirection costs nothing that matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/units.h"
+
+namespace bionicdb::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Registry-owned monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  void Set(uint64_t v) { value_ = v; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Registry);
+
+  /// Registers an owned counter. `help` is a human-readable one-liner (the
+  /// Figure-3 display label for breakdown gauges). Names must be unique.
+  Counter* AddCounter(const std::string& name, const std::string& help = "");
+
+  /// Registers a counter backed by `*src` (the producer's existing field).
+  /// `src` must outlive the registry user.
+  void BindCounter(const std::string& name, const uint64_t* src,
+                   const std::string& help = "");
+  void BindCounter(const std::string& name, const SimTime* src,
+                   const std::string& help = "");
+
+  /// Registers a computed gauge.
+  void BindGauge(const std::string& name, std::function<double()> fn,
+                 const std::string& help = "");
+
+  /// Registers a histogram backed by `*src`.
+  void BindHistogram(const std::string& name, const Histogram* src,
+                     const std::string& help = "");
+
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// Current value of a counter or gauge (histograms report their count).
+  /// Looking up an unregistered name is a programming error.
+  double Value(std::string_view name) const;
+
+  /// The histogram registered under `name`, or nullptr.
+  const Histogram* GetHistogram(std::string_view name) const;
+
+  struct Sample {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    double value;
+    const Histogram* hist;  ///< Non-null for kHistogram.
+  };
+  /// Every metric, in registration order (deterministic).
+  std::vector<Sample> Snapshot() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> owned;      // kCounter, owned
+    const uint64_t* bound_u64 = nullptr; // kCounter, bound
+    const SimTime* bound_time = nullptr; // kCounter, bound (signed)
+    std::function<double()> fn;          // kGauge
+    const Histogram* hist = nullptr;     // kHistogram
+    double Read() const;
+  };
+
+  const Entry* Find(std::string_view name) const;
+  Entry* NewEntry(const std::string& name, const std::string& help,
+                  MetricKind kind);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bionicdb::obs

@@ -1,0 +1,115 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace bionicdb::obs {
+
+BreakdownReport BreakdownReport::FromRegistry(const Registry& reg,
+                                              const std::string& prefix) {
+  BreakdownReport out;
+  for (const Registry::Sample& s : reg.Snapshot()) {
+    if (s.name.size() <= prefix.size() + 3) continue;
+    if (s.name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (s.name.compare(s.name.size() - 3, 3, "_ns") != 0) continue;
+    const std::string key =
+        s.name.substr(prefix.size(), s.name.size() - prefix.size() - 3);
+    out.Add(key, s.help.empty() ? key : s.help, s.value);
+  }
+  return out;
+}
+
+void BreakdownReport::Add(const std::string& key, const std::string& label,
+                          double ns) {
+  rows_.push_back(Row{key, label, ns});
+}
+
+const BreakdownReport::Row* BreakdownReport::Find(std::string_view key) const {
+  for (const Row& r : rows_) {
+    if (r.key == key) return &r;
+  }
+  return nullptr;
+}
+
+double BreakdownReport::TotalNs() const {
+  double total = 0.0;
+  for (const Row& r : rows_) total += r.ns;
+  return total;
+}
+
+double BreakdownReport::Ns(std::string_view key) const {
+  const Row* r = Find(key);
+  return r != nullptr ? r->ns : 0.0;
+}
+
+double BreakdownReport::Percent(std::string_view key) const {
+  const double total = TotalNs();
+  if (total <= 0.0) return 0.0;
+  return 100.0 * Ns(key) / total;
+}
+
+std::string BreakdownReport::LargestComponent() const {
+  const Row* best = nullptr;
+  for (const Row& r : rows_) {
+    if (best == nullptr || r.ns > best->ns) best = &r;
+  }
+  return best != nullptr ? best->key : std::string();
+}
+
+std::string BreakdownReport::ToTable() const {
+  std::string out;
+  const double total = TotalNs();
+  for (const Row& r : rows_) {
+    const double pct = total > 0.0 ? 100.0 * r.ns / total : 0.0;
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-22s %6.2f%%  ", r.label.c_str(),
+                  pct);
+    out += line;
+    const int bars = static_cast<int>(pct / 2.0 + 0.5);
+    for (int b = 0; b < bars; ++b) out += '#';
+    out += '\n';
+  }
+  return out;
+}
+
+void TimelineSampler::AddGauge(const std::string& name,
+                               std::function<double()> fn) {
+  Series s;
+  s.name = tracer_->InternName(name);
+  s.fn = std::move(fn);
+  s.rate = false;
+  s.scale = 1.0;
+  series_.push_back(std::move(s));
+}
+
+void TimelineSampler::AddRate(const std::string& name,
+                              std::function<double()> fn, double scale) {
+  Series s;
+  s.name = tracer_->InternName(name);
+  s.fn = std::move(fn);
+  s.rate = true;
+  s.scale = scale;
+  series_.push_back(std::move(s));
+}
+
+void TimelineSampler::SampleOnce(SimTime now) {
+  const SimTime interval = ticked_ ? now - last_ts_ : 0;
+  for (Series& s : series_) {
+    const double v = s.fn();
+    if (!s.rate) {
+      tracer_->Counter(s.name, now, v);
+    } else {
+      // Rates need one full window before the first meaningful sample.
+      if (s.primed && interval > 0) {
+        tracer_->Counter(s.name, now,
+                         (v - s.last) * s.scale /
+                             static_cast<double>(interval));
+      }
+      s.last = v;
+      s.primed = true;
+    }
+  }
+  last_ts_ = now;
+  ticked_ = true;
+}
+
+}  // namespace bionicdb::obs

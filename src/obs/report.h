@@ -1,0 +1,100 @@
+// Derived reporting on top of the registry and tracer:
+//
+//  * BreakdownReport — the Figure-3 per-component time breakdown, built from
+//    "breakdown.<key>_ns" gauges in a Registry. Benches and tests consume
+//    this instead of re-aggregating hw::Breakdown by hand.
+//  * TimelineSampler — a passive sampler that, when ticked at the config'd
+//    cadence, emits Counter events (queue depths, utilization rates) onto a
+//    tracer. Passive: the engine owns the coroutine that drives it, so the
+//    obs layer stays below sim in the dependency order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bionicdb::obs {
+
+/// Per-component time breakdown (the paper's Figure 3), string-keyed.
+/// Keys are the stable lowercase component keys ("btree", "log", "bpool",
+/// "dora", "xct", "frontend", "other"); labels are display names carried in
+/// the metric help text.
+class BreakdownReport {
+ public:
+  struct Row {
+    std::string key;
+    std::string label;
+    double ns = 0.0;
+  };
+
+  /// Builds from every gauge in `reg` named `<prefix><key>_ns`. The row
+  /// label comes from the metric's help string (falling back to the key).
+  static BreakdownReport FromRegistry(const Registry& reg,
+                                      const std::string& prefix =
+                                          "breakdown.");
+
+  void Add(const std::string& key, const std::string& label, double ns);
+
+  double TotalNs() const;
+  /// Nanoseconds charged to `key` (0 for unknown keys).
+  double Ns(std::string_view key) const;
+  /// Percent of total charged to `key` (0 when the total is 0).
+  double Percent(std::string_view key) const;
+  /// Key of the component with the largest share ("" when empty).
+  std::string LargestComponent() const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Pretty table, one component per line with percent bars, for benches.
+  std::string ToTable() const;
+
+ private:
+  const Row* Find(std::string_view key) const;
+  std::vector<Row> rows_;
+};
+
+/// Samples registered gauges/rates into tracer Counter events. Call
+/// SampleOnce(now) at a fixed cadence; the engine's sampler coroutine does
+/// this while a run is active.
+class TimelineSampler {
+ public:
+  explicit TimelineSampler(Tracer* tracer) : tracer_(tracer) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(TimelineSampler);
+
+  /// Emits fn() as counter `name` each tick (queue depth, backlog bytes).
+  void AddGauge(const std::string& name, std::function<double()> fn);
+
+  /// Emits the windowed rate (delta of fn() over the tick interval, scaled
+  /// by `scale`) as counter `name`. With fn = busy-ns and scale = 1, this
+  /// is utilization in [0,1] over the window.
+  void AddRate(const std::string& name, std::function<double()> fn,
+               double scale = 1.0);
+
+  /// Records one sample of every registered series at virtual time `now`.
+  void SampleOnce(SimTime now);
+
+  size_t num_series() const { return series_.size(); }
+
+ private:
+  struct Series {
+    uint16_t name;
+    std::function<double()> fn;
+    bool rate;
+    double scale;
+    double last = 0.0;
+    bool primed = false;
+  };
+
+  Tracer* tracer_;
+  std::vector<Series> series_;
+  SimTime last_ts_ = 0;
+  bool ticked_ = false;
+};
+
+}  // namespace bionicdb::obs

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace bionicdb::obs {
+
+namespace {
+
+/// JSON-escapes `s` into `*out`. Track/name strings are ASCII identifiers
+/// in practice, but the exporter must never emit malformed JSON.
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Virtual nanoseconds -> the format's microsecond timestamps, printed with
+/// ns resolution. snprintf of a double is deterministic for a fixed value.
+void AppendMicros(SimTime ns, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(const TraceConfig& config)
+    : config_(config), enabled_(config.enabled),
+      cap_(config.ring_capacity == 0 ? 1 : config.ring_capacity) {
+  if (enabled_) ring_.resize(cap_);
+}
+
+uint16_t Tracer::Intern(std::vector<std::string>* table,
+                        const std::string& name) {
+  for (size_t i = 0; i < table->size(); ++i) {
+    if ((*table)[i] == name) return static_cast<uint16_t>(i);
+  }
+  BIONICDB_CHECK_MSG(table->size() < 65535, "tracer intern table full");
+  table->push_back(name);
+  return static_cast<uint16_t>(table->size() - 1);
+}
+
+uint16_t Tracer::RegisterTrack(const std::string& name) {
+  return Intern(&tracks_, name);
+}
+
+uint16_t Tracer::InternName(const std::string& name) {
+  return Intern(&names_, name);
+}
+
+uint8_t Tracer::InternCategory(const std::string& name) {
+  const uint16_t id = Intern(&categories_, name);
+  BIONICDB_CHECK(id < 256);
+  return static_cast<uint8_t>(id);
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::string out;
+  out.reserve(128 + size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    else out += "\n";
+    first = false;
+  };
+
+  // Track metadata: names and a stable top-to-bottom ordering.
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(tracks_[t], &out);
+    out += "\"}}";
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(t) + "}}";
+  }
+
+  const size_t n = size();
+  const size_t start = total_ <= cap_ ? 0 : static_cast<size_t>(total_ % cap_);
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = ring_[(start + i) % cap_];
+    comma();
+    out += "{\"pid\":0,\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"name\":\"";
+    AppendEscaped(names_[e.name], &out);
+    out += "\"";
+    if (e.phase != Phase::kCounter && e.category < categories_.size()) {
+      out += ",\"cat\":\"";
+      AppendEscaped(categories_[e.category], &out);
+      out += "\"";
+    }
+    out += ",\"ts\":";
+    AppendMicros(e.ts, &out);
+    switch (e.phase) {
+      case Phase::kComplete:
+        out += ",\"ph\":\"X\",\"dur\":";
+        AppendMicros(e.dur, &out);
+        break;
+      case Phase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case Phase::kCounter: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.4f", e.value);
+        out += ",\"ph\":\"C\",\"args\":{\"value\":";
+        out += buf;
+        out += "}";
+        break;
+      }
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncEnd: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(e.id));
+        out += e.phase == Phase::kAsyncBegin ? ",\"ph\":\"b\"" : ",\"ph\":\"e\"";
+        out += ",\"id\":\"";
+        out += buf;
+        out += "\"";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace bionicdb::obs

@@ -1,0 +1,199 @@
+// Tracer: span/event recording keyed to virtual time, with Chrome
+// trace-event JSON export (load the output in chrome://tracing or Perfetto).
+//
+// Design constraints, in order:
+//  * Zero overhead when disabled — every record call is an inline
+//    early-return on one bool; a disabled tracer never allocates.
+//  * Allocation-conscious when enabled — events are fixed-size PODs written
+//    into a ring buffer preallocated at construction; the steady-state
+//    record path touches no allocator. Names, categories, and tracks are
+//    interned once at setup time.
+//  * Deterministic — event content derives only from virtual time and
+//    simulation state, and interning follows registration order, so the
+//    same seed exports a byte-identical trace.
+//
+// Terminology maps onto the Chrome trace-event format: a *track* is a
+// thread-of-execution (one DORA partition, one hardware unit, one sim
+// resource) rendered as its own timeline row; *complete* events are closed
+// spans (ph "X"); *async* begin/end pairs (ph "b"/"e") carry an id and may
+// overlap on a track (in-flight transactions, pipelined hardware probes);
+// *instants* (ph "i") mark points (injected faults, flush backoff);
+// *counters* (ph "C") carry sampled values (queue depth, utilization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/units.h"
+
+namespace bionicdb::obs {
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Events retained; the ring drops the oldest past this (dropped() tells).
+  size_t ring_capacity = 1u << 18;
+  /// Cadence of the utilization/queue-depth timeline sampler.
+  SimTime sample_interval_ns = 100000;
+};
+
+enum class Phase : uint8_t {
+  kComplete,    ///< Closed span [ts, ts+dur] ("X").
+  kInstant,     ///< Point event ("i").
+  kCounter,     ///< Sampled value ("C"); value in `value`.
+  kAsyncBegin,  ///< Open span start ("b"); pairing id in `id`.
+  kAsyncEnd,    ///< Open span end ("e").
+};
+
+/// Fixed-size POD event. 40 bytes; the ring is a flat array of these.
+struct TraceEvent {
+  SimTime ts = 0;
+  SimTime dur = 0;      ///< kComplete only.
+  uint64_t id = 0;      ///< kAsyncBegin/kAsyncEnd pairing id.
+  double value = 0.0;   ///< kCounter only.
+  uint16_t name = 0;
+  uint16_t track = 0;
+  Phase phase = Phase::kInstant;
+  uint8_t category = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config);
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Tracer);
+
+  bool enabled() const { return enabled_; }
+  const TraceConfig& config() const { return config_; }
+
+  /// Points the tracer at the simulator's virtual clock (Simulator::NowPtr).
+  /// The tracer never advances time; it only reads it.
+  void BindClock(const SimTime* now) { clock_ = now; }
+  SimTime Now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  // ---- interning (setup time; not for hot paths) ------------------------
+  /// Registers a timeline row; returns its stable id. Re-registering the
+  /// same name returns the same id. Naming scheme: "<layer>/<unit>", e.g.
+  /// "sim/pcie", "dora/partition0", "wal/flush" (docs/OBSERVABILITY.md).
+  uint16_t RegisterTrack(const std::string& name);
+  uint16_t InternName(const std::string& name);
+  /// Categories follow the Figure-3 component taxonomy ("btree", "log",
+  /// "dora", ...) plus cross-cutting ones ("txn", "io", "fault").
+  uint8_t InternCategory(const std::string& name);
+
+  // ---- recording (hot path; no-ops when disabled) -----------------------
+  void Complete(uint16_t track, uint16_t name, uint8_t cat, SimTime ts,
+                SimTime dur) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.dur = dur;
+    e.name = name;
+    e.track = track;
+    e.phase = Phase::kComplete;
+    e.category = cat;
+    Push(e);
+  }
+  void Instant(uint16_t track, uint16_t name, uint8_t cat, SimTime ts) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.track = track;
+    e.phase = Phase::kInstant;
+    e.category = cat;
+    Push(e);
+  }
+  void Counter(uint16_t name, SimTime ts, double value) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.phase = Phase::kCounter;
+    e.value = value;
+    Push(e);
+  }
+  void AsyncBegin(uint16_t track, uint16_t name, uint8_t cat, SimTime ts,
+                  uint64_t id) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.id = id;
+    e.name = name;
+    e.track = track;
+    e.phase = Phase::kAsyncBegin;
+    e.category = cat;
+    Push(e);
+  }
+  void AsyncEnd(uint16_t track, uint16_t name, uint8_t cat, SimTime ts,
+                uint64_t id) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.ts = ts;
+    e.id = id;
+    e.name = name;
+    e.track = track;
+    e.phase = Phase::kAsyncEnd;
+    e.category = cat;
+    Push(e);
+  }
+
+  // ---- inspection & export ---------------------------------------------
+  /// Events currently retained / recorded ever / dropped by the ring.
+  size_t size() const { return total_ < cap_ ? total_ : cap_; }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return total_ < cap_ ? 0 : total_ - cap_; }
+  size_t num_tracks() const { return tracks_.size(); }
+  const std::string& track_name(uint16_t t) const { return tracks_[t]; }
+
+  /// Drops all retained events (measurement-window restart). Tracks, names,
+  /// and categories survive, so ids stay valid.
+  void Clear() { total_ = 0; }
+
+  /// Serializes the retained events (oldest first) as one Chrome
+  /// trace-event JSON object: {"displayTimeUnit":"ns","traceEvents":[...]}.
+  /// Timestamps are microseconds with ns resolution, as the format wants.
+  /// Output is deterministic for a given event/interning sequence.
+  std::string ExportChromeTrace() const;
+
+ private:
+  void Push(const TraceEvent& e) {
+    ring_[total_ % cap_] = e;
+    ++total_;
+  }
+  uint16_t Intern(std::vector<std::string>* table, const std::string& name);
+
+  TraceConfig config_;
+  bool enabled_;
+  size_t cap_;
+  const SimTime* clock_ = nullptr;
+  std::vector<TraceEvent> ring_;
+  uint64_t total_ = 0;
+  std::vector<std::string> tracks_;
+  std::vector<std::string> names_;
+  std::vector<std::string> categories_;
+};
+
+/// RAII span: records a Complete event on destruction covering the scope's
+/// virtual-time extent. Safe across co_await (lives in the coroutine frame).
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, uint16_t track, uint16_t name, uint8_t cat)
+      : tracer_(tracer), track_(track), name_(name), cat_(cat),
+        start_(tracer != nullptr ? tracer->Now() : 0) {}
+  ~SpanScope() {
+    if (tracer_ != nullptr) {
+      tracer_->Complete(track_, name_, cat_, start_, tracer_->Now() - start_);
+    }
+  }
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(SpanScope);
+
+ private:
+  Tracer* tracer_;
+  uint16_t track_;
+  uint16_t name_;
+  uint8_t cat_;
+  SimTime start_;
+};
+
+}  // namespace bionicdb::obs

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/energy.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -99,6 +100,14 @@ class Link {
     } else {
       ++faults_injected_;
     }
+    if (tracer_ != nullptr) {
+      // The span is the wire occupancy: transfers serialize, so spans on a
+      // link's track never overlap and render as one solid timeline row.
+      tracer_->Complete(trace_track_, trace_xfer_, trace_cat_, start, ser);
+      if (!st.ok()) {
+        tracer_->Instant(trace_track_, trace_fault_, trace_fault_cat_, start);
+      }
+    }
     co_await DelayUntil{sim_, start + ser + latency_ns_};
     co_return st;
   }
@@ -114,6 +123,22 @@ class Link {
   void SetFaultInjector(FaultInjector* faults) {
     faults_ = faults;
     fault_handle_ = faults ? faults->RegisterResource(name_) : -1;
+  }
+
+  /// Records each transfer's wire occupancy as a span on its own track
+  /// ("sim/<name>"). Interns everything up front, so Transfer stays
+  /// allocation-free. Enabled tracers only; a disabled tracer is ignored.
+  void SetTracer(obs::Tracer* tracer) {
+    if (tracer == nullptr || !tracer->enabled()) {
+      tracer_ = nullptr;
+      return;
+    }
+    tracer_ = tracer;
+    trace_track_ = tracer->RegisterTrack("sim/" + name_);
+    trace_xfer_ = tracer->InternName("transfer");
+    trace_cat_ = tracer->InternCategory("io");
+    trace_fault_ = tracer->InternName("io_fault");
+    trace_fault_cat_ = tracer->InternCategory("fault");
   }
 
   const std::string& name() const { return name_; }
@@ -137,6 +162,12 @@ class Link {
   int component_;
   FaultInjector* faults_ = nullptr;
   int fault_handle_ = -1;
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_xfer_ = 0;
+  uint16_t trace_fault_ = 0;
+  uint8_t trace_cat_ = 0;
+  uint8_t trace_fault_cat_ = 0;
   SimTime next_free_ = 0;
   SimTime busy_ns_ = 0;
   uint64_t bytes_ = 0;
@@ -168,7 +199,24 @@ class PipelinedUnit {
     // remaining pipeline occupancy overlaps with other requests.
     if (meter_ && component_ >= 0) meter_->ChargeBusy(component_, ii_);
     busy_ns_ += ii_;
+    if (tracer_ != nullptr) {
+      // The issue slot, like the link wire, never overlaps on the track;
+      // full pipeline occupancy is traced at the owning hw-unit layer.
+      tracer_->Complete(trace_track_, trace_issue_, trace_cat_, issue, ii_);
+    }
     co_await DelayUntil{sim_, issue + latency_ns};
+  }
+
+  /// See Link::SetTracer; track is "sim/<name>", span is the issue slot.
+  void SetTracer(obs::Tracer* tracer) {
+    if (tracer == nullptr || !tracer->enabled()) {
+      tracer_ = nullptr;
+      return;
+    }
+    tracer_ = tracer;
+    trace_track_ = tracer->RegisterTrack("sim/" + name_);
+    trace_issue_ = tracer->InternName("issue");
+    trace_cat_ = tracer->InternCategory("hw");
   }
 
   const std::string& name() const { return name_; }
@@ -187,6 +235,10 @@ class PipelinedUnit {
   SimTime ii_;
   EnergyMeter* meter_;
   int component_;
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_issue_ = 0;
+  uint8_t trace_cat_ = 0;
   SimTime next_issue_ = 0;
   SimTime busy_ns_ = 0;
   uint64_t ops_ = 0;

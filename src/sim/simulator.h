@@ -32,6 +32,10 @@ class Simulator {
   /// Current virtual time in nanoseconds.
   SimTime Now() const { return now_; }
 
+  /// Stable pointer to the virtual clock, for observers (obs::Tracer) that
+  /// read time without depending on the simulator.
+  const SimTime* NowPtr() const { return &now_; }
+
   /// Schedules `h` to resume at absolute time `at` (>= Now()).
   void Schedule(SimTime at, std::coroutine_handle<> h) {
     BIONICDB_DCHECK(at >= now_);

@@ -4,6 +4,20 @@
 
 namespace bionicdb::wal {
 
+void LogManager::AttachTracer(obs::Tracer* tracer) {
+  if (tracer == nullptr || !tracer->enabled()) {
+    tracer_ = nullptr;
+    return;
+  }
+  tracer_ = tracer;
+  trace_track_ = tracer->RegisterTrack("wal/flush");
+  trace_flush_ = tracer->InternName("flush");
+  trace_backoff_ = tracer->InternName("flush_backoff");
+  trace_abandoned_ = tracer->InternName("flush_abandoned");
+  trace_cat_ = tracer->InternCategory("log");
+  trace_fault_cat_ = tracer->InternCategory("fault");
+}
+
 Lsn LogManager::AppendToBuffer(const LogRecord& rec) {
   const Lsn lsn = current_lsn();
   rec.AppendTo(&buffer_);
@@ -37,8 +51,13 @@ sim::Task<Status> LogManager::WaitDurable(Lsn lsn) {
     }
     const uint64_t bytes = target - durable_lsn_;
     Status flush = Status::OK();
+    const SimTime flush_start = sim_->Now();
     if (bytes > 0) {
       flush = co_await FlushWithRetry(bytes);
+    }
+    if (tracer_ != nullptr && bytes > 0) {
+      tracer_->Complete(trace_track_, trace_flush_, trace_cat_, flush_start,
+                        sim_->Now() - flush_start);
     }
     if (flush.ok()) {
       durable_lsn_ = target;
@@ -46,6 +65,10 @@ sim::Task<Status> LogManager::WaitDurable(Lsn lsn) {
     } else {
       ++stats_.flush_failures;
       device_error_ = flush;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(trace_track_, trace_abandoned_, trace_fault_cat_,
+                         sim_->Now());
+      }
     }
     if (crash_now) {
       faults_->TriggerCrash("crash_at_lsn " +
@@ -69,6 +92,10 @@ sim::Task<Status> LogManager::FlushWithRetry(uint64_t bytes) {
     if (attempt + 1 < retry_.max_attempts) {
       ++stats_.flush_retries;
       stats_.flush_backoff_ns += backoff;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(trace_track_, trace_backoff_, trace_fault_cat_,
+                         sim_->Now());
+      }
       co_await sim::Delay{sim_, backoff};
       backoff = std::min(backoff * 2, retry_.backoff_max_ns);
     }

@@ -64,6 +64,11 @@ class LogManager {
 
   /// Subjects flushes to `faults` (crash-at-LSN clamping + crash state).
   void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Records the flush pipeline on track "wal/flush": one span per group
+  /// flush (flush_in_progress_ serializes them), instants for each backoff
+  /// and for abandoned flushes. Enabled tracers only.
+  void AttachTracer(obs::Tracer* tracer);
   void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
@@ -102,6 +107,13 @@ class LogManager {
   LogStats stats_;
   RetryPolicy retry_;
   sim::FaultInjector* faults_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  uint16_t trace_track_ = 0;
+  uint16_t trace_flush_ = 0;
+  uint16_t trace_backoff_ = 0;
+  uint16_t trace_abandoned_ = 0;
+  uint8_t trace_cat_ = 0;
+  uint8_t trace_fault_cat_ = 0;
   /// Sticky: set when a flush is abandoned (retry budget exhausted or
   /// injected crash); every later WaitDurable above durable_lsn_ fails.
   Status device_error_;

@@ -1,0 +1,72 @@
+// Tier-1 promotion of the Figure-3 shape checks that bench/fig3_breakdown
+// only printed: the paper's qualitative claims about where a software DORA
+// engine spends its time are now regression-tested, not eyeballed.
+//
+//  * TPC-C StockLevel is index-bound: "OLTP workloads are index-bound,
+//    spending in some cases 40% or more of total transaction time
+//    traversing various index structures (e.g. Figure 3 (right))".
+//  * TATP UpdateSubscriberData's largest single component is log
+//    management, with double-digit DORA/queue and buffer-pool overheads.
+//
+// Thresholds sit below the currently measured values (41% btree for
+// StockLevel, 23% log / 19% dora / 13% bpool for UpdSubData) by a margin
+// wide enough to absorb cost-model tuning but tight enough that a breakdown
+// accounting bug (or a workload regression) trips them.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace bionicdb {
+namespace {
+
+bench::RunResult RunUpdSubData() {
+  bench::WorkloadScale scale;
+  scale.measured_txns = 4000;
+  return bench::RunTatpSingle(engine::EngineConfig::Dora(),
+                              workload::TatpTxnType::kUpdateSubscriberData,
+                              scale);
+}
+
+bench::RunResult RunStockLevel() {
+  bench::WorkloadScale scale;
+  scale.measured_txns = 1500;  // each StockLevel touches ~200 rows
+  const workload::TpccTxnType only = workload::TpccTxnType::kStockLevel;
+  return bench::RunTpcc(engine::EngineConfig::Dora(), scale, &only);
+}
+
+TEST(BreakdownTest, StockLevelIsIndexBound) {
+  const bench::RunResult r = RunStockLevel();
+  ASSERT_GT(r.commits, 0u);
+  EXPECT_FALSE(r.degraded);
+  ASSERT_FALSE(r.breakdown.empty());
+  EXPECT_GE(r.breakdown.Percent("btree"), 35.0)
+      << r.breakdown.ToTable();
+}
+
+TEST(BreakdownTest, UpdSubDataIsLogBound) {
+  const bench::RunResult r = RunUpdSubData();
+  ASSERT_GT(r.commits, 0u);
+  EXPECT_FALSE(r.degraded);
+  ASSERT_FALSE(r.breakdown.empty());
+  EXPECT_EQ(r.breakdown.LargestComponent(), "log")
+      << r.breakdown.ToTable();
+  EXPECT_GE(r.breakdown.Percent("log"), 15.0) << r.breakdown.ToTable();
+  // "the remaining overheads fall into four main categories" — queue and
+  // buffer-pool management must be substantial, not rounding error.
+  EXPECT_GE(r.breakdown.Percent("dora"), 8.0) << r.breakdown.ToTable();
+  EXPECT_GE(r.breakdown.Percent("bpool"), 8.0) << r.breakdown.ToTable();
+}
+
+TEST(BreakdownTest, PercentagesAreCoherent) {
+  const bench::RunResult r = RunUpdSubData();
+  double sum = 0.0;
+  for (const auto& row : r.breakdown.rows()) {
+    EXPECT_GE(row.ns, 0.0) << row.key;
+    sum += r.breakdown.Percent(row.key);
+  }
+  EXPECT_NEAR(sum, 100.0, 0.01);
+  EXPECT_GT(r.breakdown.TotalNs(), 0.0);
+}
+
+}  // namespace
+}  // namespace bionicdb

@@ -2,6 +2,7 @@
 // CRC32C.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -276,6 +277,35 @@ TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Add(1500);
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, PercentileZeroReturnsMin) {
+  Histogram h;
+  h.Add(500);
+  h.Add(9000);
+  // p=0 used to walk into the (possibly empty) first bucket and answer 0.
+  EXPECT_EQ(h.Percentile(0), 500);
+  EXPECT_EQ(h.Percentile(-3), 500);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAllEqual) {
+  Histogram h;
+  h.Add(777);
+  EXPECT_EQ(h.Percentile(0), 777);
+  EXPECT_EQ(h.Percentile(50), 777);
+  EXPECT_EQ(h.Percentile(99), 777);
+  EXPECT_EQ(h.Percentile(100), 777);
+}
+
+TEST(HistogramTest, OverflowBucketSaturates) {
+  Histogram h;
+  const int64_t huge = std::numeric_limits<int64_t>::max() - 7;
+  h.Add(huge);
+  // The top power-of-two ranges used to left-shift past int64 (UB); the
+  // bucket bound must saturate and then clamp to the recorded max.
+  EXPECT_EQ(h.Percentile(50), huge);
+  EXPECT_EQ(h.Percentile(100), huge);
+  EXPECT_EQ(h.max(), huge);
 }
 
 TEST(FormatNanosTest, PicksAdaptiveUnits) {

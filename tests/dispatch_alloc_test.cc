@@ -7,6 +7,12 @@
 // the lock table, and the coroutine-frame freelists, the steady-state
 // cycle must perform ZERO heap allocations.
 //
+// The obs tracer rides the same hot path, so its contract is enforced
+// here too: a disabled tracer must not change the allocation story (each
+// record site is one predicted branch), and an enabled tracer must record
+// into its preallocated ring — still no steady-state allocations — and
+// export byte-identical traces for identical runs.
+//
 // Sanitizer builds define BIONICDB_NO_FRAME_POOL (each coroutine frame is
 // an individual heap allocation so ASan can track it); there the test
 // still runs the cycle but only checks that allocations stay bounded.
@@ -21,6 +27,7 @@
 #include "dora/action.h"
 #include "dora/executor.h"
 #include "hw/platform.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "txn/xct.h"
 
@@ -54,9 +61,16 @@ sim::Task<void> DispatchCycles(sim::Simulator* sim, dora::Executor* ex,
   co_await ex->Drain();
 }
 
-TEST(DispatchAllocTest, SteadyStateCycleIsAllocationFree) {
+constexpr uint64_t kWarmup = 2000;
+constexpr uint64_t kMeasured = 20000;
+
+/// Runs the full warmup+measured dispatch cycle on a fresh simulator with
+/// `tracer` attached to the platform (null = untraced). Returns the
+/// steady-state allocation count.
+uint64_t RunDispatchCycle(obs::Tracer* tracer) {
   sim::Simulator sim;
-  hw::Platform platform(&sim, hw::PlatformSpec::CommodityServer());
+  hw::Platform platform(&sim, hw::PlatformSpec::CommodityServer(), nullptr,
+                        tracer);
   hw::Breakdown bd;
   dora::ExecutorConfig ec;
   ec.num_partitions = 4;
@@ -68,14 +82,15 @@ TEST(DispatchAllocTest, SteadyStateCycleIsAllocationFree) {
   std::vector<std::string> keys;
   for (int i = 0; i < 64; ++i) keys.push_back("k" + std::to_string(i));
 
-  const uint64_t kWarmup = 2000;
-  const uint64_t kMeasured = 20000;
   uint64_t steady_allocs = 0;
   sim.Spawn(DispatchCycles(&sim, &ex, kWarmup, kMeasured, &keys,
                            &steady_allocs));
   sim.Run();
+  BIONICDB_CHECK(ex.stats().executed == kWarmup + kMeasured);
+  return steady_allocs;
+}
 
-  ASSERT_EQ(ex.stats().executed, kWarmup + kMeasured);
+void ExpectSteadyStateAllocFree(uint64_t steady_allocs) {
 #ifdef BIONICDB_NO_FRAME_POOL
   // Frame pooling is compiled out: every co_await allocates a frame. Just
   // bound the per-cycle rate (each cycle awaits a handful of coroutines).
@@ -85,6 +100,37 @@ TEST(DispatchAllocTest, SteadyStateCycleIsAllocationFree) {
       << "steady-state dispatch performed " << steady_allocs
       << " heap allocations over " << kMeasured << " cycles";
 #endif
+}
+
+TEST(DispatchAllocTest, SteadyStateCycleIsAllocationFree) {
+  ExpectSteadyStateAllocFree(RunDispatchCycle(nullptr));
+}
+
+TEST(DispatchAllocTest, DisabledTracerStaysAllocationFree) {
+  obs::Tracer tracer{obs::TraceConfig{}};  // enabled = false
+  ASSERT_FALSE(tracer.enabled());
+  ExpectSteadyStateAllocFree(RunDispatchCycle(&tracer));
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(DispatchAllocTest, EnabledTracerRecordsIntoRingAndIsDeterministic) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  auto traced_run = [&](std::string* json) {
+    obs::Tracer tracer(cfg);
+    const uint64_t steady = RunDispatchCycle(&tracer);
+    EXPECT_GE(tracer.total_recorded(), kMeasured);
+    *json = tracer.ExportChromeTrace();
+    return steady;
+  };
+  std::string first, second;
+  // The ring is preallocated at construction, so even the *enabled* path
+  // adds no steady-state allocations.
+  ExpectSteadyStateAllocFree(traced_run(&first));
+  traced_run(&second);
+  // Identical runs (virtual time only, no wall-clock leakage) must export
+  // byte-identical traces.
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -1,0 +1,257 @@
+// Unit tests for src/obs: tracer recording/ring/export semantics, the
+// metrics registry, the Figure-3 breakdown report, and the timeline
+// sampler. Includes the golden Chrome-trace JSON test: the exporter's
+// byte-exact output is part of its contract (determinism across runs is
+// what makes traces diffable).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace bionicdb::obs {
+namespace {
+
+TraceConfig Enabled(size_t cap = 16) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = cap;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ Tracer --
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tr{TraceConfig{}};
+  EXPECT_FALSE(tr.enabled());
+  const uint16_t track = tr.RegisterTrack("sim/pcie");
+  const uint16_t name = tr.InternName("transfer");
+  const uint8_t cat = tr.InternCategory("io");
+  tr.Complete(track, name, cat, 100, 50);
+  tr.Instant(track, name, cat, 200);
+  tr.Counter(name, 300, 1.0);
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.total_recorded(), 0u);
+}
+
+TEST(TracerTest, InternIsIdempotent) {
+  Tracer tr(Enabled());
+  EXPECT_EQ(tr.RegisterTrack("a"), tr.RegisterTrack("a"));
+  EXPECT_NE(tr.RegisterTrack("a"), tr.RegisterTrack("b"));
+  EXPECT_EQ(tr.InternName("x"), tr.InternName("x"));
+  EXPECT_EQ(tr.InternCategory("io"), tr.InternCategory("io"));
+}
+
+TEST(TracerTest, GoldenChromeTraceExport) {
+  Tracer tr(Enabled());
+  const uint16_t track = tr.RegisterTrack("sim/pcie");
+  const uint16_t xfer = tr.InternName("transfer");
+  const uint16_t tick = tr.InternName("tick");
+  const uint8_t io = tr.InternCategory("io");
+  tr.Complete(track, xfer, io, 1000, 500);
+  tr.Instant(track, tick, io, 2500);
+  tr.Counter(tick, 3000, 0.25);
+  tr.AsyncBegin(track, xfer, io, 4000, 7);
+  tr.AsyncEnd(track, xfer, io, 5000, 7);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"sim/pcie\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_sort_index\","
+      "\"args\":{\"sort_index\":0}},\n"
+      "{\"pid\":0,\"tid\":0,\"name\":\"transfer\",\"cat\":\"io\","
+      "\"ts\":1.000,\"ph\":\"X\",\"dur\":0.500},\n"
+      "{\"pid\":0,\"tid\":0,\"name\":\"tick\",\"cat\":\"io\","
+      "\"ts\":2.500,\"ph\":\"i\",\"s\":\"t\"},\n"
+      "{\"pid\":0,\"tid\":0,\"name\":\"tick\","
+      "\"ts\":3.000,\"ph\":\"C\",\"args\":{\"value\":0.2500}},\n"
+      "{\"pid\":0,\"tid\":0,\"name\":\"transfer\",\"cat\":\"io\","
+      "\"ts\":4.000,\"ph\":\"b\",\"id\":\"0x7\"},\n"
+      "{\"pid\":0,\"tid\":0,\"name\":\"transfer\",\"cat\":\"io\","
+      "\"ts\":5.000,\"ph\":\"e\",\"id\":\"0x7\"}\n"
+      "]}\n";
+  EXPECT_EQ(tr.ExportChromeTrace(), expected);
+}
+
+TEST(TracerTest, ExportIsDeterministic) {
+  auto record = [](Tracer* tr) {
+    const uint16_t track = tr->RegisterTrack("dora/partition0");
+    const uint16_t name = tr->InternName("action");
+    const uint8_t cat = tr->InternCategory("dora");
+    for (int i = 0; i < 100; ++i) {
+      tr->Complete(track, name, cat, i * 10, 5);
+    }
+  };
+  Tracer a(Enabled(256)), b(Enabled(256));
+  record(&a);
+  record(&b);
+  EXPECT_EQ(a.ExportChromeTrace(), b.ExportChromeTrace());
+}
+
+TEST(TracerTest, RingDropsOldest) {
+  Tracer tr(Enabled(4));
+  const uint16_t track = tr.RegisterTrack("t");
+  const uint16_t name = tr.InternName("e");
+  const uint8_t cat = tr.InternCategory("c");
+  for (SimTime ts = 0; ts < 6; ++ts) tr.Instant(track, name, cat, ts * 1000);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.total_recorded(), 6u);
+  EXPECT_EQ(tr.dropped(), 2u);
+  const std::string json = tr.ExportChromeTrace();
+  // Events 0 and 1 were evicted; 2..5 survive, oldest first.
+  EXPECT_EQ(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\":1.000"), std::string::npos);
+  size_t p2 = json.find("\"ts\":2.000");
+  size_t p5 = json.find("\"ts\":5.000");
+  EXPECT_NE(p2, std::string::npos);
+  EXPECT_NE(p5, std::string::npos);
+  EXPECT_LT(p2, p5);
+}
+
+TEST(TracerTest, ClearDropsEventsKeepsInterning) {
+  Tracer tr(Enabled());
+  const uint16_t track = tr.RegisterTrack("t");
+  const uint16_t name = tr.InternName("e");
+  const uint8_t cat = tr.InternCategory("c");
+  tr.Instant(track, name, cat, 100);
+  tr.Clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.num_tracks(), 1u);
+  // Old ids remain valid after Clear (the measurement-window restart).
+  tr.Instant(track, name, cat, 200);
+  EXPECT_EQ(tr.size(), 1u);
+  EXPECT_NE(tr.ExportChromeTrace().find("\"ts\":0.200"), std::string::npos);
+}
+
+TEST(TracerTest, SpanScopeCoversVirtualTimeExtent) {
+  Tracer tr(Enabled());
+  SimTime now = 100;
+  tr.BindClock(&now);
+  const uint16_t track = tr.RegisterTrack("hw/scanner");
+  const uint16_t name = tr.InternName("scan");
+  const uint8_t cat = tr.InternCategory("scan");
+  {
+    SpanScope span(&tr, track, name, cat);
+    now = 350;
+  }
+  EXPECT_EQ(tr.size(), 1u);
+  EXPECT_NE(tr.ExportChromeTrace().find("\"ts\":0.100,\"ph\":\"X\","
+                                        "\"dur\":0.250"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- Registry --
+
+TEST(RegistryTest, OwnedCounter) {
+  Registry reg;
+  Counter* c = reg.AddCounter("test.hits", "hits");
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(reg.Value("test.hits"), 5.0);
+}
+
+TEST(RegistryTest, BoundCounterTracksSource) {
+  Registry reg;
+  uint64_t commits = 0;
+  reg.BindCounter("engine.commits", &commits);
+  EXPECT_EQ(reg.Value("engine.commits"), 0.0);
+  commits = 42;
+  EXPECT_EQ(reg.Value("engine.commits"), 42.0);
+}
+
+TEST(RegistryTest, GaugeComputesOnRead) {
+  Registry reg;
+  double x = 1.5;
+  reg.BindGauge("test.ratio", [&] { return x * 2; });
+  EXPECT_EQ(reg.Value("test.ratio"), 3.0);
+  x = 2.0;
+  EXPECT_EQ(reg.Value("test.ratio"), 4.0);
+}
+
+TEST(RegistryTest, HistogramValueIsCount) {
+  Registry reg;
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  reg.BindHistogram("test.lat", &h);
+  EXPECT_EQ(reg.Value("test.lat"), 2.0);
+  ASSERT_NE(reg.GetHistogram("test.lat"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("test.lat")->count(), 2u);
+  EXPECT_EQ(reg.GetHistogram("test.hits"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotPreservesRegistrationOrder) {
+  Registry reg;
+  uint64_t v = 7;
+  reg.AddCounter("b.second", "2nd");
+  reg.BindCounter("a.first", &v, "1st");
+  reg.BindGauge("c.third", [] { return 1.0; });
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "b.second");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[1].name, "a.first");
+  EXPECT_EQ(snap[1].value, 7.0);
+  EXPECT_EQ(snap[2].name, "c.third");
+  EXPECT_EQ(snap[2].kind, MetricKind::kGauge);
+  EXPECT_FALSE(reg.Has("d.fourth"));
+  EXPECT_TRUE(reg.Has("a.first"));
+}
+
+// --------------------------------------------------------- BreakdownReport --
+
+TEST(BreakdownReportTest, FromRegistryCollectsPrefixedGauges) {
+  Registry reg;
+  reg.BindGauge("breakdown.btree_ns", [] { return 400.0; }, "Btree");
+  reg.BindGauge("breakdown.log_ns", [] { return 500.0; }, "Log");
+  reg.BindGauge("breakdown.other_ns", [] { return 100.0; }, "Other");
+  reg.BindGauge("engine.txn_per_sec", [] { return 9.0; });  // not breakdown
+  const BreakdownReport r = BreakdownReport::FromRegistry(reg);
+  ASSERT_EQ(r.rows().size(), 3u);
+  EXPECT_EQ(r.TotalNs(), 1000.0);
+  EXPECT_EQ(r.Ns("btree"), 400.0);
+  EXPECT_DOUBLE_EQ(r.Percent("log"), 50.0);
+  EXPECT_EQ(r.Percent("nonexistent"), 0.0);
+  EXPECT_EQ(r.LargestComponent(), "log");
+  EXPECT_EQ(r.rows()[0].label, "Btree");
+  EXPECT_NE(r.ToTable().find("Log"), std::string::npos);
+}
+
+TEST(BreakdownReportTest, EmptyReportIsHarmless) {
+  BreakdownReport r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.TotalNs(), 0.0);
+  EXPECT_EQ(r.Percent("btree"), 0.0);
+  EXPECT_EQ(r.LargestComponent(), "");
+}
+
+// ---------------------------------------------------------- TimelineSampler --
+
+TEST(TimelineSamplerTest, GaugeEmitsEveryTickRateSkipsFirst) {
+  Tracer tr(Enabled(64));
+  SimTime now = 0;
+  tr.BindClock(&now);
+  TimelineSampler s(&tr);
+  double depth = 3.0;
+  double busy_ns = 0.0;
+  s.AddGauge("dora.partition0.queue_depth", [&] { return depth; });
+  s.AddRate("sim.pcie.util", [&] { return busy_ns; });
+  EXPECT_EQ(s.num_series(), 2u);
+
+  s.SampleOnce(0);  // gauge emits; rate primes silently
+  EXPECT_EQ(tr.size(), 1u);
+
+  depth = 5.0;
+  busy_ns = 50000.0;
+  s.SampleOnce(100000);  // gauge 5.0; rate 50000/100000 = 0.5
+  EXPECT_EQ(tr.size(), 3u);
+  const std::string json = tr.ExportChromeTrace();
+  EXPECT_NE(json.find("\"value\":5.0000"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":0.5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bionicdb::obs
