@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "common/parallel_for.h"
 #include "engine/engine.h"
 #include "obs/report.h"
 #include "sim/simulator.h"
@@ -160,6 +162,17 @@ inline RunResult RunTpcc(const engine::EngineConfig& config,
   sim.Spawn(workload::RunClosedLoop(&engine, next, dcfg, nullptr));
   sim.Run();
   return CollectResult(engine, scale);
+}
+
+/// Deterministic multi-core sweep: runs `n` independent configuration
+/// points (each building its own Simulator + Engine inside `make`) across
+/// up to `jobs` host threads and returns the results in point order, so a
+/// sweep's printed table is byte-identical whatever the job count.
+/// jobs == 0 means common::DefaultJobs() (BIONICDB_JOBS env, else cores).
+template <typename Make>
+std::vector<RunResult> RunSweep(size_t n, Make&& make, size_t jobs = 0) {
+  if (jobs == 0) jobs = common::DefaultJobs();
+  return common::RunGrid<RunResult>(n, jobs, std::forward<Make>(make));
 }
 
 inline void PrintHeader(const char* title) {

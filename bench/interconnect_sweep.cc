@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_util.h"
 
@@ -33,20 +34,7 @@ void PrintSweep() {
 
   WorkloadScale tscale;
   tscale.measured_txns = 1500;
-  const RunResult dora_tpcc =
-      bench::RunTpcc(engine::EngineConfig::Dora(), tscale);
-  const RunResult conv_tpcc =
-      bench::RunTpcc(engine::EngineConfig::Conventional(), tscale);
   WorkloadScale ascale;
-  const RunResult dora_tatp =
-      bench::RunTatpMix(engine::EngineConfig::Dora(), ascale);
-
-  std::printf("software baselines: TPC-C DORA %.0f txn/s, conventional %.0f "
-              "txn/s; TATP DORA %.0f txn/s\n\n",
-              dora_tpcc.txn_per_sec, conv_tpcc.txn_per_sec,
-              dora_tatp.txn_per_sec);
-  std::printf("%-22s %14s %12s %14s %12s\n", "round trip (bionic)",
-              "TPC-C txn/s", "vs DORA", "TATP txn/s", "vs DORA");
   struct Gen {
     const char* label;
     SimTime rtt_ns;
@@ -55,10 +43,38 @@ void PrintSweep() {
       {"PCIe gen5-ish", 500},      {"CXL-class", 200},
       {"coherent fabric", 100},
   };
-  for (const Gen& g : gens) {
-    const RunResult tpcc = bench::RunTpcc(BionicWithRtt(g.rtt_ns), tscale);
-    const RunResult tatp = bench::RunTatpMix(BionicWithRtt(g.rtt_ns), ascale);
-    std::printf("%-22s %14.0f %11.2fx %14.0f %11.2fx\n", g.label,
+  constexpr size_t kGens = std::size(gens);
+
+  // One grid point per independent simulation: 3 software baselines, then
+  // (TPC-C, TATP) per interconnect generation. Each point builds its own
+  // Simulator + Engine, so the whole sweep shards across host cores with
+  // output identical to the old serial loop.
+  const std::vector<RunResult> grid =
+      bench::RunSweep(3 + 2 * kGens, [&](size_t i) -> RunResult {
+        if (i == 0) return bench::RunTpcc(engine::EngineConfig::Dora(), tscale);
+        if (i == 1)
+          return bench::RunTpcc(engine::EngineConfig::Conventional(), tscale);
+        if (i == 2)
+          return bench::RunTatpMix(engine::EngineConfig::Dora(), ascale);
+        const Gen& g = gens[(i - 3) / 2];
+        return (i - 3) % 2 == 0
+                   ? bench::RunTpcc(BionicWithRtt(g.rtt_ns), tscale)
+                   : bench::RunTatpMix(BionicWithRtt(g.rtt_ns), ascale);
+      });
+  const RunResult& dora_tpcc = grid[0];
+  const RunResult& conv_tpcc = grid[1];
+  const RunResult& dora_tatp = grid[2];
+
+  std::printf("software baselines: TPC-C DORA %.0f txn/s, conventional %.0f "
+              "txn/s; TATP DORA %.0f txn/s\n\n",
+              dora_tpcc.txn_per_sec, conv_tpcc.txn_per_sec,
+              dora_tatp.txn_per_sec);
+  std::printf("%-22s %14s %12s %14s %12s\n", "round trip (bionic)",
+              "TPC-C txn/s", "vs DORA", "TATP txn/s", "vs DORA");
+  for (size_t gi = 0; gi < kGens; ++gi) {
+    const RunResult& tpcc = grid[3 + 2 * gi];
+    const RunResult& tatp = grid[4 + 2 * gi];
+    std::printf("%-22s %14.0f %11.2fx %14.0f %11.2fx\n", gens[gi].label,
                 tpcc.txn_per_sec, tpcc.txn_per_sec / dora_tpcc.txn_per_sec,
                 tatp.txn_per_sec, tatp.txn_per_sec / dora_tatp.txn_per_sec);
   }

@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel_for.h"
 #include "hw/log_unit.h"
 #include "hw/platform.h"
 #include "sim/simulator.h"
@@ -73,11 +75,28 @@ void PrintLogScalability() {
   struct Cfg {
     int threads, sockets;
   } cfgs[] = {{4, 1}, {16, 1}, {16, 2}, {32, 2}, {32, 4}, {64, 4}};
+  constexpr size_t kCfgs = std::size(cfgs);
+  // Three independent simulations per row (sw, hw+aggr, hw no-aggr),
+  // sharded across host cores; results land in grid order so the table is
+  // identical to the serial loop's.
+  const std::vector<double> grid = common::RunGrid<double>(
+      3 * kCfgs, common::DefaultJobs(), [&](size_t i) {
+        const Cfg& c = cfgs[i / 3];
+        switch (i % 3) {
+          case 0:
+            return RunLog(false, c.threads, c.sockets, true) / 1e6;
+          case 1:
+            return RunLog(true, c.threads, c.sockets, true) / 1e6;
+          default:
+            return RunLog(true, c.threads, c.sockets, false) / 1e6;
+        }
+      });
   double sw_1s = 0, sw_4s = 0, hw_4s = 0;
-  for (const Cfg& c : cfgs) {
-    const double sw = RunLog(false, c.threads, c.sockets, true) / 1e6;
-    const double hw_a = RunLog(true, c.threads, c.sockets, true) / 1e6;
-    const double hw_n = RunLog(true, c.threads, c.sockets, false) / 1e6;
+  for (size_t i = 0; i < kCfgs; ++i) {
+    const Cfg& c = cfgs[i];
+    const double sw = grid[3 * i];
+    const double hw_a = grid[3 * i + 1];
+    const double hw_n = grid[3 * i + 2];
     if (c.threads == 16 && c.sockets == 1) sw_1s = sw;
     if (c.threads == 64) {
       sw_4s = sw;

@@ -39,10 +39,17 @@ void PrintSocketScaling() {
       "S5.4 socket scaling: TATP UpdateSubscriberData (log-bound)");
   std::printf("%-10s %-22s %-22s %-10s\n", "sockets", "DORA sw log (txn/s)",
               "bionic hw log (txn/s)", "hw/sw");
+  const int socket_counts[] = {1, 2, 4};
+  // Grid point 2*i is software, 2*i+1 hardware at socket_counts[i]; the
+  // six simulations shard across host cores via the shared sweep runner.
+  const std::vector<RunResult> grid = bench::RunSweep(6, [&](size_t i) {
+    return RunSockets(/*bionic=*/i % 2 == 1, socket_counts[i / 2]);
+  });
   double sw1 = 0, sw4 = 0, hw4 = 0;
-  for (int sockets : {1, 2, 4}) {
-    RunResult sw = RunSockets(false, sockets);
-    RunResult hw = RunSockets(true, sockets);
+  for (size_t i = 0; i < 3; ++i) {
+    const int sockets = socket_counts[i];
+    const RunResult& sw = grid[2 * i];
+    const RunResult& hw = grid[2 * i + 1];
     if (sockets == 1) sw1 = sw.txn_per_sec;
     if (sockets == 4) {
       sw4 = sw.txn_per_sec;

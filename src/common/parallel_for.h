@@ -1,0 +1,72 @@
+// Deterministic multi-core experiment runner: shard independent simulation
+// configurations across host threads without giving up reproducibility.
+//
+// The contract that makes this safe is architectural, not locked: each
+// shard builds its own Simulator + Engine (simulators are confined to one
+// host thread; the only mutable process-global in src/ is the coroutine
+// frame pool, which is thread_local). Shards therefore share nothing, and
+// results are written into a pre-sized vector at the shard's own index, so
+// the collected output is byte-identical whatever the job count or the
+// order threads happen to finish in.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace bionicdb::common {
+
+/// Host parallelism for experiment grids: the BIONICDB_JOBS environment
+/// variable when set (>= 1), else the hardware thread count.
+inline size_t DefaultJobs() {
+  if (const char* env = std::getenv("BIONICDB_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Invokes fn(i) for every i in [0, n), fanning out across up to `jobs`
+/// host threads. fn must be safe to call concurrently for distinct i and
+/// must not throw (simulation failures abort via BIONICDB_CHECK).
+///
+/// Work is handed out by an atomic ticket counter, so stragglers do not
+/// serialize the tail the way static striping would. jobs <= 1 (or a
+/// single item) degenerates to a plain loop on the calling thread — the
+/// reference execution that parallel runs must match byte for byte.
+template <typename Fn>
+void ParallelFor(size_t n, size_t jobs, Fn&& fn) {
+  if (n == 0) return;
+  if (jobs > n) jobs = n;
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> ticket{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (size_t t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();  // The caller is worker zero.
+  for (std::thread& th : pool) th.join();
+}
+
+/// Runs `make(i)` for every index of an experiment grid and returns the
+/// results in grid order. `make` typically constructs a Simulator + Engine,
+/// runs a workload, and returns the measured numbers.
+template <typename R, typename Make>
+std::vector<R> RunGrid(size_t n, size_t jobs, Make&& make) {
+  std::vector<R> results(n);
+  ParallelFor(n, jobs, [&](size_t i) { results[i] = make(i); });
+  return results;
+}
+
+}  // namespace bionicdb::common

@@ -31,11 +31,28 @@ class SimQueue {
         items_(sim, 0), ring_(capacity + 1) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(SimQueue);
 
+  /// Awaiter for Push/Pop: acquires the given semaphore (inline when a unit
+  /// is free, else suspending in its FIFO), then applies the queue effect in
+  /// await_resume. A plain awaiter instead of a Task<> keeps the
+  /// steady-state push/pop cycle free of coroutine frames — the awaiter
+  /// lives in the caller's frame, doubling as the semaphore's waiter node.
+  struct PushAwaiter : Semaphore::Awaiter {
+    SimQueue* queue;
+    T item;
+    PushAwaiter(SimQueue* q, T it)
+        : Semaphore::Awaiter(&q->space_), queue(q), item(std::move(it)) {}
+    void await_resume() { queue->DoPush(std::move(item)); }
+  };
+
+  struct PopAwaiter : Semaphore::Awaiter {
+    SimQueue* queue;
+    explicit PopAwaiter(SimQueue* q)
+        : Semaphore::Awaiter(&q->items_), queue(q) {}
+    T await_resume() { return queue->DoPop(); }
+  };
+
   /// Blocking push (waits while the queue is full).
-  Task<void> Push(T item) {
-    co_await space_.Acquire();
-    DoPush(std::move(item));
-  }
+  PushAwaiter Push(T item) { return PushAwaiter(this, std::move(item)); }
 
   /// Non-blocking push. Returns false if the queue is full.
   bool TryPush(T item) {
@@ -45,10 +62,7 @@ class SimQueue {
   }
 
   /// Blocking pop (waits while the queue is empty).
-  Task<T> Pop() {
-    co_await items_.Acquire();
-    co_return DoPop();
-  }
+  PopAwaiter Pop() { return PopAwaiter(this); }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {

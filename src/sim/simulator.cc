@@ -43,12 +43,10 @@ void Simulator::Spawn(Task<void> task) {
 
 bool Simulator::Step() {
   if (events_.empty()) return false;
-  Event ev = events_.top();
-  events_.pop();
-  BIONICDB_DCHECK(ev.at >= now_);
-  now_ = ev.at;
+  std::coroutine_handle<> h = events_.Pop();
+  now_ = events_.now();
   ++events_processed_;
-  ev.handle.resume();
+  h.resume();
   return true;
 }
 
@@ -63,14 +61,21 @@ void Simulator::Run() {
 
 bool Simulator::RunUntil(SimTime deadline) {
   while (!events_.empty()) {
-    if (events_.top().at > deadline) {
-      now_ = deadline;
+    if (events_.NextTime() > deadline) {
+      AdvanceClock(deadline);
       return false;
     }
     Step();
   }
-  now_ = deadline;
+  AdvanceClock(deadline);
   return true;
+}
+
+void Simulator::AdvanceClock(SimTime deadline) {
+  // Land exactly on the deadline (early drain included) but never rewind.
+  if (deadline <= now_) return;
+  events_.AdvanceTo(deadline);
+  now_ = deadline;
 }
 
 }  // namespace bionicdb::sim

@@ -4,12 +4,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/units.h"
+#include "sim/event_queue.h"
 #include "sim/task.h"
 
 namespace bionicdb::sim {
@@ -24,6 +24,12 @@ namespace bionicdb::sim {
 /// Determinism: events at equal timestamps fire in schedule order (FIFO via
 /// a monotone sequence number); no wall-clock or address-dependent ordering
 /// leaks in, so a given seed always reproduces the same execution.
+///
+/// The event queue is a hierarchical calendar queue (sim/event_queue.h):
+/// same-tick wakeups ride a FIFO ring, timed delays land in O(1) timer
+/// wheels. One Simulator is confined to one host thread; independent
+/// Simulators on different threads share nothing (the deterministic
+/// multi-core experiment runner in bench/bench_util.h relies on this).
 class Simulator {
  public:
   Simulator() = default;
@@ -39,7 +45,8 @@ class Simulator {
   /// Schedules `h` to resume at absolute time `at` (>= Now()).
   void Schedule(SimTime at, std::coroutine_handle<> h) {
     BIONICDB_DCHECK(at >= now_);
-    events_.push(Event{at, next_seq_++, h});
+    if (schedule_probe_ != nullptr) schedule_probe_->push_back(at - now_);
+    events_.Push(at, h);
   }
 
   /// Schedules `h` to resume immediately (still via the event loop, never
@@ -56,8 +63,18 @@ class Simulator {
   void Run();
 
   /// Runs until the event queue is empty or virtual time would exceed
-  /// `deadline`. Returns true if it drained the queue. Unlike Run(), tasks
-  /// may still be live afterwards (e.g. open-loop drivers).
+  /// `deadline`. Returns true if it drained the queue.
+  ///
+  /// Deadline semantics (pinned by SimulatorTest.RunUntil*):
+  ///   * Events at exactly `deadline` fire.
+  ///   * On return, Now() == deadline — including when the queue drained
+  ///     early — so back-to-back RunUntil windows tile virtual time with no
+  ///     gaps and rate computations can divide by the window length.
+  ///   * A deadline already in the past (deadline < Now()) processes
+  ///     nothing and leaves the clock unchanged: the clock never rewinds.
+  ///
+  /// Unlike Run(), tasks may still be live afterwards (e.g. open-loop
+  /// drivers).
   bool RunUntil(SimTime deadline);
 
   /// Processes a single event. Returns false when the queue is empty.
@@ -67,33 +84,43 @@ class Simulator {
   size_t live_tasks() const { return live_tasks_; }
   /// Total events processed so far.
   uint64_t events_processed() const { return events_processed_; }
+  /// Events currently scheduled and not yet fired (the event queue's live
+  /// population — what sizes the working set of the calendar structure).
+  size_t events_pending() const { return events_.size(); }
 
   /// Simulator-owned RNG for model jitter (cache-miss draws etc.).
   Rng& rng() { return rng_; }
   void SeedRng(uint64_t seed) { rng_ = Rng(seed); }
 
- private:
-  struct Event {
-    SimTime at;
-    uint64_t seq;
-    std::coroutine_handle<> handle;
-    bool operator>(const Event& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
-  };
+  /// When non-null, every Schedule appends its delta (at - Now()) — one
+  /// predicted branch when disabled, same convention as obs tracing. Used
+  /// by bench/event_queue to capture real schedule-distance distributions
+  /// for trace replay.
+  void set_schedule_probe(std::vector<SimTime>* probe) {
+    schedule_probe_ = probe;
+  }
 
+ private:
   friend struct SpawnDriver;
   void OnTaskStarted() { ++live_tasks_; }
   void OnTaskFinished() { --live_tasks_; }
+  void AdvanceClock(SimTime deadline);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  CalendarQueue<std::coroutine_handle<>> events_;
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
   size_t live_tasks_ = 0;
   uint64_t events_processed_ = 0;
+  std::vector<SimTime>* schedule_probe_ = nullptr;
   Rng rng_{0xB102C0DEULL};
 };
+
+// The old Event carried (time, seq, handle) and a three-field operator>;
+// the calendar queue packs the comparison key into one 128-bit integer next
+// to the handle. Keep the hot array elements at two per cache line.
+static_assert(sizeof(CalendarQueue<std::coroutine_handle<>>::Entry) == 32 &&
+                  alignof(CalendarQueue<std::coroutine_handle<>>::Entry) == 16,
+              "queue entries must stay (128-bit packed key, handle) — two "
+              "per cache line");
 
 /// Awaitable: suspends the current task for `delay` virtual nanoseconds.
 struct Delay {

@@ -150,25 +150,42 @@ class Semaphore {
   detail::WaiterList waiters_;
 };
 
-/// One-shot completion flag: a Task can await Done() and another can Set()
+/// One-shot completion flag: a Task can await Wait() and another can Set()
 /// it. Used for asynchronous hardware completions (e.g. log LSN durable).
+///
+/// Wait() is a plain awaiter, not a Task: waiting costs no coroutine frame
+/// (the hot path — every commit waits on its durable LSN), and a Wait()
+/// after Set() resumes inline without touching the event queue. Waiters
+/// still wake via the event loop in FIFO order, like CondVar.
 class Completion {
  public:
-  explicit Completion(Simulator* sim) : cv_(sim) {}
+  explicit Completion(Simulator* sim) : sim_(sim) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(Completion);
 
-  Task<void> Wait() {
-    while (!done_) co_await cv_.Wait();
-  }
+  struct Awaiter : detail::WaiterList::Node {
+    Completion* completion;
+    explicit Awaiter(Completion* c) : completion(c) {}
+    bool await_ready() const noexcept { return completion->done_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      completion->waiters_.PushBack(this);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspends until Set() (immediately ready if already set).
+  Awaiter Wait() { return Awaiter{this}; }
 
   void Set() {
     done_ = true;
-    cv_.NotifyAll();
+    while (!waiters_.empty()) sim_->ScheduleNow(waiters_.PopFront()->handle);
   }
 
   bool done() const { return done_; }
 
  private:
-  CondVar cv_;
+  Simulator* sim_;
+  detail::WaiterList waiters_;
   bool done_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/parallel_for.h"
 #include "common/random.h"
 #include "engine/engine.h"
 #include "sim/simulator.h"
@@ -274,6 +275,15 @@ std::string CrashHarness::CheckCrashPoint(size_t cut, TailFault fault,
     }
   }
   return oss.str();
+}
+
+std::vector<std::string> CrashHarness::CheckCrashPoints(
+    const std::vector<CrashPoint>& points, size_t jobs) {
+  EnsureRan();  // Serially; the parallel phase below only reads.
+  return common::RunGrid<std::string>(points.size(), jobs, [&](size_t i) {
+    const CrashPoint& p = points[i];
+    return CheckCrashPoint(p.cut, p.fault, p.seed);
+  });
 }
 
 }  // namespace bionicdb::workload

@@ -67,8 +67,26 @@ class CrashHarness {
   /// state against the committed-transaction oracle for the surviving
   /// prefix. Returns "" on success, a divergence description otherwise.
   /// `seed` randomizes the corruption (zero-run length / flipped bit).
+  ///
+  /// Thread-safe once the original run has happened (Run() or any prior
+  /// check): after that, all harness state it touches is read-only, and
+  /// every call builds its own fresh Instance.
   std::string CheckCrashPoint(size_t cut, TailFault fault, uint64_t seed,
                               wal::RecoveryStats* stats_out = nullptr);
+
+  /// One (cut, fault, seed) triple of a crash corpus.
+  struct CrashPoint {
+    size_t cut = 0;
+    TailFault fault = TailFault::kCleanCut;
+    uint64_t seed = 0;
+  };
+
+  /// Checks every point, fanned out across up to `jobs` host threads (the
+  /// original run happens first, serially, so the parallel phase only reads
+  /// shared state). Results come back in point order — byte-identical to a
+  /// jobs=1 run regardless of thread scheduling.
+  std::vector<std::string> CheckCrashPoints(
+      const std::vector<CrashPoint>& points, size_t jobs);
 
  private:
   using State = std::map<std::string, std::string>;

@@ -112,6 +112,62 @@ TEST(SimulatorTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(ticks, 100);
 }
 
+// Pins the RunUntil deadline contract documented in sim/simulator.h.
+TEST(SimulatorTest, RunUntilDeadlineSemantics) {
+  Simulator sim;
+  int ticks = 0;
+  sim.Spawn([](Simulator* s, int* ticks) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await Delay{s, 10};
+      ++(*ticks);
+    }
+  }(&sim, &ticks));
+
+  // An event at exactly the deadline fires (inclusive boundary).
+  EXPECT_FALSE(sim.RunUntil(10));
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(sim.Now(), 10);
+
+  // Draining early still lands the clock on the deadline, so back-to-back
+  // windows tile virtual time without gaps.
+  EXPECT_TRUE(sim.RunUntil(1000));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.Now(), 1000);
+
+  // A deadline in the past processes nothing and never rewinds the clock.
+  EXPECT_TRUE(sim.RunUntil(500));
+  EXPECT_EQ(sim.Now(), 1000);
+
+  // An empty queue at a future deadline just advances the clock.
+  EXPECT_TRUE(sim.RunUntil(2000));
+  EXPECT_EQ(sim.Now(), 2000);
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+// Events scheduled for the same instant from very different distances land
+// in different timer wheels (coarse for the early long delay, fine for the
+// late short one) yet must still fire in schedule order.
+TEST(SimulatorTest, EqualTimestampsAcrossWheelsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  constexpr SimTime kMeet = 70000;  // wheel 2 territory from t=0
+  auto arrive = [](Simulator* s, std::vector<int>* order, SimTime at,
+                   int id) -> Task<> {
+    co_await DelayUntil{s, at};
+    order->push_back(id);
+  };
+  sim.Spawn(arrive(&sim, &order, kMeet, 0));  // scheduled first, from afar
+  sim.Spawn([](Simulator* s, std::vector<int>* order,
+               decltype(arrive) arrive) -> Task<> {
+    co_await Delay{s, kMeet - 100};  // get close, then schedule late
+    s->Spawn(arrive(s, order, kMeet, 1));
+    s->Spawn(arrive(s, order, kMeet, 2));
+  }(&sim, &order, arrive));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kMeet);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(SimulatorTest, LiveTaskCountTracksSpawns) {
   Simulator sim;
   EXPECT_EQ(sim.live_tasks(), 0u);

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI wall-clock smoke gate for the simulator engine room.
+
+Compares a fresh bench run against the checked-in baseline
+(BENCH_PR5.json) using only signals that survive a change of host:
+
+  * sim_txn_per_sec must match the baseline EXACTLY. It is pure
+    virtual-time output of a seeded simulation, so any difference means
+    the engine's simulated behavior diverged — the wall-clock analogue of
+    the `sweep --jobs 1` vs `--jobs N` byte-identity diff.
+
+  * The event-queue speedup (heap ns/op / calendar ns/op on the captured
+    TATP trace, both measured interleaved in one binary) must not regress
+    more than 15% below the recorded baseline ratio. Being a ratio of two
+    same-process measurements, it transfers across machines in a way raw
+    ns/op never does.
+
+Absolute ns/op numbers are deliberately NOT gated: they swing by tens of
+percent between hosts (and between days on shared runners), so a fixed
+threshold would only teach people to ignore the job.
+
+Usage: check_bench.py <wallclock.json> <event_queue.json> <baseline.json>
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail(f"usage: {sys.argv[0]} <wallclock.json> <evq.json> <baseline.json>")
+    with open(sys.argv[1]) as f:
+        wallclock = json.load(f)
+    with open(sys.argv[2]) as f:
+        evq = json.load(f)
+    with open(sys.argv[3]) as f:
+        baseline = json.load(f)
+
+    base_metrics = baseline["metrics"]
+
+    # 1. Simulated-behavior divergence gate (exact).
+    want = base_metrics["tatp_e2e_dora"]["after"]["sim_txn_per_sec"]
+    got = wallclock["tatp_e2e_dora"]["sim_txn_per_sec"]
+    if got != want:
+        fail(
+            f"sim_txn_per_sec diverged: {got} != baseline {want} — the "
+            "simulated schedule changed (event queue ordering bug or an "
+            "intentional semantic change; if the latter, re-baseline)"
+        )
+    print(f"ok: sim_txn_per_sec == {want} (bit-identical schedule)")
+
+    # 2. Event-queue speedup regression gate (ratio, 15% slack).
+    heap = evq["evq_heap_tatp_trace"]["ns_per_op"]
+    cal = evq["evq_calendar_tatp_trace"]["ns_per_op"]
+    if cal <= 0:
+        fail("calendar ns_per_op is non-positive; bench output malformed")
+    ratio = heap / cal
+    base_ratio = base_metrics["evq_tatp_trace"]["speedup"]
+    floor = base_ratio * 0.85
+    if ratio < floor:
+        fail(
+            f"event-queue TATP-trace speedup regressed: {ratio:.2f}x < "
+            f"{floor:.2f}x (baseline {base_ratio:.2f}x minus 15% slack)"
+        )
+    print(f"ok: event-queue TATP-trace speedup {ratio:.2f}x "
+          f"(baseline {base_ratio:.2f}x, floor {floor:.2f}x)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
