@@ -10,6 +10,7 @@
 // (tests/breakdown_test.cc) include it too.
 #pragma once
 
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "common/parallel_for.h"
 #include "engine/engine.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "sim/simulator.h"
 #include "workload/driver.h"
 #include "workload/tatp.h"
@@ -29,12 +31,24 @@ struct RunResult {
   double uj_per_txn = 0;        ///< microjoules per committed transaction
   double mean_latency_us = 0;
   double p95_latency_us = 0;
+  /// Tail percentiles of the same virtual-time latency histogram every
+  /// transaction-running bench already records (emitted in its JSON).
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double p999_latency_us = 0;
   uint64_t commits = 0;
   uint64_t aborts = 0;
   obs::BreakdownReport breakdown;  ///< String-keyed Figure-3 components.
   double cpu_utilization = 0;   ///< fraction of core-time busy
   uint64_t pcie_bytes = 0;
   bool degraded = false;        ///< Any degraded-mode event in the window.
+  /// Stage attribution (flight recorder): per-stage latency percentiles in
+  /// StageKey order. Only populated when the engine ran with
+  /// config.flight.enabled (has_stages says so).
+  bool has_stages = false;
+  std::array<double, obs::kNumStages> stage_p50_us{};
+  std::array<double, obs::kNumStages> stage_p99_us{};
+  std::array<double, obs::kNumStages> stage_p999_us{};
 };
 
 struct WorkloadScale {
@@ -63,6 +77,25 @@ inline RunResult CollectResult(engine::Engine& engine,
   const Histogram* lat = reg.GetHistogram("engine.latency_ns");
   r.mean_latency_us = lat->Mean() / 1e3;
   r.p95_latency_us = static_cast<double>(lat->Percentile(95)) / 1e3;
+  r.p50_latency_us = static_cast<double>(lat->Percentile(50)) / 1e3;
+  r.p99_latency_us = static_cast<double>(lat->Percentile(99)) / 1e3;
+  r.p999_latency_us = static_cast<double>(lat->Percentile(99.9)) / 1e3;
+  // Stage attribution rides along when the flight recorder was on (the
+  // registry carries one histogram per stage under a stable dotted name).
+  if (reg.Has("engine.txn.total_ns")) {
+    r.has_stages = true;
+    for (int i = 0; i < obs::kNumStages; ++i) {
+      const auto s = static_cast<obs::Stage>(i);
+      const Histogram* h = reg.GetHistogram(
+          std::string("engine.txn.stage.") + obs::StageKey(s) + "_ns");
+      r.stage_p50_us[static_cast<size_t>(i)] =
+          static_cast<double>(h->Percentile(50)) / 1e3;
+      r.stage_p99_us[static_cast<size_t>(i)] =
+          static_cast<double>(h->Percentile(99)) / 1e3;
+      r.stage_p999_us[static_cast<size_t>(i)] =
+          static_cast<double>(h->Percentile(99.9)) / 1e3;
+    }
+  }
   r.commits = static_cast<uint64_t>(reg.Value("engine.commits"));
   r.aborts = static_cast<uint64_t>(reg.Value("engine.aborts"));
   r.breakdown = engine.BreakdownSnapshot();

@@ -23,10 +23,19 @@ struct HybridResult {
   uint64_t scans = 0;
   double pcie_mb = 0;
   double scan_freshness_hits = 0;  ///< Scans that saw unmerged updates.
+  /// OLTP tail under concurrent analytics: does the scan wave stretch the
+  /// p99.9, and which stage eats the extra time?
+  double oltp_p50_us = 0;
+  double oltp_p999_us = 0;
+  const char* tail_stage = "";     ///< Stage with the largest p99.9.
+  double tail_stage_p999_us = 0;
 };
 
-HybridResult RunHybrid(const engine::EngineConfig& config) {
+HybridResult RunHybrid(const engine::EngineConfig& base_config) {
   sim::Simulator sim;
+  engine::EngineConfig config = base_config;
+  // Passive tail-latency attribution; never perturbs simulated results.
+  config.flight.enabled = true;
   engine::Engine engine(&sim, config);
   workload::TatpConfig wcfg;
   wcfg.subscribers = 20000;  // ~1.2MB subscriber table to scan
@@ -96,6 +105,19 @@ HybridResult RunHybrid(const engine::EngineConfig& config) {
                     engine.platform().pcie().bytes_transferred()) /
                 1e6;
   out.scan_freshness_hits = static_cast<double>(state.fresh);
+  const Histogram& lat = engine.metrics().latency;
+  out.oltp_p50_us = static_cast<double>(lat.Percentile(50)) / 1e3;
+  out.oltp_p999_us = static_cast<double>(lat.Percentile(99.9)) / 1e3;
+  obs::FlightRecorder* fr = engine.flight_recorder();
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    const auto s = static_cast<obs::Stage>(i);
+    const double p999 =
+        static_cast<double>(fr->stage_hist(s).Percentile(99.9)) / 1e3;
+    if (p999 > out.tail_stage_p999_us) {
+      out.tail_stage_p999_us = p999;
+      out.tail_stage = obs::StageKey(s);
+    }
+  }
   return out;
 }
 
@@ -113,13 +135,16 @@ void PrintHybrid() {
       {"Bionic, scanner OFF", bionic_no_scan},
       {"Bionic, scanner ON", engine::EngineConfig::Bionic()},
   };
-  std::printf("%-26s %12s %10s %12s %12s\n", "configuration", "OLTP txn/s",
-              "scans", "scan mean", "PCIe MB");
+  std::printf("%-26s %12s %10s %12s %12s %10s %16s\n", "configuration",
+              "OLTP txn/s", "scans", "scan mean", "PCIe MB", "p99.9 us",
+              "tail stage");
   for (const Row& row : rows) {
     HybridResult r = RunHybrid(row.config);
-    std::printf("%-26s %12.0f %10llu %10.2fms %12.1f\n", row.label,
-                r.oltp_txn_per_sec, static_cast<unsigned long long>(r.scans),
-                r.scan_ms_mean, r.pcie_mb);
+    std::printf("%-26s %12.0f %10llu %10.2fms %12.1f %10.1f %10s %.1fus\n",
+                row.label, r.oltp_txn_per_sec,
+                static_cast<unsigned long long>(r.scans), r.scan_ms_mean,
+                r.pcie_mb, r.oltp_p999_us, r.tail_stage,
+                r.tail_stage_p999_us);
   }
   std::printf("\nThe enhanced scanner keeps query bytes off the PCI bus\n"
               "(selection/projection at the FPGA), so scans neither starve\n"
@@ -135,6 +160,9 @@ void BM_HybridAnalytics(benchmark::State& state) {
     state.counters["oltp_txn_per_sec"] = r.oltp_txn_per_sec;
     state.counters["scan_ms"] = r.scan_ms_mean;
     state.counters["pcie_mb"] = r.pcie_mb;
+    state.counters["oltp_p50_us"] = r.oltp_p50_us;
+    state.counters["oltp_p999_us"] = r.oltp_p999_us;
+    state.counters["tail_stage_p999_us"] = r.tail_stage_p999_us;
   }
 }
 BENCHMARK(BM_HybridAnalytics)->Arg(0)->Arg(1);

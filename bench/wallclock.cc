@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -33,9 +34,9 @@ struct Metric {
   uint64_t ops = 0;
   double allocs_per_op = 0;
   double wall_ms = 0;
-  // Optional extra datum (e.g. simulated txn/s for the e2e run).
-  const char* extra_name = nullptr;
-  double extra = 0;
+  // Optional extra data (e.g. simulated txn/s and tail percentiles for the
+  // e2e run), emitted in order after the standard fields.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 class Timer {
@@ -191,6 +192,10 @@ Metric BenchDispatchCycle() {
 Metric BenchTatpE2e() {
   sim::Simulator sim;
   engine::EngineConfig cfg;  // default: DORA mode, commodity server
+  // The flight recorder is purely passive (no simulator events, no RNG
+  // draws), so the simulated results — sim_txn_per_sec in particular —
+  // are bit-identical to a recorder-off run; check_bench.py enforces it.
+  cfg.flight.enabled = true;
   engine::Engine eng(&sim, cfg);
   workload::TatpConfig wcfg;
   wcfg.subscribers = 5000;
@@ -207,8 +212,29 @@ Metric BenchTatpE2e() {
   // Wall cost per *committed* txn (the run also executes warmup txns and
   // aborted attempts; they are part of the price of a committed txn).
   Metric m = t.Stop("tatp_e2e_dora", eng.metrics().commits);
-  m.extra_name = "sim_txn_per_sec";
-  m.extra = eng.metrics().TxnPerSecond();
+  m.extras.emplace_back("sim_txn_per_sec", eng.metrics().TxnPerSecond());
+  // Tail percentiles of the measured window (virtual time). The total
+  // latency comes from the metrics histogram every run records; the
+  // per-stage attribution comes from the flight recorder.
+  const Histogram& lat = eng.metrics().latency;
+  m.extras.emplace_back("p50_latency_us",
+                        static_cast<double>(lat.Percentile(50)) / 1e3);
+  m.extras.emplace_back("p99_latency_us",
+                        static_cast<double>(lat.Percentile(99)) / 1e3);
+  m.extras.emplace_back("p999_latency_us",
+                        static_cast<double>(lat.Percentile(99.9)) / 1e3);
+  obs::FlightRecorder* fr = eng.flight_recorder();
+  BIONICDB_CHECK(fr != nullptr);
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    const auto s = static_cast<obs::Stage>(i);
+    const Histogram& h = fr->stage_hist(s);
+    m.extras.emplace_back(
+        std::string("stage_") + obs::StageKey(s) + "_p50_us",
+        static_cast<double>(h.Percentile(50)) / 1e3);
+    m.extras.emplace_back(
+        std::string("stage_") + obs::StageKey(s) + "_p999_us",
+        static_cast<double>(h.Percentile(99.9)) / 1e3);
+  }
   return m;
 }
 
@@ -221,8 +247,8 @@ void EmitJson(const std::vector<Metric>& ms, FILE* f) {
                  "\"ops\": %llu, \"wall_ms\": %.1f",
                  m.name.c_str(), m.ns_per_op, m.allocs_per_op,
                  static_cast<unsigned long long>(m.ops), m.wall_ms);
-    if (m.extra_name != nullptr) {
-      std::fprintf(f, ", \"%s\": %.1f", m.extra_name, m.extra);
+    for (const auto& [k, v] : m.extras) {
+      std::fprintf(f, ", \"%s\": %.1f", k.c_str(), v);
     }
     std::fprintf(f, "}%s\n", i + 1 < ms.size() ? "," : "");
   }

@@ -54,6 +54,17 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+uint64_t Histogram::CountAbove(int64_t threshold) const {
+  if (count_ == 0) return 0;
+  if (threshold < 0) return count_;
+  if (threshold >= max_) return 0;
+  uint64_t n = 0;
+  for (int i = BucketFor(threshold) + 1; i < kBuckets; ++i) {
+    n += buckets_[static_cast<size_t>(i)];
+  }
+  return n;
+}
+
 double Histogram::Mean() const {
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }

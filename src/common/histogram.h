@@ -19,8 +19,18 @@ class Histogram {
   /// Adds a sample. Negative values are clamped to zero.
   void Add(int64_t value);
 
-  /// Merges `other` into this histogram.
+  /// Merges `other` into this histogram. Every Histogram shares one
+  /// compile-time bucket layout (64 power-of-two ranges x 16 sub-buckets),
+  /// so mismatched bucket bounds are impossible by construction — there is
+  /// no runtime layout to validate or reject.
   void Merge(const Histogram& other);
+
+  /// Number of recorded samples strictly above `threshold`, at bucket
+  /// granularity: samples sharing `threshold`'s bucket are not counted
+  /// (they may be <= threshold), so the result is a lower bound with the
+  /// histogram's usual ~3% boundary error. Exact for threshold < 0 (all
+  /// samples) and threshold >= max() (none).
+  uint64_t CountAbove(int64_t threshold) const;
 
   uint64_t count() const { return count_; }
   int64_t min() const { return count_ ? min_ : 0; }

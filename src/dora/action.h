@@ -82,6 +82,12 @@ struct Action {
   ActionFn fn;
   Rvp* rvp = nullptr;
   int socket = 0;
+  /// Timeline bookkeeping (obs::TxnTimeline attribution): when the action
+  /// entered its partition queue, and — if it parked on a local lock —
+  /// when. Plain stores on the dispatch path; only read when the owning
+  /// transaction carries a timeline.
+  SimTime enqueue_ts = 0;
+  SimTime parked_since = 0;
 
   /// Appends a partition-local lock key (all-or-nothing; held until the
   /// transaction finishes). Keys are stored in the action's byte arena.
@@ -123,6 +129,8 @@ struct Action {
     fn = nullptr;
     rvp = nullptr;
     socket = 0;
+    enqueue_ts = 0;
+    parked_since = 0;
     arena_.clear();
     refs_.clear();
   }

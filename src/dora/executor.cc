@@ -1,5 +1,7 @@
 #include "dora/executor.h"
 
+#include "obs/timeline.h"
+
 namespace bionicdb::dora {
 
 Executor::Executor(hw::Platform* platform, const ExecutorConfig& config,
@@ -77,6 +79,9 @@ sim::Task<void> Executor::Dispatch(Action* action) {
     breakdown_->Charge(hw::Component::kDora, remote);
   }
   ++stats_.dispatched;
+  // Queue-wait attribution starts here; read on pop only when the owning
+  // transaction carries a timeline.
+  action->enqueue_ts = platform_->simulator()->Now();
   co_await p->queue().Push(action);
 }
 
@@ -110,6 +115,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
         // Doze: give up the core and sleep until work arrives; pay the
         // wakeup latency (OS futex, or a hardware doorbell when the queue
         // engine is active).
+        p->set_agent_state(AgentState::kDozing);
         cpu.Detach();
         action = co_await p->queue().Pop();
         const SimTime wakeup = config_.hw_queues
@@ -119,6 +125,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
         co_await cpu.Attach();
         sched.OnWorkFound(p->queue().size() + 1, /*was_dozing=*/true);
       } else {
+        p->set_agent_state(AgentState::kIdle);
         co_await cpu.Work(config_.doze.poll_ns);
         breakdown_->Charge(hw::Component::kDora, config_.doze.poll_ns);
         continue;
@@ -129,6 +136,21 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
     }
 
     if (action == nullptr) break;  // poison: shut down
+    p->set_agent_state(AgentState::kRunning);
+
+    // Timeline attribution: a first pop closes the enqueue->pop queue
+    // wait; a pop after parking closes the parked-on-local-lock wait.
+    if (action->xct != nullptr && action->xct->timeline != nullptr) {
+      obs::TxnTimeline* tl = action->xct->timeline;
+      const SimTime now = sim->Now();
+      if (action->parked_since != 0) {
+        tl->Charge(obs::Stage::kLockWait, now - action->parked_since);
+        action->parked_since = 0;
+      } else {
+        tl->Charge(obs::Stage::kQueueWait, now - action->enqueue_ts);
+      }
+      tl->MarkPartition(p->id());
+    }
 
     // Pop bookkeeping cost.
     const SimTime pop_ns = QueueOpCost();
@@ -144,6 +166,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
     breakdown_->Charge(hw::Component::kXct, lock_ns);
     const LockOutcome lock = p->TryLockAll(action);
     if (lock == LockOutcome::kParked) {
+      action->parked_since = sim->Now();
       continue;  // parked; re-runs when the conflicting txn releases
     }
     if (lock == LockOutcome::kDie) {
@@ -163,6 +186,7 @@ sim::Task<void> Executor::AgentLoop(Partition* p) {
       co_await RunAction(p, action);
     }
   }
+  p->set_agent_state(AgentState::kIdle);
   cpu.Detach();
 
   stats_.dozes += sched.dozes();
@@ -183,6 +207,10 @@ sim::Task<void> Executor::RunAction(Partition* p, Action* action) {
   ctx.socket = action->socket;
   Status st = co_await action->fn(ctx);
   ++stats_.executed;
+  if (action->xct != nullptr && action->xct->timeline != nullptr) {
+    action->xct->timeline->Charge(
+        obs::Stage::kExecute, platform_->simulator()->Now() - start);
+  }
   if (tracer_ != nullptr) {
     const SimTime end = platform_->simulator()->Now();
     if (config_.async_actions) {

@@ -40,6 +40,11 @@ struct PartitionStats {
 
 enum class LockOutcome { kGranted, kParked, kDie };
 
+/// What a partition's agent is doing right now, for the sampling profiler
+/// (obs::Profiler). Updated with plain stores by the agent loop; indices
+/// are the profiler's state indices and must stay stable.
+enum class AgentState : uint8_t { kIdle = 0, kRunning = 1, kDozing = 2 };
+
 class Partition {
  public:
   Partition(sim::Simulator* sim, uint32_t id, size_t queue_capacity)
@@ -71,6 +76,9 @@ class Partition {
 
   const PartitionStats& stats() const { return stats_; }
   PartitionStats& mutable_stats() { return stats_; }
+
+  AgentState agent_state() const { return agent_state_; }
+  void set_agent_state(AgentState s) { agent_state_ = s; }
 
   /// Debug: (key, holder txn, holder priority, shared) of every held lock.
   std::vector<std::tuple<std::string, txn::TxnId, uint64_t, bool>>
@@ -124,6 +132,7 @@ class Partition {
   KeyMap<LockState> locks_;
   KeyMap<std::deque<Action*>> parked_;
   PartitionStats stats_;
+  AgentState agent_state_ = AgentState::kIdle;
 };
 
 }  // namespace bionicdb::dora

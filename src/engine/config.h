@@ -17,6 +17,8 @@
 #include "hw/scanner_unit.h"
 #include "hw/tree_probe_unit.h"
 #include "index/btree.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "queueing/scheduler.h"
 #include "sim/fault.h"
@@ -67,6 +69,18 @@ struct EngineConfig {
   /// engine traces every layer and samples utilization/queue-depth
   /// timelines (see docs/OBSERVABILITY.md).
   obs::TraceConfig trace;
+
+  /// Flight recorder: per-transaction causal timelines + a bounded
+  /// reservoir of the K slowest and a deterministic sample of ordinary
+  /// transactions. Purely passive (no simulator events, no RNG), so
+  /// enabling it never perturbs virtual-time results.
+  obs::FlightConfig flight;
+
+  /// Virtual-time sampling profiler: periodically snapshots what every
+  /// DORA agent, hardware unit, and the WAL flush pipeline is doing.
+  /// Enabling it adds wakeup events to the simulation (read-only ones),
+  /// so virtual-time results may differ from a profile-off run.
+  obs::ProfileConfig profile;
 
   OffloadConfig offload = OffloadConfig::AllOff();
   index::BTreeConfig index_config;

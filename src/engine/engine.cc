@@ -116,6 +116,49 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
           1.0 / cores);
     }
   }
+  if (config.flight.enabled) {
+    flight_ = std::make_unique<obs::FlightRecorder>(config.flight);
+  }
+  if (config.profile.enabled) {
+    profiler_ = std::make_unique<obs::Profiler>(config.profile);
+    // Entity state functions are plain reads of live engine state; the
+    // profiler loop samples them at virtual-time intervals.
+    if (executor_) {
+      for (int i = 0; i < executor_->num_partitions(); ++i) {
+        dora::Partition* p = executor_->partition(static_cast<uint32_t>(i));
+        profiler_->AddEntity("dora.partition" + std::to_string(i),
+                             {"idle", "running", "dozing"},
+                             [p] { return static_cast<int>(p->agent_state()); });
+      }
+    }
+    {
+      wal::LogManager* lg = log_.get();
+      profiler_->AddEntity("wal.flush", {"idle", "flushing", "backlog"},
+                           [lg] {
+                             if (lg->flush_in_progress()) return 1;
+                             return lg->current_lsn() > lg->durable_lsn() ? 2
+                                                                          : 0;
+                           });
+    }
+    if (probe_unit_) {
+      hw::TreeProbeUnit* u = probe_unit_.get();
+      profiler_->AddEntity("hw.tree_probe", {"idle", "busy", "saturated"},
+                           [u] {
+                             if (u->active() == 0) return 0;
+                             return u->active() >= u->contexts() ? 2 : 1;
+                           });
+    }
+    if (scanner_unit_) {
+      hw::ScannerUnit* u = scanner_unit_.get();
+      profiler_->AddEntity("hw.scanner", {"idle", "busy"},
+                           [u] { return u->active() > 0 ? 1 : 0; });
+    }
+    if (log_unit_) {
+      hw::LogInsertionUnit* u = log_unit_.get();
+      profiler_->AddEntity("hw.log_unit", {"idle", "aggregating"},
+                           [u] { return u->open_batches() > 0 ? 1 : 0; });
+    }
+  }
   RegisterMetrics();
 }
 
@@ -218,13 +261,52 @@ void Engine::RegisterMetrics() {
   registry_.BindGauge("sim.pcie.bytes", [this] {
     return static_cast<double>(platform_->pcie().bytes_transferred());
   }, "PCIe bytes moved since construction");
+
+  // Trace health: events the ring dropped since the last Clear(). A
+  // nonzero value means exported timelines have holes (trace_dump
+  // --validate warns on it).
+  if (tracer_) {
+    registry_.BindGauge("obs.trace.dropped", [this] {
+      return static_cast<double>(tracer_->dropped());
+    }, "Trace events dropped by the bounded ring");
+  }
+
+  // Tail-latency attribution: total and per-stage virtual-time histograms,
+  // p50/p99/p99.9-capable (see docs/OBSERVABILITY.md for the taxonomy).
+  if (flight_) {
+    registry_.BindHistogram("engine.txn.total_ns", &flight_->total_hist(),
+                            "End-to-end txn latency (flight recorder)");
+    for (int i = 0; i < obs::kNumStages; ++i) {
+      const auto s = static_cast<obs::Stage>(i);
+      registry_.BindHistogram(
+          std::string("engine.txn.stage.") + obs::StageKey(s) + "_ns",
+          &flight_->stage_hist(s), obs::StageLabel(s));
+    }
+  }
+
+  // Time-in-state profiles: one gauge per entity-state pair, reading the
+  // live fraction of samples spent in that state.
+  if (profiler_) {
+    obs::Profiler* pr = profiler_.get();
+    for (size_t e = 0; e < pr->num_entities(); ++e) {
+      const auto& states = pr->entity_states(e);
+      for (size_t s = 0; s < states.size(); ++s) {
+        registry_.BindGauge(
+            "profile." + pr->entity_name(e) + "." + states[s],
+            [pr, e, s] { return pr->Fraction(e, s); },
+            "Fraction of profiler samples in this state");
+      }
+    }
+  }
 }
 
 void Engine::Start() {
   if (executor_ && !executor_->running()) executor_->Start();
-  if (tracer_ && sampler_ && !sampler_running_) {
+  const bool want_sampler = tracer_ && sampler_;
+  if ((want_sampler || profiler_) && !sampler_running_) {
     sampler_running_ = true;
-    sim_->Spawn(SamplerLoop());
+    if (want_sampler) sim_->Spawn(SamplerLoop());
+    if (profiler_) sim_->Spawn(ProfilerLoop());
   }
 }
 
@@ -232,6 +314,13 @@ sim::Task<void> Engine::SamplerLoop() {
   while (sampler_running_) {
     sampler_->SampleOnce(sim_->Now());
     co_await sim::Delay{sim_, config_.trace.sample_interval_ns};
+  }
+}
+
+sim::Task<void> Engine::ProfilerLoop() {
+  while (sampler_running_) {
+    profiler_->SampleOnce();
+    co_await sim::Delay{sim_, config_.profile.interval_ns};
   }
 }
 
@@ -263,6 +352,8 @@ void Engine::ResetStats() {
   faults_baseline_ = fault_ ? fault_->total_injected() : 0;
   // Restart the trace too: the exported timeline covers the window.
   if (tracer_) tracer_->Clear();
+  if (flight_) flight_->Reset();
+  if (profiler_) profiler_->Reset();
 }
 
 void Engine::FinishRun() {
@@ -311,12 +402,17 @@ sim::Task<void> Engine::ProbeCost(ExecContext& ctx, int levels,
     // hardware round trip.
     co_await CpuWork(ctx, 25.0, Component::kBtree);
     const Status hw = co_await probe_unit_->ProbeFromHost(levels, key_bytes);
+    obs::TxnTimeline* tl =
+        ctx.xct != nullptr ? ctx.xct->timeline : nullptr;
     if (!hw.ok()) {
       // Degraded mode: a failed hardware probe falls back to the software
       // walk (the index is functionally host-visible) and is counted, not
       // silently absorbed.
       ++metrics_.hw_fallbacks;
+      if (tl != nullptr) ++tl->fallbacks;
       software = true;
+    } else if (tl != nullptr) {
+      tl->TagHw(obs::Stage::kExecute);
     }
   }
   if (software) {
@@ -341,14 +437,21 @@ sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
   std::string key_s = key.ToString();
   std::string redo_s = redo.ToString();
   std::string undo_s = undo.ToString();
+  obs::TxnTimeline* tl = ctx.xct != nullptr ? ctx.xct->timeline : nullptr;
+  const SimTime w0 = tl != nullptr ? sim_->Now() : 0;
   const bool hw_log =
       config_.mode == EngineMode::kBionic && config_.offload.logging;
   if (hw_log) {
     // The CPU only posts a descriptor; ordering happens in the unit.
     co_await CpuWork(ctx, static_cast<double>(log_unit_->CpuSubmitCost()),
                      Component::kLog);
-    co_return co_await xm_->LogWrite(ctx.xct, type, table->id(), key_s,
-                                     redo_s, undo_s, ctx.socket);
+    Status st = co_await xm_->LogWrite(ctx.xct, type, table->id(), key_s,
+                                       redo_s, undo_s, ctx.socket);
+    if (tl != nullptr) {
+      tl->Charge(obs::Stage::kWalAppend, sim_->Now() - w0);
+      tl->TagHw(obs::Stage::kWalAppend);
+    }
+    co_return st;
   }
   // Software log: the caller burns CPU for the whole reserve/copy/release
   // (plus any contention stall), so the elapsed append time is charged as
@@ -359,6 +462,7 @@ sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
   const SimTime elapsed = sim_->Now() - t0;
   platform_->meter().ChargeBusy(platform_->cpu_component(), elapsed, 0);
   breakdown_.Charge(Component::kLog, elapsed);
+  if (tl != nullptr) tl->Charge(obs::Stage::kWalAppend, sim_->Now() - w0);
   co_return st;
 }
 
@@ -749,6 +853,9 @@ sim::Task<Result<uint64_t>> Engine::ScanCount(
       // Degraded mode: the scanner died mid-stream; re-run the scan the
       // expensive way (everything over PCIe, CPU filters).
       ++metrics_.hw_fallbacks;
+      if (ctx.xct != nullptr && ctx.xct->timeline != nullptr) {
+        ++ctx.xct->timeline->fallbacks;
+      }
       hw_scan = false;
     }
   }
@@ -820,6 +927,9 @@ sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
     auto timing = co_await scanner_unit_->Scan(bytes, 0.0);
     if (!timing.ok()) {
       ++metrics_.hw_fallbacks;
+      if (ctx.xct != nullptr && ctx.xct->timeline != nullptr) {
+        ++ctx.xct->timeline->fallbacks;
+      }
       hw_scan = false;
     }
   }
@@ -959,6 +1069,8 @@ sim::Task<void> Engine::ReleaseAllLocks(txn::Xct* xct) {
 }
 
 sim::Task<Status> Engine::CommitTxn(ExecContext& ctx, txn::Xct* xct) {
+  obs::TxnTimeline* tl = xct->timeline;
+  const SimTime commit0 = tl != nullptr ? sim_->Now() : 0;
   co_await CpuWorkNoCore(platform_->cost().XctCommitNs(), Component::kXct);
   // The commit-record append is CPU work on the software log; the
   // durability wait afterwards is idle time and is deliberately not
@@ -974,7 +1086,14 @@ sim::Task<Status> Engine::CommitTxn(ExecContext& ctx, txn::Xct* xct) {
                                   0);
     breakdown_.Charge(Component::kLog, append_elapsed);
   }
+  if (tl != nullptr) {
+    // Commit protocol up to (and including) ordering the commit record.
+    tl->Charge(obs::Stage::kCommit, sim_->Now() - commit0);
+    if (hw_log) tl->TagHw(obs::Stage::kCommit);
+  }
+  const SimTime flush0 = tl != nullptr ? sim_->Now() : 0;
   Status st = co_await xm_->WaitCommitDurable(xct, commit_lsn);
+  if (tl != nullptr) tl->Charge(obs::Stage::kFlushWait, sim_->Now() - flush0);
   if (!st.ok()) {
     // The commit record never became durable (flush abandoned / device
     // crashed): the transaction is NOT committed. Surface it instead of
@@ -1006,10 +1125,16 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
     tracer_->AsyncBegin(trace_txn_track_, trace_txn_name_, trace_txn_cat_,
                         start, span_id);
   }
+  // Flight recorder: acquire a pooled timeline (null when disabled; every
+  // charge site below and in the layers gates on the pointer).
+  obs::TxnTimeline* tl = flight_ ? flight_->Begin(start) : nullptr;
   // Conventional engine: admission waits for a worker-pool slot.
   if (workers_sem_) co_await workers_sem_->Acquire();
+  if (tl != nullptr) tl->Charge(obs::Stage::kAdmit, sim_->Now() - start);
+  const SimTime route0 = tl != nullptr ? sim_->Now() : 0;
   co_await CpuWorkNoCore(platform_->cost().FrontendDispatchNs(),
                          Component::kFrontend);
+  if (tl != nullptr) tl->Charge(obs::Stage::kRoute, sim_->Now() - route0);
 
   auto xct = xm_->Begin();
   if (priority != nullptr) {
@@ -1018,6 +1143,10 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
     } else {
       xct->priority = *priority;
     }
+  }
+  if (tl != nullptr) {
+    tl->txn_id = xct->id;
+    xct->timeline = tl;
   }
   ExecContext ctx;
   ctx.engine = this;
@@ -1050,6 +1179,12 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
                       span_id);
   }
   metrics_.latency.Add(sim_->Now() - start);
+  if (tl != nullptr) {
+    // Detach before Finish: the recorder may recycle the record into the
+    // pool, and nothing must observe it through the Xct afterwards.
+    xct->timeline = nullptr;
+    flight_->Finish(tl, sim_->Now(), st.ok());
+  }
   if (workers_sem_) workers_sem_->Release();
   co_return st;
 }
@@ -1085,18 +1220,23 @@ sim::Task<Status> Engine::RunAllPhases(TxnSpec& spec, ExecContext& ctx) {
 
 sim::Task<Status> Engine::RunPhaseConventional(Phase& phase,
                                                ExecContext& ctx) {
+  obs::TxnTimeline* tl = ctx.xct->timeline;
   for (TxnStep& step : phase) {
     // 2PL: centralized lock manager, row locks, wait-die on conflict.
     for (const std::string& key : step.keys) {
       co_await CpuWork(ctx, platform_->cost().LockAcquireNs(),
                        Component::kXct);
+      const SimTime l0 = tl != nullptr ? sim_->Now() : 0;
       Status st = co_await lm_->Acquire(
           ctx.xct, QualifiedKey(step.table, key),
           step.read_only ? txn::LockMode::kShared
                          : txn::LockMode::kExclusive);
+      if (tl != nullptr) tl->Charge(obs::Stage::kLockWait, sim_->Now() - l0);
       if (!st.ok()) co_return st;
     }
+    const SimTime x0 = tl != nullptr ? sim_->Now() : 0;
     Status st = co_await step.fn(ctx);
+    if (tl != nullptr) tl->Charge(obs::Stage::kExecute, sim_->Now() - x0);
     if (!st.ok()) co_return st;
   }
   co_return Status::OK();
@@ -1138,7 +1278,12 @@ sim::Task<Status> Engine::RunPhaseDora(Phase& phase, ExecContext& ctx) {
       ectx.core_held = !async;
       co_return co_await pstep->fn(ectx);
     };
+    // Dispatch cost (routing + enqueue + cross-socket hop) attributes to
+    // the routing stage; queue wait starts once the action is enqueued.
+    obs::TxnTimeline* tl = ctx.xct->timeline;
+    const SimTime d0 = tl != nullptr ? sim_->Now() : 0;
     co_await executor_->Dispatch(action);
+    if (tl != nullptr) tl->Charge(obs::Stage::kRoute, sim_->Now() - d0);
   }
   co_return co_await rvp.Wait();
 }

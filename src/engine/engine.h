@@ -25,7 +25,9 @@
 #include "hw/tree_probe_unit.h"
 #include "index/btree.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -211,6 +213,10 @@ class Engine {
   /// Tracer shared by every layer; null-object (disabled) unless
   /// config.trace.enabled.
   obs::Tracer* tracer() { return tracer_.get(); }
+  /// Flight recorder; null unless config.flight.enabled.
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  /// Time-in-state sampling profiler; null unless config.profile.enabled.
+  obs::Profiler* profiler() { return profiler_.get(); }
   /// Figure-3 component breakdown of the measurement window so far.
   obs::BreakdownReport BreakdownSnapshot() const {
     return obs::BreakdownReport::FromRegistry(registry_);
@@ -311,6 +317,8 @@ class Engine {
   void RegisterMetrics();
   /// Ticks sampler_ at config.trace.sample_interval_ns until Shutdown.
   sim::Task<void> SamplerLoop();
+  /// Ticks profiler_ at config.profile.interval_ns until Shutdown.
+  sim::Task<void> ProfilerLoop();
 
   sim::Simulator* sim_;
   EngineConfig config_;
@@ -341,6 +349,8 @@ class Engine {
   RunMetrics metrics_;
   obs::Registry registry_;
   std::unique_ptr<obs::TimelineSampler> sampler_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::Profiler> profiler_;
   bool sampler_running_ = false;
   SimTime epoch_ = 0;
   /// Measurement-window baselines, snapped in ResetStats(): the WAL and the

@@ -55,6 +55,12 @@ class LogInsertionUnit {
 
   uint64_t records() const { return records_; }
   uint64_t batches() const { return batches_; }
+  /// Per-socket aggregation batches currently open (profiler state probe).
+  int open_batches() const {
+    int n = 0;
+    for (const auto& b : open_) n += b.has_value() ? 1 : 0;
+    return n;
+  }
   uint64_t bytes_shipped() const { return bytes_; }
   double MeanBatchRecords() const {
     return batches_ ? static_cast<double>(records_) /

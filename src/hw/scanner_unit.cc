@@ -18,8 +18,14 @@ sim::Task<Result<ScanTiming>> ScannerUnit::Scan(uint64_t bytes,
                                                 double output_fraction) {
   BIONICDB_CHECK(output_fraction >= 0.0 && output_fraction <= 1.0);
   // RAII so the span closes on every exit path, including fault-induced
-  // early co_returns; it lives in the frame, so co_await is safe.
+  // early co_returns; it lives in the frame, so co_await is safe. The
+  // active-scan counter needs the same every-exit guarantee.
   obs::SpanScope span(tracer_, trace_track_, trace_name_, trace_cat_);
+  struct ActiveScope {
+    int* n;
+    explicit ActiveScope(int* n) : n(n) { ++*n; }
+    ~ActiveScope() { --*n; }
+  } active_scope(&active_);
   co_await sim::Delay{platform_->simulator(), config_.setup_ns};
 
   uint64_t shipped = 0;

@@ -44,12 +44,15 @@ class ScannerUnit {
 
   uint64_t bytes_scanned() const { return scanned_; }
   uint64_t bytes_shipped() const { return shipped_; }
+  /// Scans streaming right now (profiler state probe).
+  int active() const { return active_; }
 
  private:
   Platform* platform_;
   ScannerConfig config_;
   uint64_t scanned_ = 0;
   uint64_t shipped_ = 0;
+  int active_ = 0;
   obs::Tracer* tracer_ = nullptr;
   uint16_t trace_track_ = 0;
   uint16_t trace_name_ = 0;

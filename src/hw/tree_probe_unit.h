@@ -56,6 +56,8 @@ class TreeProbeUnit {
   uint64_t probes_completed() const { return probes_; }
   uint64_t node_visits() const { return node_visits_; }
   int contexts() const { return config_.contexts; }
+  /// Probe contexts in flight right now (profiler state probe).
+  int active() const { return active_; }
   /// Peak simultaneously-active probe contexts seen so far.
   int max_active() const { return max_active_; }
 

@@ -1,0 +1,56 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bionicdb::obs {
+
+void Profiler::AddEntity(const std::string& name,
+                         std::vector<std::string> states, StateFn fn) {
+  BIONICDB_CHECK(!states.empty());
+  Entity e;
+  e.name = name;
+  e.states = std::move(states);
+  e.fn = std::move(fn);
+  e.tallies.assign(e.states.size(), 0);
+  entities_.push_back(std::move(e));
+}
+
+void Profiler::SampleOnce() {
+  for (Entity& e : entities_) {
+    const int raw = e.fn();
+    const auto s = static_cast<size_t>(std::clamp(
+        raw, 0, static_cast<int>(e.states.size()) - 1));
+    ++e.tallies[s];
+  }
+  ++samples_;
+}
+
+void Profiler::Reset() {
+  for (Entity& e : entities_) {
+    std::fill(e.tallies.begin(), e.tallies.end(), 0);
+  }
+  samples_ = 0;
+}
+
+std::string Profiler::ToTable() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %llu samples\n",
+                static_cast<unsigned long long>(samples_));
+  out += buf;
+  for (const Entity& e : entities_) {
+    std::snprintf(buf, sizeof(buf), "  %-20s", e.name.c_str());
+    out += buf;
+    for (size_t s = 0; s < e.states.size(); ++s) {
+      std::snprintf(buf, sizeof(buf), "  %s %5.1f%%", e.states[s].c_str(),
+                    100.0 * Fraction(static_cast<size_t>(&e - &entities_[0]),
+                                     s));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bionicdb::obs

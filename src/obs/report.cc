@@ -99,10 +99,15 @@ void TimelineSampler::SampleOnce(SimTime now) {
       tracer_->Counter(s.name, now, v);
     } else {
       // Rates need one full window before the first meaningful sample.
+      // A negative delta means the underlying counter was reset mid-run
+      // (e.g. ResetStats between warmup and measurement); emit 0 and
+      // re-prime from the new baseline instead of a bogus negative rate.
       if (s.primed && interval > 0) {
+        const double delta = v - s.last;
         tracer_->Counter(s.name, now,
-                         (v - s.last) * s.scale /
-                             static_cast<double>(interval));
+                         delta < 0.0 ? 0.0
+                                     : delta * s.scale /
+                                           static_cast<double>(interval));
       }
       s.last = v;
       s.primed = true;

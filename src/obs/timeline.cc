@@ -1,0 +1,268 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace bionicdb::obs {
+
+namespace {
+
+constexpr const char* kStageKeys[kNumStages] = {
+    "admit",      "route",      "queue_wait", "lock_wait",
+    "execute",    "wal_append", "flush_wait", "commit",
+};
+constexpr const char* kStageLabels[kNumStages] = {
+    "Admission wait", "Routing",    "Queue wait", "Lock wait",
+    "Execution",      "WAL append", "Flush wait", "Commit",
+};
+
+/// Retention order for the slowest-reservoir: higher total first, earlier
+/// completion (lower seq) breaking ties — fully deterministic.
+bool LowerPriority(const TxnTimeline& a, const TxnTimeline& b) {
+  if (a.total_ns() != b.total_ns()) return a.total_ns() < b.total_ns();
+  return a.seq > b.seq;
+}
+
+/// Min-heap on retention priority: the root is the first entry to evict.
+bool HeapCmp(const TxnTimeline& a, const TxnTimeline& b) {
+  return LowerPriority(b, a);
+}
+
+}  // namespace
+
+const char* StageKey(Stage s) { return kStageKeys[static_cast<size_t>(s)]; }
+const char* StageLabel(Stage s) {
+  return kStageLabels[static_cast<size_t>(s)];
+}
+
+SimTime TxnTimeline::attributed_ns() const {
+  SimTime total = 0;
+  for (const SimTime ns : stage_ns) total += ns;
+  return total;
+}
+
+FlightRecorder::FlightRecorder(const FlightConfig& config) : config_(config) {
+  slowest_.reserve(config_.keep_slowest);
+  sampled_.reserve(config_.sample_capacity);
+  pool_free_.reserve(64);
+}
+
+TxnTimeline* FlightRecorder::Begin(SimTime now) {
+  if (!config_.enabled) return nullptr;
+  TxnTimeline* tl;
+  if (pool_free_.empty()) {
+    pool_all_.push_back(std::make_unique<TxnTimeline>());
+    tl = pool_all_.back().get();
+  } else {
+    tl = pool_free_.back();
+    pool_free_.pop_back();
+  }
+  tl->ResetFor(now);
+  return tl;
+}
+
+void FlightRecorder::Finish(TxnTimeline* tl, SimTime now, bool committed) {
+  BIONICDB_CHECK(tl != nullptr);
+  tl->end_ts = now;
+  tl->committed = committed;
+  tl->seq = ++seq_;
+  ++finished_;
+  total_.Add(tl->total_ns());
+  for (int i = 0; i < kNumStages; ++i) {
+    stage_[static_cast<size_t>(i)].Add(tl->stage_ns[static_cast<size_t>(i)]);
+  }
+
+  if (config_.keep_slowest > 0) {
+    if (slowest_.size() < config_.keep_slowest) {
+      slowest_.push_back(*tl);
+      std::push_heap(slowest_.begin(), slowest_.end(), HeapCmp);
+    } else if (LowerPriority(slowest_.front(), *tl)) {
+      std::pop_heap(slowest_.begin(), slowest_.end(), HeapCmp);
+      slowest_.back() = *tl;
+      std::push_heap(slowest_.begin(), slowest_.end(), HeapCmp);
+    }
+  }
+
+  // Counter-based 1-in-N: the first finished transaction is sampled, so
+  // short runs still produce a baseline set.
+  if (config_.sample_every > 0 && config_.sample_capacity > 0 &&
+      (tl->seq - 1) % config_.sample_every == 0) {
+    if (sampled_.size() < config_.sample_capacity) {
+      sampled_.push_back(*tl);
+    } else {
+      sampled_[sample_pos_] = *tl;
+      sample_pos_ = (sample_pos_ + 1) % config_.sample_capacity;
+    }
+  }
+
+  pool_free_.push_back(tl);
+}
+
+void FlightRecorder::Reset() {
+  slowest_.clear();
+  sampled_.clear();
+  sample_pos_ = 0;
+  finished_ = 0;
+  seq_ = 0;
+  total_.Reset();
+  for (Histogram& h : stage_) h.Reset();
+}
+
+std::vector<TxnTimeline> FlightRecorder::Slowest() const {
+  std::vector<TxnTimeline> out = slowest_;
+  std::sort(out.begin(), out.end(),
+            [](const TxnTimeline& a, const TxnTimeline& b) {
+              return LowerPriority(b, a);
+            });
+  return out;
+}
+
+std::vector<TxnTimeline> FlightRecorder::Sampled() const {
+  std::vector<TxnTimeline> out = sampled_;
+  std::sort(out.begin(), out.end(),
+            [](const TxnTimeline& a, const TxnTimeline& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+TailReport FlightRecorder::MakeTailReport() const {
+  TailReport r;
+  r.txns = finished_;
+  r.p50_total_ns = static_cast<double>(total_.Percentile(50));
+  r.p99_total_ns = static_cast<double>(total_.Percentile(99));
+  r.p999_total_ns = static_cast<double>(total_.Percentile(99.9));
+
+  // Tail set: retained outliers at or past the p99.9 mark; when the run is
+  // too small for any to qualify, the whole retained set stands in.
+  const std::vector<TxnTimeline> slow = Slowest();
+  std::vector<const TxnTimeline*> tail;
+  for (const TxnTimeline& t : slow) {
+    if (static_cast<double>(t.total_ns()) >= r.p999_total_ns) {
+      tail.push_back(&t);
+    }
+  }
+  if (tail.empty()) {
+    for (const TxnTimeline& t : slow) tail.push_back(&t);
+  }
+  // Baseline set: ordinary samples at or below the median (fallback: all).
+  const std::vector<TxnTimeline> samp = Sampled();
+  std::vector<const TxnTimeline*> median;
+  for (const TxnTimeline& t : samp) {
+    if (static_cast<double>(t.total_ns()) <= r.p50_total_ns) {
+      median.push_back(&t);
+    }
+  }
+  if (median.empty()) {
+    for (const TxnTimeline& t : samp) median.push_back(&t);
+  }
+  r.tail_txns = tail.size();
+  r.sample_txns = median.size();
+
+  double tail_sum = 0.0, median_sum = 0.0;
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    TailReport::Row& row = r.rows[idx];
+    row.stage = static_cast<Stage>(i);
+    row.key = StageKey(row.stage);
+    const Histogram& h = stage_[idx];
+    row.p50_ns = static_cast<double>(h.Percentile(50));
+    row.p99_ns = static_cast<double>(h.Percentile(99));
+    row.p999_ns = static_cast<double>(h.Percentile(99.9));
+    for (const TxnTimeline* t : tail) {
+      row.tail_mean_ns += static_cast<double>(t->stage_ns[idx]);
+    }
+    if (!tail.empty()) row.tail_mean_ns /= static_cast<double>(tail.size());
+    for (const TxnTimeline* t : median) {
+      row.median_mean_ns += static_cast<double>(t->stage_ns[idx]);
+    }
+    if (!median.empty()) {
+      row.median_mean_ns /= static_cast<double>(median.size());
+    }
+    tail_sum += row.tail_mean_ns;
+    median_sum += row.median_mean_ns;
+  }
+  for (TailReport::Row& row : r.rows) {
+    row.tail_share = tail_sum > 0.0 ? row.tail_mean_ns / tail_sum : 0.0;
+    row.median_share =
+        median_sum > 0.0 ? row.median_mean_ns / median_sum : 0.0;
+    row.tail_vs_median = row.median_mean_ns > 0.0
+                             ? row.tail_mean_ns / row.median_mean_ns
+                             : 0.0;
+  }
+  return r;
+}
+
+std::string TailReport::ToTable() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "  %llu txns  total p50=%s p99=%s p99.9=%s\n",
+                static_cast<unsigned long long>(txns),
+                FormatNanos(p50_total_ns).c_str(),
+                FormatNanos(p99_total_ns).c_str(),
+                FormatNanos(p999_total_ns).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  tail set: %llu retained >= p99.9; baseline: %llu sampled "
+                "<= p50\n",
+                static_cast<unsigned long long>(tail_txns),
+                static_cast<unsigned long long>(sample_txns));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  %-11s %9s %9s %9s | %9s %9s %6s %6s %8s\n", "stage",
+                "p50", "p99", "p99.9", "med.mean", "tailmean", "med%",
+                "tail%", "tail/med");
+  out += line;
+  for (const Row& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "  %-11s %9s %9s %9s | %9s %9s %5.1f%% %5.1f%% %7.1fx\n",
+                  row.key, FormatNanos(row.p50_ns).c_str(),
+                  FormatNanos(row.p99_ns).c_str(),
+                  FormatNanos(row.p999_ns).c_str(),
+                  FormatNanos(row.median_mean_ns).c_str(),
+                  FormatNanos(row.tail_mean_ns).c_str(),
+                  100.0 * row.median_share, 100.0 * row.tail_share,
+                  row.tail_vs_median);
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::ExportOutliers(Tracer* tracer) const {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  const uint8_t cat = tracer->InternCategory("flight");
+  const uint16_t txn_name = tracer->InternName("txn");
+  std::array<uint16_t, kNumStages> names;
+  std::array<uint16_t, kNumStages> hw_names;
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto s = static_cast<Stage>(i);
+    names[static_cast<size_t>(i)] = tracer->InternName(StageKey(s));
+    hw_names[static_cast<size_t>(i)] =
+        tracer->InternName(std::string(StageKey(s)) + " (hw)");
+  }
+  const std::vector<TxnTimeline> slow = Slowest();
+  for (size_t rank = 0; rank < slow.size(); ++rank) {
+    const TxnTimeline& t = slow[rank];
+    const uint16_t track =
+        tracer->RegisterTrack("flight/slow" + std::to_string(rank));
+    tracer->Complete(track, txn_name, cat, t.begin_ts, t.total_ns());
+    // Stage waterfall laid end-to-end from the txn start. Stages can
+    // overlap in reality (parallel actions), so this is the attribution
+    // view, not a literal schedule.
+    SimTime cursor = t.begin_ts;
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto idx = static_cast<size_t>(i);
+      const SimTime ns = t.stage_ns[idx];
+      if (ns <= 0) continue;
+      const auto s = static_cast<Stage>(i);
+      tracer->Complete(track, t.UsedHw(s) ? hw_names[idx] : names[idx], cat,
+                       cursor, ns);
+      cursor += ns;
+    }
+  }
+}
+
+}  // namespace bionicdb::obs

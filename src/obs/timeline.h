@@ -1,0 +1,188 @@
+// Tail-latency attribution: per-transaction causal timelines and the
+// flight recorder that retains them.
+//
+//  * TxnTimeline — a fixed-size, alloc-free record threaded through the
+//    engine's txn lifecycle (txn::Xct::timeline). Every layer that makes a
+//    transaction wait or work charges virtual time to one of eight stages,
+//    so each transaction ends with a machine-readable waterfall of where
+//    its latency went. A null pointer disables everything: each charge
+//    site is one predicted-not-taken branch, preserving the PR 4 contract
+//    (zero overhead when disabled, asserted by dispatch_alloc_test).
+//
+//  * FlightRecorder — a bounded reservoir over finished timelines: the K
+//    slowest transactions are kept in full, plus a deterministic 1-in-N
+//    sample of ordinary ones, plus per-stage histograms over every
+//    transaction. Selection is purely counter-based (no RNG, no simulator
+//    events), so enabling the recorder cannot perturb the simulated
+//    schedule: sim results stay bit-identical and the recorder's own
+//    output is byte-identical across reruns of the same seed.
+//
+// The layer sits at the bottom of the dependency order (common only), like
+// the rest of obs: the engine owns the lifecycle, the recorder just stores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/units.h"
+
+namespace bionicdb::obs {
+
+/// The stage taxonomy (docs/OBSERVABILITY.md). Stages of one transaction
+/// may overlap in virtual time (parallel DORA actions execute while
+/// another action of the same phase waits in a queue), so per-stage times
+/// are attributions, not a partition of wall latency.
+enum class Stage : uint8_t {
+  kAdmit = 0,   ///< Worker-pool admission wait (conventional engine).
+  kRoute,       ///< Front-end dispatch: routing + enqueue + cross-socket.
+  kQueueWait,   ///< DORA partition input-queue wait (enqueue -> agent pop).
+  kLockWait,    ///< 2PL lock-manager wait / DORA parked-on-local-lock wait.
+  kExecute,     ///< Step/action body: probes, reads, writes, scans.
+  kWalAppend,   ///< WAL append ordering (reserve/copy or hw descriptor).
+  kFlushWait,   ///< Group-commit durability wait.
+  kCommit,      ///< Commit bookkeeping + commit-record append.
+};
+inline constexpr int kNumStages = 8;
+
+/// Stable lowercase key, used in metric names ("engine.txn.stage.<key>_ns")
+/// and JSON fields ("stage_<key>_p999_us").
+const char* StageKey(Stage s);
+/// Display label for tables.
+const char* StageLabel(Stage s);
+
+/// One transaction's causal timeline. Plain aggregate, ~200 bytes, no heap
+/// members: the recorder pools and reuses them, and copies are cheap.
+struct TxnTimeline {
+  uint64_t txn_id = 0;
+  uint64_t seq = 0;        ///< Completion order (deterministic tie-break).
+  SimTime begin_ts = 0;
+  SimTime end_ts = 0;
+  bool committed = false;
+  uint8_t hw_stage_mask = 0;   ///< Stages that took a hardware-unit path.
+  uint16_t fallbacks = 0;      ///< HW ops that fell back to software.
+  uint32_t partition_mask = 0; ///< DORA partitions touched (first 32).
+  std::array<SimTime, kNumStages> stage_ns{};
+  std::array<uint16_t, kNumStages> stage_events{};
+
+  void Charge(Stage s, SimTime dt) {
+    const auto i = static_cast<size_t>(s);
+    if (dt > 0) stage_ns[i] += dt;
+    ++stage_events[i];
+  }
+  void TagHw(Stage s) {
+    hw_stage_mask |= static_cast<uint8_t>(1u << static_cast<int>(s));
+  }
+  bool UsedHw(Stage s) const {
+    return (hw_stage_mask & (1u << static_cast<int>(s))) != 0;
+  }
+  void MarkPartition(uint32_t p) {
+    if (p < 32) partition_mask |= (1u << p);
+  }
+  SimTime total_ns() const { return end_ts - begin_ts; }
+  /// Sum of all stage charges (can exceed total_ns when DORA actions of
+  /// one phase overlap).
+  SimTime attributed_ns() const;
+
+  void ResetFor(SimTime now) {
+    *this = TxnTimeline{};
+    begin_ts = now;
+  }
+};
+
+struct FlightConfig {
+  bool enabled = false;
+  size_t keep_slowest = 32;    ///< Retained in full, slowest first.
+  uint64_t sample_every = 64;  ///< Deterministic 1-in-N ordinary sample.
+  size_t sample_capacity = 256;  ///< Ring bound on the ordinary sample.
+};
+
+/// The p50-vs-p99.9 stage-attribution diff the recorder emits at run end.
+struct TailReport {
+  struct Row {
+    Stage stage = Stage::kAdmit;
+    const char* key = "";
+    double p50_ns = 0, p99_ns = 0, p999_ns = 0;  ///< Across all txns.
+    double median_mean_ns = 0;  ///< Mean over the sampled (ordinary) set.
+    double tail_mean_ns = 0;    ///< Mean over the retained slowest set.
+    double median_share = 0;    ///< Stage share of ordinary attribution.
+    double tail_share = 0;      ///< Stage share of tail attribution.
+    double tail_vs_median = 0;  ///< tail_mean / median_mean (0 if no base).
+  };
+  uint64_t txns = 0;
+  uint64_t tail_txns = 0;    ///< Size of the retained slowest set used.
+  uint64_t sample_txns = 0;  ///< Size of the ordinary sample used.
+  double p50_total_ns = 0, p99_total_ns = 0, p999_total_ns = 0;
+  std::array<Row, kNumStages> rows{};
+
+  /// Pretty fixed-width table; deterministic byte-for-byte.
+  std::string ToTable() const;
+};
+
+class Tracer;
+
+/// Bounded reservoir of finished TxnTimelines. All selection is
+/// counter-based and all storage is preallocated (after warmup), so the
+/// recorder is invisible to the simulation and to the allocator.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightConfig& config);
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(FlightRecorder);
+
+  bool enabled() const { return config_.enabled; }
+
+  /// Hands out a zeroed timeline stamped with `now`, or null when
+  /// disabled. Pool-backed: allocates only while the in-flight high-water
+  /// mark grows (warmup), alloc-free at steady state.
+  TxnTimeline* Begin(SimTime now);
+
+  /// Closes `tl` (stamps end/commit/seq), folds it into the per-stage
+  /// histograms and reservoirs, and returns it to the pool. `tl` must have
+  /// come from Begin() and is invalid after this call.
+  void Finish(TxnTimeline* tl, SimTime now, bool committed);
+
+  /// Restarts the measurement window (histograms, reservoirs, counters);
+  /// the pool is retained. In-flight timelines keep accumulating and fold
+  /// into the new window when they finish.
+  void Reset();
+
+  uint64_t finished() const { return finished_; }
+  const Histogram& total_hist() const { return total_; }
+  const Histogram& stage_hist(Stage s) const {
+    return stage_[static_cast<size_t>(s)];
+  }
+
+  /// Retained slowest transactions, slowest first (ties by completion
+  /// order). Deterministic.
+  std::vector<TxnTimeline> Slowest() const;
+  /// The ordinary 1-in-N sample, in completion order.
+  std::vector<TxnTimeline> Sampled() const;
+
+  TailReport MakeTailReport() const;
+
+  /// Exports each retained outlier as a per-stage waterfall onto `tracer`
+  /// tracks "flight/slow<rank>" (one Complete span per charged stage, laid
+  /// end-to-end from the txn's begin timestamp, hw-tagged stages marked).
+  /// Export-time interning only; call after the run, before ExportChromeTrace.
+  void ExportOutliers(Tracer* tracer) const;
+
+ private:
+  FlightConfig config_;
+  std::vector<std::unique_ptr<TxnTimeline>> pool_all_;
+  std::vector<TxnTimeline*> pool_free_;
+  /// Min-heap on (total_ns, seq): the root is the least-slow retained
+  /// entry, evicted when a slower candidate finishes.
+  std::vector<TxnTimeline> slowest_;
+  std::vector<TxnTimeline> sampled_;  ///< Ring, capacity sample_capacity.
+  size_t sample_pos_ = 0;
+  uint64_t finished_ = 0;
+  uint64_t seq_ = 0;
+  Histogram total_;
+  std::array<Histogram, kNumStages> stage_;
+};
+
+}  // namespace bionicdb::obs

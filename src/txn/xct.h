@@ -8,6 +8,10 @@
 #include "common/macros.h"
 #include "wal/record.h"
 
+namespace bionicdb::obs {
+struct TxnTimeline;
+}
+
 namespace bionicdb::txn {
 
 using TxnId = uint64_t;
@@ -50,6 +54,12 @@ struct Xct {
   /// pair depends on the engine: (lock-table hash, key) for 2PL,
   /// (partition id, key) for DORA local locks.
   std::vector<std::pair<uint32_t, std::string>> held_locks;
+
+  /// Tail-latency attribution record (obs/timeline.h), owned by the
+  /// engine's FlightRecorder. Null unless the recorder is enabled; every
+  /// charge site gates on the pointer, so the disabled cost is one
+  /// predicted branch.
+  obs::TxnTimeline* timeline = nullptr;
 
   bool read_only() const { return undo_chain.empty() && !begin_logged; }
 };

@@ -75,6 +75,8 @@ class LogManager {
   /// Next LSN to be assigned (== total bytes appended).
   Lsn current_lsn() const { return static_cast<Lsn>(buffer_.size()); }
   Lsn durable_lsn() const { return durable_lsn_; }
+  /// True while a group flush is running (profiler state probe).
+  bool flush_in_progress() const { return flush_in_progress_; }
 
   /// The functional log stream (what a crash leaves on the log device is
   /// the prefix [0, durable_lsn)).

@@ -267,6 +267,71 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.max(), 1000000);
 }
 
+TEST(HistogramTest, MergeEmptyIsIdentityBothWays) {
+  Histogram a, empty;
+  a.Add(42);
+  a.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+  empty.Merge(a);  // merging INTO an empty one adopts the source stats
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42);
+  EXPECT_EQ(empty.max(), 42);
+  Histogram e1, e2;
+  e1.Merge(e2);  // empty + empty stays empty
+  EXPECT_EQ(e1.count(), 0u);
+}
+
+// "Mismatched bucket bounds" cannot be rejected at run time because they
+// cannot be constructed: every Histogram shares one compile-time layout
+// (kBuckets log-spaced ranges), so Merge() is always bucket-compatible.
+// This test pins that invariant — same value lands in the same bucket of
+// any two instances, so a merge is a plain per-bucket sum.
+TEST(HistogramTest, BucketLayoutIsSharedByConstruction) {
+  Histogram a, b;
+  for (int64_t v : {0LL, 1LL, 17LL, 4096LL, 123456789LL}) {
+    a.Add(v);
+    b.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  // Identical per-bucket contents => identical percentile answers.
+  EXPECT_EQ(a.Percentile(50), b.Percentile(50));
+  EXPECT_EQ(a.Percentile(99.9), b.Percentile(99.9));
+}
+
+TEST(HistogramTest, P999OnSparseDataClampsToMax) {
+  Histogram h;
+  // Three samples: p99.9 rank falls on the last one; the log-bucketed
+  // answer must clamp to the exact recorded max, not the bucket bound.
+  h.Add(100);
+  h.Add(200);
+  h.Add(1000000007);
+  EXPECT_EQ(h.Percentile(99.9), 1000000007);
+  // Single sample: every percentile is that sample.
+  Histogram one;
+  one.Add(5);
+  EXPECT_EQ(one.Percentile(99.9), 5);
+  // Empty: percentile of nothing is zero, not UB.
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(99.9), 0);
+}
+
+TEST(HistogramTest, CountAboveThresholds) {
+  Histogram h;
+  EXPECT_EQ(h.CountAbove(0), 0u);  // empty
+  for (int64_t v = 1; v <= 1000; ++v) h.Add(v);
+  EXPECT_EQ(h.CountAbove(-1), 1000u);   // below min: everything
+  EXPECT_EQ(h.CountAbove(h.max()), 0u); // at/above max: nothing
+  EXPECT_EQ(h.CountAbove(1000000), 0u);
+  // Bucket-granularity lower bound: never overcounts, and a threshold at
+  // a bucket boundary is exact.
+  const uint64_t above = h.CountAbove(500);
+  EXPECT_LE(above, 500u);
+  EXPECT_GT(above, 0u);
+}
+
 TEST(HistogramTest, NegativeClampsToZero) {
   Histogram h;
   h.Add(-5);

@@ -253,5 +253,57 @@ TEST(TimelineSamplerTest, GaugeEmitsEveryTickRateSkipsFirst) {
   EXPECT_NE(json.find("\"value\":0.5000"), std::string::npos);
 }
 
+TEST(TimelineSamplerTest, IntervalLongerThanRunEmitsOnlyGauges) {
+  // A sampling interval longer than the whole run means exactly one tick:
+  // gauges emit once, rates never prime a window and stay silent.
+  Tracer tr(Enabled(64));
+  SimTime now = 0;
+  tr.BindClock(&now);
+  TimelineSampler s(&tr);
+  s.AddGauge("g", [] { return 1.0; });
+  s.AddRate("r", [] { return 100.0; });
+  s.SampleOnce(0);  // the run ends before a second tick
+  EXPECT_EQ(tr.size(), 1u);
+  const std::string json = tr.ExportChromeTrace();
+  EXPECT_NE(json.find("\"name\":\"g\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"r\""), std::string::npos);
+}
+
+TEST(TimelineSamplerTest, CounterResetMidRunEmitsZeroNotNegative) {
+  Tracer tr(Enabled(64));
+  SimTime now = 0;
+  tr.BindClock(&now);
+  TimelineSampler s(&tr);
+  double counter = 1000.0;
+  s.AddRate("r", [&] { return counter; });
+  s.SampleOnce(0);        // primes at 1000
+  counter = 0.0;          // underlying counter reset (e.g. ResetStats)
+  s.SampleOnce(100000);   // delta is -1000: must clamp to 0, not go negative
+  counter = 50000.0;
+  s.SampleOnce(200000);   // re-primed from 0: back to a true rate of 0.5
+  const std::string json = tr.ExportChromeTrace();
+  EXPECT_EQ(json.find("-"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\":0.0000"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":0.5000"), std::string::npos);
+}
+
+TEST(TimelineSamplerTest, ZeroLengthSeriesExportIsWellFormed) {
+  // No series registered, or registered but never sampled: the export is
+  // still a valid (empty) trace, and sampling with no series is a no-op.
+  Tracer tr(Enabled(64));
+  SimTime now = 0;
+  tr.BindClock(&now);
+  TimelineSampler s(&tr);
+  s.SampleOnce(0);  // nothing registered
+  EXPECT_EQ(tr.size(), 0u);
+  s.AddGauge("g", [] { return 1.0; });
+  EXPECT_EQ(s.num_series(), 1u);
+  // Registered but never sampled: still nothing recorded.
+  EXPECT_EQ(tr.size(), 0u);
+  const std::string json = tr.ExportChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"g\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bionicdb::obs

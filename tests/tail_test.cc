@@ -1,0 +1,343 @@
+// Tail-latency attribution tests: TxnTimeline mechanics, the flight
+// recorder's bounded reservoirs and deterministic reports, the sampling
+// profiler, and the engine integration invariants the feature promises —
+// the recorder is passive (bit-identical simulated results on vs off) and
+// the whole pipeline is byte-identical across re-runs of the same seed.
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/tatp.h"
+
+namespace bionicdb {
+namespace {
+
+using engine::Engine;
+using engine::EngineConfig;
+using obs::FlightConfig;
+using obs::FlightRecorder;
+using obs::Profiler;
+using obs::Stage;
+using obs::TxnTimeline;
+
+// ------------------------------------------------------------ TxnTimeline --
+
+TEST(TxnTimelineTest, ChargeAccumulatesAndIgnoresNonPositive) {
+  TxnTimeline tl;
+  tl.ResetFor(100);
+  tl.Charge(Stage::kExecute, 50);
+  tl.Charge(Stage::kExecute, 25);
+  tl.Charge(Stage::kExecute, 0);    // counted as an event, adds no time
+  tl.Charge(Stage::kExecute, -10);  // clock weirdness must not subtract
+  EXPECT_EQ(tl.stage_ns[static_cast<size_t>(Stage::kExecute)], 75);
+  EXPECT_EQ(tl.stage_events[static_cast<size_t>(Stage::kExecute)], 4);
+  EXPECT_EQ(tl.attributed_ns(), 75);
+}
+
+TEST(TxnTimelineTest, HwTagsAndPartitionMask) {
+  TxnTimeline tl;
+  tl.ResetFor(0);
+  EXPECT_FALSE(tl.UsedHw(Stage::kWalAppend));
+  tl.TagHw(Stage::kWalAppend);
+  tl.TagHw(Stage::kExecute);
+  EXPECT_TRUE(tl.UsedHw(Stage::kWalAppend));
+  EXPECT_TRUE(tl.UsedHw(Stage::kExecute));
+  EXPECT_FALSE(tl.UsedHw(Stage::kCommit));
+  tl.MarkPartition(0);
+  tl.MarkPartition(5);
+  tl.MarkPartition(77);  // out of mask range: ignored, not UB
+  EXPECT_EQ(tl.partition_mask, (1u << 0) | (1u << 5));
+}
+
+TEST(TxnTimelineTest, ResetForClearsEverything) {
+  TxnTimeline tl;
+  tl.ResetFor(10);
+  tl.Charge(Stage::kCommit, 99);
+  tl.TagHw(Stage::kCommit);
+  tl.MarkPartition(3);
+  tl.fallbacks = 7;
+  tl.ResetFor(500);
+  EXPECT_EQ(tl.begin_ts, 500);
+  EXPECT_EQ(tl.attributed_ns(), 0);
+  EXPECT_EQ(tl.partition_mask, 0u);
+  EXPECT_EQ(tl.fallbacks, 0);
+  EXPECT_FALSE(tl.UsedHw(Stage::kCommit));
+}
+
+// --------------------------------------------------------- FlightRecorder --
+
+FlightConfig SmallConfig() {
+  FlightConfig fc;
+  fc.enabled = true;
+  fc.keep_slowest = 4;
+  fc.sample_every = 3;
+  fc.sample_capacity = 8;
+  return fc;
+}
+
+TEST(FlightRecorderTest, DisabledBeginReturnsNull) {
+  FlightRecorder fr(FlightConfig{});  // enabled == false
+  EXPECT_EQ(fr.Begin(0), nullptr);
+  EXPECT_EQ(fr.finished(), 0u);
+}
+
+TEST(FlightRecorderTest, RetainsKSlowestAndDeterministicSample) {
+  FlightRecorder fr(SmallConfig());
+  // 20 txns with latencies 1..20: the slowest reservoir must hold
+  // {20,19,18,17}; the 1-in-3 sample holds seq 1,4,7,... ring-bounded.
+  for (int i = 1; i <= 20; ++i) {
+    TxnTimeline* tl = fr.Begin(0);
+    ASSERT_NE(tl, nullptr);
+    tl->Charge(Stage::kExecute, i);
+    fr.Finish(tl, /*now=*/i, /*committed=*/true);
+  }
+  EXPECT_EQ(fr.finished(), 20u);
+  auto slowest = fr.Slowest();
+  ASSERT_EQ(slowest.size(), 4u);
+  EXPECT_EQ(slowest[0].total_ns(), 20);
+  EXPECT_EQ(slowest[1].total_ns(), 19);
+  EXPECT_EQ(slowest[2].total_ns(), 18);
+  EXPECT_EQ(slowest[3].total_ns(), 17);
+  auto sampled = fr.Sampled();
+  ASSERT_FALSE(sampled.empty());
+  for (size_t i = 1; i < sampled.size(); ++i) {
+    EXPECT_EQ(sampled[i].seq - sampled[i - 1].seq, 3u);  // every 3rd txn
+  }
+  // Histograms saw every txn, not just the retained ones.
+  EXPECT_EQ(fr.total_hist().count(), 20u);
+  EXPECT_EQ(fr.stage_hist(Stage::kExecute).count(), 20u);
+}
+
+TEST(FlightRecorderTest, PoolRecyclesTimelines) {
+  FlightRecorder fr(SmallConfig());
+  // Run far more txns than the pool size; Begin must never return null
+  // once Finish recycles records (steady state is allocation-free).
+  for (int i = 0; i < 1000; ++i) {
+    TxnTimeline* tl = fr.Begin(i);
+    ASSERT_NE(tl, nullptr);
+    tl->Charge(Stage::kExecute, 5);
+    fr.Finish(tl, i + 10, true);
+  }
+  EXPECT_EQ(fr.finished(), 1000u);
+}
+
+TEST(FlightRecorderTest, ResetClearsReservoirsAndHistograms) {
+  FlightRecorder fr(SmallConfig());
+  TxnTimeline* tl = fr.Begin(0);
+  tl->Charge(Stage::kExecute, 5);
+  fr.Finish(tl, 5, true);
+  fr.Reset();
+  EXPECT_EQ(fr.finished(), 0u);
+  EXPECT_TRUE(fr.Slowest().empty());
+  EXPECT_TRUE(fr.Sampled().empty());
+  EXPECT_EQ(fr.total_hist().count(), 0u);
+}
+
+TEST(FlightRecorderTest, TailReportTableIsDeterministic) {
+  auto run = [] {
+    FlightRecorder fr(SmallConfig());
+    for (int i = 1; i <= 50; ++i) {
+      TxnTimeline* tl = fr.Begin(0);
+      tl->Charge(Stage::kQueueWait, i % 7);
+      tl->Charge(Stage::kExecute, i);
+      tl->Charge(Stage::kFlushWait, (i % 10 == 0) ? 100 * i : 0);
+      fr.Finish(tl, i + 100 * (i % 10 == 0 ? i : 0) + (i % 7), true);
+    }
+    return fr.MakeTailReport().ToTable();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("flush_wait"), std::string::npos);
+  EXPECT_NE(a.find("p99.9"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ExportOutliersEmitsWaterfalls) {
+  obs::TraceConfig tc;
+  tc.enabled = true;
+  tc.ring_capacity = 4096;
+  obs::Tracer tracer(tc);
+  SimTime clock = 0;
+  tracer.BindClock(&clock);
+  FlightRecorder fr(SmallConfig());
+  for (int i = 1; i <= 10; ++i) {
+    TxnTimeline* tl = fr.Begin(10 * i);
+    tl->Charge(Stage::kExecute, 5 * i);
+    tl->TagHw(Stage::kExecute);
+    fr.Finish(tl, 10 * i + 6 * i, true);
+  }
+  fr.ExportOutliers(&tracer);
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(json.find("flight/slow0"), std::string::npos);
+  EXPECT_NE(json.find("execute (hw)"), std::string::npos);
+  // Re-export through a fresh tracer is byte-identical.
+  obs::Tracer tracer2(tc);
+  tracer2.BindClock(&clock);
+  fr.ExportOutliers(&tracer2);
+  EXPECT_EQ(json, tracer2.ExportChromeTrace());
+}
+
+// --------------------------------------------------------------- Profiler --
+
+TEST(ProfilerTest, TalliesAndClampsStates) {
+  Profiler p({});
+  int state = 0;
+  p.AddEntity("agent", {"idle", "busy"}, [&] { return state; });
+  p.SampleOnce();
+  state = 1;
+  p.SampleOnce();
+  state = 99;  // out of range: clamps to the last state, not UB
+  p.SampleOnce();
+  state = -5;  // clamps to the first
+  p.SampleOnce();
+  EXPECT_EQ(p.samples(), 4u);
+  EXPECT_DOUBLE_EQ(p.Fraction(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p.Fraction(0, 1), 0.5);
+  const std::string table = p.ToTable();
+  EXPECT_NE(table.find("agent"), std::string::npos);
+  EXPECT_NE(table.find("idle"), std::string::npos);
+  p.Reset();
+  EXPECT_EQ(p.samples(), 0u);
+  EXPECT_DOUBLE_EQ(p.Fraction(0, 0), 0.0);
+}
+
+// ------------------------------------------------------ engine integration --
+
+struct TatpRun {
+  uint64_t commits = 0;
+  uint64_t elapsed_ns = 0;
+  double txn_per_sec = 0;
+  std::string tail_table;
+  std::string profile_table;
+  std::string outlier_json;
+};
+
+TatpRun RunTatp(bool flight, bool profile) {
+  sim::Simulator sim;
+  sim.SeedRng(7);
+  EngineConfig cfg = EngineConfig::Dora();
+  cfg.flight.enabled = flight;
+  cfg.profile.enabled = profile;
+  if (flight) cfg.trace.enabled = true;  // carries the outlier export
+  Engine eng(&sim, cfg);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = 500;
+  workload::TatpWorkload tatp(&eng, wcfg);
+  EXPECT_TRUE(tatp.Load().ok());
+  workload::DriverConfig dcfg;
+  dcfg.clients = 8;
+  dcfg.warmup_txns = 100;
+  dcfg.measured_txns = 600;
+  sim.Spawn(workload::RunClosedLoop(
+      &eng, [&]() { return tatp.NextTransaction(); }, dcfg, nullptr));
+  sim.Run();
+
+  TatpRun out;
+  out.commits = eng.metrics().commits;
+  out.elapsed_ns = eng.metrics().elapsed_ns;
+  out.txn_per_sec = eng.metrics().TxnPerSecond();
+  if (flight) {
+    FlightRecorder* fr = eng.flight_recorder();
+    out.tail_table = fr->MakeTailReport().ToTable();
+    obs::Tracer* tracer = eng.tracer();
+    tracer->Clear();
+    fr->ExportOutliers(tracer);
+    out.outlier_json = tracer->ExportChromeTrace();
+  }
+  if (profile) out.profile_table = eng.profiler()->ToTable();
+  return out;
+}
+
+TEST(TailIntegrationTest, FlightRecorderIsPassive) {
+  // The recorder never awaits, draws RNG, or posts simulator events, so
+  // the simulated schedule with it on is bit-identical to off. (The
+  // profiler is excluded here: its wakeup events legitimately interleave.)
+  sim::Simulator sim_off;
+  sim_off.SeedRng(7);
+  {
+    EngineConfig cfg = EngineConfig::Dora();
+    Engine eng(&sim_off, cfg);
+    workload::TatpConfig wcfg;
+    wcfg.subscribers = 500;
+    workload::TatpWorkload tatp(&eng, wcfg);
+    ASSERT_TRUE(tatp.Load().ok());
+    workload::DriverConfig dcfg;
+    dcfg.clients = 8;
+    dcfg.warmup_txns = 100;
+    dcfg.measured_txns = 600;
+    sim_off.Spawn(workload::RunClosedLoop(
+        &eng, [&]() { return tatp.NextTransaction(); }, dcfg, nullptr));
+    sim_off.Run();
+    TatpRun on = RunTatp(/*flight=*/true, /*profile=*/false);
+    EXPECT_EQ(on.commits, eng.metrics().commits);
+    EXPECT_EQ(on.elapsed_ns, eng.metrics().elapsed_ns);
+    EXPECT_DOUBLE_EQ(on.txn_per_sec, eng.metrics().TxnPerSecond());
+  }
+}
+
+TEST(TailIntegrationTest, ReportsAreByteIdenticalAcrossReruns) {
+  TatpRun a = RunTatp(/*flight=*/true, /*profile=*/true);
+  TatpRun b = RunTatp(/*flight=*/true, /*profile=*/true);
+  EXPECT_GT(a.commits, 0u);
+  EXPECT_EQ(a.tail_table, b.tail_table);
+  EXPECT_EQ(a.profile_table, b.profile_table);
+  EXPECT_EQ(a.outlier_json, b.outlier_json);
+  EXPECT_FALSE(a.tail_table.empty());
+  EXPECT_FALSE(a.outlier_json.empty());
+}
+
+TEST(TailIntegrationTest, StageHistogramsLandInRegistry) {
+  sim::Simulator sim;
+  EngineConfig cfg = EngineConfig::Dora();
+  cfg.flight.enabled = true;
+  cfg.profile.enabled = true;
+  cfg.trace.enabled = true;
+  Engine eng(&sim, cfg);
+  const obs::Registry& reg = eng.registry();
+  EXPECT_TRUE(reg.Has("engine.txn.total_ns"));
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    const auto s = static_cast<Stage>(i);
+    EXPECT_TRUE(reg.Has(std::string("engine.txn.stage.") + obs::StageKey(s) +
+                        "_ns"));
+  }
+  EXPECT_TRUE(reg.Has("obs.trace.dropped"));
+  EXPECT_TRUE(reg.Has("profile.dora.partition0.running"));
+  EXPECT_TRUE(reg.Has("profile.wal.flush.flushing"));
+}
+
+TEST(TailIntegrationTest, StagesAttributeRealTimeUnderLoad) {
+  TatpRun r = RunTatp(/*flight=*/true, /*profile=*/true);
+  EXPECT_GT(r.commits, 0u);
+  // The DORA path must have charged routing, queue wait, and execution.
+  sim::Simulator sim;
+  EngineConfig cfg = EngineConfig::Dora();
+  cfg.flight.enabled = true;
+  Engine eng(&sim, cfg);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = 200;
+  workload::TatpWorkload tatp(&eng, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+  workload::DriverConfig dcfg;
+  dcfg.clients = 4;
+  dcfg.warmup_txns = 0;
+  dcfg.measured_txns = 200;
+  sim.Spawn(workload::RunClosedLoop(
+      &eng, [&]() { return tatp.NextTransaction(); }, dcfg, nullptr));
+  sim.Run();
+  FlightRecorder* fr = eng.flight_recorder();
+  EXPECT_GT(fr->finished(), 0u);
+  EXPECT_GT(fr->stage_hist(Stage::kRoute).Mean(), 0.0);
+  EXPECT_GT(fr->stage_hist(Stage::kQueueWait).Mean(), 0.0);
+  EXPECT_GT(fr->stage_hist(Stage::kExecute).Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace bionicdb

@@ -53,6 +53,39 @@ def main():
         )
     print(f"ok: sim_txn_per_sec == {want} (bit-identical schedule)")
 
+    # 1b. The flight recorder must be purely passive: with tail-latency
+    # attribution enabled, the simulated schedule is pinned to the value
+    # recorded before the recorder existed. Hardcoded on purpose — a
+    # re-baseline that moves this number means instrumentation perturbed
+    # the simulation, which is a bug, not a semantic change.
+    if got != 2192905.5:
+        fail(
+            f"sim_txn_per_sec is {got}, expected exactly 2192905.5 — the "
+            "flight recorder (or other instrumentation) perturbed the "
+            "simulated schedule"
+        )
+    print("ok: sim_txn_per_sec == 2192905.5 with flight recorder enabled")
+
+    # 1c. Tail-latency attribution fields must be present in the e2e row.
+    e2e = wallclock["tatp_e2e_dora"]
+    stage_keys = [
+        "admit", "route", "queue_wait", "lock_wait",
+        "execute", "wal_append", "flush_wait", "commit",
+    ]
+    required = ["p50_latency_us", "p99_latency_us", "p999_latency_us"]
+    required += [f"stage_{k}_p50_us" for k in stage_keys]
+    required += [f"stage_{k}_p999_us" for k in stage_keys]
+    missing = [k for k in required if k not in e2e]
+    if missing:
+        fail(f"tatp_e2e_dora is missing tail-attribution fields: {missing}")
+    if e2e["p999_latency_us"] < e2e["p50_latency_us"]:
+        fail(
+            f"p99.9 latency ({e2e['p999_latency_us']}us) below p50 "
+            f"({e2e['p50_latency_us']}us); histogram wiring broken"
+        )
+    print(f"ok: tail attribution present ({len(required)} fields; "
+          f"p50={e2e['p50_latency_us']}us p99.9={e2e['p999_latency_us']}us)")
+
     # 2. Event-queue speedup regression gate (ratio, 15% slack).
     heap = evq["evq_heap_tatp_trace"]["ns_per_op"]
     cal = evq["evq_calendar_tatp_trace"]["ns_per_op"]

@@ -4,12 +4,23 @@
 //   trace_dump -o trace.json                      # bionic mode, defaults
 //   trace_dump --mode=dora --txns=2000 -o t.json
 //   trace_dump --validate -o trace.json           # also: determinism + JSON
+//   trace_dump --tail                             # p50-vs-p99.9 attribution
 //
 // --validate runs the identical simulation twice and requires byte-identical
 // exports (the tracer is keyed to virtual time only), checks the JSON is
 // structurally well formed, and checks spans landed on every layer the
 // chosen mode exercises (sim/engine/wal always; dora in dora+bionic; hw in
-// bionic). Exit code is non-zero on any failure, so CI can gate on it.
+// bionic). It also warns when the bounded trace ring dropped events
+// (obs.trace.dropped nonzero): exported timelines have holes. Exit code is
+// non-zero on any failure, so CI can gate on it.
+//
+// --tail runs TATP and TPC-C with the flight recorder + profiler on and
+// prints, per workload, the stage-attribution table comparing the p50
+// cohort against the p99.9 tail plus the time-in-state profiles; the
+// retained outlier transactions are exported as Chrome-trace waterfalls
+// (flight_tatp.json / flight_tpcc.json). Each workload runs twice and the
+// reports must be byte-identical, so the mode doubles as a determinism
+// gate for the whole attribution pipeline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +32,7 @@
 #include "sim/simulator.h"
 #include "workload/driver.h"
 #include "workload/tatp.h"
+#include "workload/tpcc.h"
 
 using namespace bionicdb;
 
@@ -35,6 +47,7 @@ struct Options {
   uint64_t seed = 42;
   std::string out = "trace.json";
   bool validate = false;
+  bool tail = false;
 };
 
 void Usage(const char* argv0) {
@@ -42,7 +55,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--mode=bionic|dora|conventional] [--txns=N] [--warmup=N]\n"
       "          [--clients=N] [--subscribers=N] [--seed=S] [--validate]\n"
-      "          [-o FILE]\n",
+      "          [--tail] [-o FILE]\n",
       argv0);
 }
 
@@ -60,6 +73,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     const char* v = nullptr;
     if (std::strcmp(argv[i], "--validate") == 0) {
       opt->validate = true;
+    } else if (std::strcmp(argv[i], "--tail") == 0) {
+      opt->tail = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       opt->out = argv[++i];
     } else if (ParseFlag(argv[i], "--out", &v) || ParseFlag(argv[i], "-o", &v)) {
@@ -133,6 +148,105 @@ RunOutput RunOnce(const Options& opt) {
   out.dropped = tracer->dropped();
   out.commits = engine.metrics().commits;
   return out;
+}
+
+// ------------------------------------------------------------- tail mode --
+
+struct TailOutput {
+  std::string attribution;  ///< TailReport::ToTable()
+  std::string profile;      ///< Profiler::ToTable()
+  std::string outlier_json; ///< Chrome trace of the retained slowest txns.
+  uint64_t commits = 0;
+};
+
+TailOutput RunTailOnce(const Options& opt, bool tpcc) {
+  engine::EngineConfig config;
+  if (opt.mode == "bionic") {
+    config = engine::EngineConfig::Bionic();
+  } else if (opt.mode == "dora") {
+    config = engine::EngineConfig::Dora();
+  } else {
+    config = engine::EngineConfig::Conventional();
+  }
+  config.trace.enabled = true;   // carries the outlier export
+  config.flight.enabled = true;
+  config.profile.enabled = true;
+
+  sim::Simulator sim;
+  sim.SeedRng(opt.seed);
+  engine::Engine engine(&sim, config);
+  workload::DriverConfig dcfg;
+  dcfg.clients = opt.clients;
+  dcfg.warmup_txns = opt.warmup;
+  dcfg.measured_txns = opt.txns;
+
+  std::unique_ptr<workload::TatpWorkload> tatp;
+  std::unique_ptr<workload::TpccWorkload> tpcc_wl;
+  if (tpcc) {
+    workload::TpccConfig wcfg;
+    tpcc_wl = std::make_unique<workload::TpccWorkload>(&engine, wcfg);
+    BIONICDB_CHECK(tpcc_wl->Load().ok());
+    sim.Spawn(workload::RunClosedLoop(
+        &engine, [&]() { return tpcc_wl->NextTransaction(); }, dcfg,
+        nullptr));
+  } else {
+    workload::TatpConfig wcfg;
+    wcfg.subscribers = opt.subscribers;
+    tatp = std::make_unique<workload::TatpWorkload>(&engine, wcfg);
+    BIONICDB_CHECK(tatp->Load().ok());
+    sim.Spawn(workload::RunClosedLoop(
+        &engine, [&]() { return tatp->NextTransaction(); }, dcfg, nullptr));
+  }
+  sim.Run();
+
+  obs::FlightRecorder* fr = engine.flight_recorder();
+  BIONICDB_CHECK(fr != nullptr);
+  TailOutput out;
+  out.attribution = fr->MakeTailReport().ToTable();
+  out.profile = engine.profiler()->ToTable();
+  // Outlier-only trace: drop the run's spans, keep the interned tracks,
+  // and emit just the retained slowest transactions as stage waterfalls.
+  obs::Tracer* tracer = engine.tracer();
+  tracer->Clear();
+  fr->ExportOutliers(tracer);
+  out.outlier_json = tracer->ExportChromeTrace();
+  out.commits = engine.metrics().commits;
+  return out;
+}
+
+/// Runs one workload twice, requires byte-identical reports (the whole
+/// attribution pipeline is keyed to virtual time), prints them, and writes
+/// the outlier trace. Returns the number of failures.
+int RunTailWorkload(const Options& opt, bool tpcc, const char* label,
+                    const char* outlier_path) {
+  int failures = 0;
+  TailOutput first = RunTailOnce(opt, tpcc);
+  TailOutput second = RunTailOnce(opt, tpcc);
+  if (first.attribution != second.attribution ||
+      first.profile != second.profile ||
+      first.outlier_json != second.outlier_json) {
+    std::fprintf(stderr,
+                 "FAIL: %s tail report not deterministic across re-runs "
+                 "(seed %llu)\n",
+                 label, static_cast<unsigned long long>(opt.seed));
+    ++failures;
+  }
+  std::printf("== %s: stage attribution, p50 cohort vs p99.9 tail "
+              "(%llu commits) ==\n%s\n",
+              label, static_cast<unsigned long long>(first.commits),
+              first.attribution.c_str());
+  std::printf("== %s: time-in-state profiles ==\n%s\n", label,
+              first.profile.c_str());
+  std::FILE* f = std::fopen(outlier_path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", outlier_path);
+    return failures + 1;
+  }
+  std::fwrite(first.outlier_json.data(), 1, first.outlier_json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes, slowest-txn waterfalls)\n\n",
+              outlier_path, first.outlier_json.size());
+  return failures;
 }
 
 /// Minimal structural check: balanced {} and [] outside of strings, legal
@@ -217,6 +331,14 @@ int Validate(const Options& opt, const RunOutput& first) {
     std::fprintf(stderr, "FAIL: workload committed nothing\n");
     ++failures;
   }
+  // Dropped events are a warning, not a failure: the trace is still valid
+  // JSON, but timelines have holes — grow TraceConfig::ring_capacity.
+  if (first.dropped != 0) {
+    std::fprintf(stderr,
+                 "WARN: obs.trace.dropped = %llu — the bounded ring dropped "
+                 "events; the exported timeline is incomplete\n",
+                 static_cast<unsigned long long>(first.dropped));
+  }
 
   // Determinism: the tracer is keyed to virtual time, so the same seed must
   // reproduce the export byte for byte.
@@ -245,6 +367,19 @@ int main(int argc, char** argv) {
   if (!ParseOptions(argc, argv, &opt)) {
     Usage(argv[0]);
     return 2;
+  }
+
+  if (opt.tail) {
+    int failures = 0;
+    failures += RunTailWorkload(opt, /*tpcc=*/false, "TATP",
+                                "flight_tatp.json");
+    failures += RunTailWorkload(opt, /*tpcc=*/true, "TPC-C",
+                                "flight_tpcc.json");
+    if (failures != 0) {
+      std::fprintf(stderr, "tail: %d check(s) failed\n", failures);
+      return 1;
+    }
+    return 0;
   }
 
   RunOutput run = RunOnce(opt);
