@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "dora/action.h"
 #include "dora/executor.h"
 #include "engine/engine.h"
+#include "exec/threaded.h"
 #include "hw/platform.h"
 #include "index/btree.h"
 #include "index/codec.h"
@@ -24,6 +26,7 @@
 #include "sim/simulator.h"
 #include "workload/driver.h"
 #include "workload/tatp.h"
+#include "workload/tpcc.h"
 
 namespace bionicdb::bench {
 namespace {
@@ -238,6 +241,92 @@ Metric BenchTatpE2e() {
   return m;
 }
 
+/// Shared tail of the threaded-backend rows: wall-clock throughput plus the
+/// fields check_bench.py's --backend gates key off. Threaded rows are
+/// tagged by name (`*_threaded_t<N>`) and carry `threads` and `host_cores`
+/// so the gates can be machine-relative — on a 1-core host the sweep
+/// measures group-commit overlap, not parallel compute, and the checker
+/// must not demand a speedup the hardware cannot produce.
+void AddThreadedExtras(Metric* m, int threads,
+                       const exec::ThreadedBackend::RunReport& rep) {
+  m->extras.emplace_back("txn_per_sec", rep.txn_per_sec);
+  m->extras.emplace_back("threads", static_cast<double>(threads));
+  m->extras.emplace_back(
+      "host_cores",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  m->extras.emplace_back("committed", static_cast<double>(rep.committed));
+  m->extras.emplace_back("aborted_attempts",
+                         static_cast<double>(rep.aborted_attempts));
+  m->extras.emplace_back(
+      "p50_latency_us",
+      static_cast<double>(rep.latency.Percentile(50)) / 1e3);
+  m->extras.emplace_back(
+      "p99_latency_us",
+      static_cast<double>(rep.latency.Percentile(99)) / 1e3);
+  m->extras.emplace_back("wal_appends",
+                         static_cast<double>(rep.wal.appends));
+  m->extras.emplace_back("wal_flushes",
+                         static_cast<double>(rep.wal.flushes));
+}
+
+/// TATP on the real-thread backend (exec::ThreadedBackend), closed loop
+/// with `threads` client threads. Same engine code as tatp_e2e_dora but
+/// host time is the clock and the group-commit WAL flusher is a real
+/// thread with the default 50us fsync stub — so even on one core the
+/// sweep shows durability waits overlapping as clients are added.
+Metric BenchTatpThreaded(int threads) {
+  sim::Simulator sim;
+  engine::EngineConfig cfg;  // default: DORA mode, commodity server
+  engine::Engine eng(&sim, cfg);
+  workload::TatpConfig wcfg;
+  wcfg.subscribers = 5000;
+  workload::TatpWorkload tatp(&eng, wcfg);
+  BIONICDB_CHECK(tatp.Load().ok());
+  exec::ThreadedBackend backend(&eng, exec::ThreadedBackend::Config{});
+  backend.Start();
+  exec::ThreadedBackend::RunOptions opts;
+  opts.clients = threads;
+  opts.warmup_txns = 1000;
+  opts.measured_txns = 6000;
+  Timer t;
+  exec::ThreadedBackend::RunReport rep =
+      backend.RunClosedLoop([&] { return tatp.NextTransaction(); }, opts);
+  Metric m =
+      t.Stop("tatp_threaded_t" + std::to_string(threads), rep.committed);
+  backend.Shutdown();
+  AddThreadedExtras(&m, threads, rep);
+  return m;
+}
+
+/// TPC-C (NewOrder/Payment mix with dynamic phases) on the threaded
+/// backend — one row at the sweep's widest client count.
+Metric BenchTpccThreaded(int threads) {
+  sim::Simulator sim;
+  engine::EngineConfig cfg;
+  engine::Engine eng(&sim, cfg);
+  workload::TpccConfig wcfg;
+  wcfg.warehouses = 2;
+  wcfg.customers_per_district = 100;
+  wcfg.items = 500;
+  wcfg.initial_orders_per_district = 20;
+  workload::TpccWorkload tpcc(&eng, wcfg);
+  BIONICDB_CHECK(tpcc.Load().ok());
+  exec::ThreadedBackend backend(&eng, exec::ThreadedBackend::Config{});
+  backend.Start();
+  exec::ThreadedBackend::RunOptions opts;
+  opts.clients = threads;
+  opts.warmup_txns = 500;
+  opts.measured_txns = 3000;
+  Timer t;
+  exec::ThreadedBackend::RunReport rep =
+      backend.RunClosedLoop([&] { return tpcc.NextTransaction(); }, opts);
+  Metric m =
+      t.Stop("tpcc_threaded_t" + std::to_string(threads), rep.committed);
+  backend.Shutdown();
+  AddThreadedExtras(&m, threads, rep);
+  return m;
+}
+
 void EmitJson(const std::vector<Metric>& ms, FILE* f) {
   std::fprintf(f, "{\n");
   for (size_t i = 0; i < ms.size(); ++i) {
@@ -264,6 +353,13 @@ int Main(int argc, char** argv) {
   ms.push_back(BenchQueueCycle());
   ms.push_back(BenchDispatchCycle());
   ms.push_back(BenchTatpE2e());
+  // Threaded-backend sweep: client threads 1 -> 8 on TATP, plus one TPC-C
+  // row at the widest point. Runs after the simulated rows so their thread
+  // activity cannot perturb the sim measurements.
+  for (int threads : {1, 2, 4, 8}) {
+    ms.push_back(BenchTatpThreaded(threads));
+  }
+  ms.push_back(BenchTpccThreaded(8));
   EmitJson(ms, stdout);
   if (argc > 1) {
     FILE* f = std::fopen(argv[1], "w");

@@ -29,6 +29,10 @@
 #include "sim/task.h"
 #include "txn/xct.h"
 
+namespace bionicdb::exec {
+class ThreadedRvp;
+}
+
 namespace bionicdb::dora {
 
 class Partition;
@@ -81,6 +85,10 @@ struct Action {
   bool shared_locks = false;
   ActionFn fn;
   Rvp* rvp = nullptr;
+  /// Rendezvous for the threaded backend (exec::ThreadedBackend); exactly
+  /// one of rvp/trvp is set depending on which substrate dispatched the
+  /// action.
+  exec::ThreadedRvp* trvp = nullptr;
   int socket = 0;
   /// Timeline bookkeeping (obs::TxnTimeline attribution): when the action
   /// entered its partition queue, and — if it parked on a local lock —
@@ -128,6 +136,7 @@ struct Action {
     shared_locks = false;
     fn = nullptr;
     rvp = nullptr;
+    trvp = nullptr;
     socket = 0;
     enqueue_ts = 0;
     parked_since = 0;

@@ -470,6 +470,7 @@ sim::Task<Status> Engine::LogWriteTimed(ExecContext& ctx,
 
 sim::Task<Result<std::string>> Engine::Read(ExecContext& ctx, Table* table,
                                             Slice key) {
+  if (threaded_) co_return TRead(ctx, table, key);
   // (No `cond ? co_await a : co_await b` — GCC 12 miscompiles it.)
   if (UseOverlay()) {
     auto r = co_await ReadOverlayView(ctx, table, key);
@@ -483,6 +484,7 @@ sim::Task<Result<std::string>> Engine::Read(ExecContext& ctx, Table* table,
 
 sim::Task<Result<Slice>> Engine::ReadView(ExecContext& ctx, Table* table,
                                           Slice key) {
+  if (threaded_) co_return TReadView(ctx, table, key);
   if (UseOverlay()) co_return co_await ReadOverlayView(ctx, table, key);
   co_return co_await ReadPagedView(ctx, table, key);
 }
@@ -564,6 +566,7 @@ sim::Task<void> Engine::MultiReadOne(ExecContext ctx, Table* table,
 
 sim::Task<std::vector<Result<std::string>>> Engine::MultiRead(
     ExecContext& ctx, Table* table, const std::vector<std::string>& keys) {
+  if (threaded_) co_return TMultiRead(ctx, table, keys);
   std::vector<Result<std::string>> out(keys.size(),
                                        Result<std::string>(Status::Busy()));
   if (!UseHwProbe() || keys.size() <= 1) {
@@ -588,6 +591,7 @@ sim::Task<std::vector<Result<std::string>>> Engine::MultiRead(
 
 sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
                                  Slice record, const Slice* known_old) {
+  if (threaded_) co_return TUpdate(ctx, table, key, record, known_old);
   // The before-image (a view either way) is consumed by LogWriteTimed
   // before its first suspension, so no owning copy is made here.
   if (known_old != nullptr) {
@@ -624,6 +628,7 @@ sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
 
 sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
                                  Slice record) {
+  if (threaded_) co_return TInsert(ctx, table, key, record);
   // Uniqueness check through the regular probe path (view probes: only the
   // outcome is needed, never the bytes).
   if (UseOverlay()) {
@@ -667,6 +672,7 @@ sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
 }
 
 sim::Task<Status> Engine::Delete(ExecContext& ctx, Table* table, Slice key) {
+  if (threaded_) co_return TDelete(ctx, table, key);
   auto old = co_await ReadView(ctx, table, key);
   if (!old.ok()) co_return old.status();
 
@@ -689,6 +695,7 @@ sim::Task<Status> Engine::Delete(ExecContext& ctx, Table* table, Slice key) {
 sim::Task<Result<std::string>> Engine::ProbeSecondary(
     ExecContext& ctx, Table* table, const std::string& index_name,
     Slice skey) {
+  if (threaded_) co_return TProbeSecondary(ctx, table, index_name, skey);
   index::BTree* idx = table->secondary(index_name);
   if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
   int visits = 0;
@@ -701,6 +708,7 @@ sim::Task<Result<std::string>> Engine::ProbeSecondary(
 sim::Task<Status> Engine::InsertSecondary(ExecContext& ctx, Table* table,
                                           const std::string& index_name,
                                           Slice skey, Slice pkey) {
+  if (threaded_) co_return TInsertSecondary(ctx, table, index_name, skey, pkey);
   index::BTree* idx = table->secondary(index_name);
   if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
   int visits = 0;
@@ -724,6 +732,7 @@ sim::Task<Status> Engine::InsertSecondary(ExecContext& ctx, Table* table,
 sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
 Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
                   size_t limit) {
+  if (threaded_) co_return TRangeRead(ctx, table, lo, hi, limit);
   // Functional result: base rows in [lo, hi) patched by the overlay.
   std::map<std::string, std::string> merged;
   for (auto it = table->primary().SeekRange(lo, hi); it.Valid(); it.Next()) {
@@ -794,6 +803,8 @@ sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
 Engine::RangeReadIndex(ExecContext& ctx, Table* table,
                        const std::string& index_name, Slice lo, Slice hi,
                        size_t limit) {
+  if (threaded_) co_return TRangeReadIndex(ctx, table, index_name, lo, hi,
+                                           limit);
   index::BTree* idx = table->secondary(index_name);
   if (idx == nullptr) co_return Status::NotFound("no index " + index_name);
   std::vector<std::pair<std::string, std::string>> rows;
@@ -826,6 +837,7 @@ Engine::RangeReadIndex(ExecContext& ctx, Table* table,
 
 sim::Task<Result<uint64_t>> Engine::ScanCount(
     ExecContext& ctx, Table* table, const std::function<bool(Slice)>& pred) {
+  if (threaded_) co_return TScanCount(ctx, table, pred);
   // Functional answer over the live logical table.
   auto rows = table->ScanAll();
   uint64_t matches = 0;
@@ -881,6 +893,7 @@ sim::Task<Result<uint64_t>> Engine::ScanCount(
 sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
     ExecContext& ctx, Table* table, const std::string& projection_name,
     const std::function<bool(int64_t)>& pred) {
+  if (threaded_) co_return TScanProjection(ctx, table, projection_name, pred);
   const Table::Projection* proj = table->projection(projection_name);
   if (proj == nullptr) {
     co_return Status::NotFound("no projection " + projection_name);
@@ -956,6 +969,7 @@ sim::Task<Result<Engine::ProjectionAggregate>> Engine::ScanProjection(
 // ------------------------------------------------------------ maintenance --
 
 sim::Task<Status> Engine::BulkMerge(ExecContext& ctx, Table* table) {
+  if (threaded_) co_return TBulkMerge(ctx, table);
   Overlay* ov = table->overlay();
   if (ov == nullptr) co_return Status::NotSupported("table has no overlay");
   auto delta = ov->TakeDirty();
@@ -982,6 +996,7 @@ sim::Task<Status> Engine::BulkMerge(ExecContext& ctx, Table* table) {
 }
 
 sim::Task<Status> Engine::Checkpoint(ExecContext& ctx) {
+  if (threaded_) co_return TCheckpoint(ctx);
   // 1. Make base data reflect everything logged so far.
   for (uint32_t i = 0; i < db_->num_tables(); ++i) {
     Table* table = db_->GetTable(i);
@@ -1001,6 +1016,7 @@ sim::Task<Status> Engine::Checkpoint(ExecContext& ctx) {
 }
 
 sim::Task<Status> Engine::ReorganizeIndex(ExecContext& ctx, Table* table) {
+  if (threaded_) co_return TReorganizeIndex(ctx, table);
   index::BTree& idx = table->primary();
   const size_t entries = idx.size();
   Status st = idx.Rebuild();
@@ -1117,6 +1133,9 @@ sim::Task<Status> Engine::AbortTxn(ExecContext& ctx, txn::Xct* xct) {
 
 sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
                                   uint64_t* priority) {
+  // Threaded runs drive transactions through ThreadedBackend::Execute; the
+  // simulated path below must never run with the backend attached.
+  BIONICDB_CHECK(threaded_ == nullptr);
   const SimTime start = sim_->Now();
   // In-flight transactions overlap arbitrarily -> async spans on one track.
   uint64_t span_id = 0;

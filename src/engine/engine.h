@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@
 #include "txn/lock_manager.h"
 #include "txn/xct_manager.h"
 #include "wal/log_manager.h"
+
+namespace bionicdb::exec {
+class ThreadedBackend;
+}
 
 namespace bionicdb::engine {
 
@@ -266,7 +271,19 @@ class Engine {
     return config_.mode == EngineMode::kBionic && config_.offload.tree_probe;
   }
 
+  // ------------------------------------------------- threaded backend ----
+  /// Attaches (or detaches, with nullptr) the real-thread execution
+  /// backend. While attached, every row/scan operation takes its threaded
+  /// path: pure functional work guarded by per-table reader/writer locks,
+  /// no virtual-time cost charges, logging through the backend's
+  /// ThreadedWal. Call after tables are created and loaded; normally done
+  /// by exec::ThreadedBackend::Start()/Shutdown(). See docs/EXECUTION.md.
+  void AttachThreadedBackend(exec::ThreadedBackend* backend);
+  bool threaded() const { return threaded_ != nullptr; }
+  exec::ThreadedBackend* threaded_backend() { return threaded_; }
+
  private:
+  friend class exec::ThreadedBackend;
   // ---- cost helpers -------------------------------------------------------
   /// Executes `ns` of CPU work charged to component `c`. Attaches a core
   /// unless the context already holds one.
@@ -312,6 +329,47 @@ class Engine {
 
   static std::string QualifiedKey(const Table* table, Slice key);
 
+  // ---- threaded-backend operation paths (engine_threaded.cc) ------------
+  // Functional mirrors of the simulated ops above: same probe/uniqueness/
+  // miss-install/undo semantics, none of the cost charging. Plain functions
+  // (no suspension), so the coroutine wrappers complete synchronously on
+  // the partition agent thread that resumes them. Physical structures are
+  // guarded by per-table reader/writer locks; logical row conflicts are
+  // excluded by the partition-local locks (or the conventional-mode global
+  // mutex) exactly as in the simulator.
+  std::shared_mutex& TableMutex(const Table* table);
+  Slice TScratchCopy(Slice v);
+  Status TLogWrite(txn::Xct* xct, wal::RecordType type, uint32_t table_id,
+                   Slice key, Slice redo, Slice undo);
+  void TApplyUndo(const txn::UndoEntry& entry);
+  Result<Slice> TReadView(ExecContext& ctx, Table* table, Slice key);
+  Result<std::string> TRead(ExecContext& ctx, Table* table, Slice key);
+  std::vector<Result<std::string>> TMultiRead(
+      ExecContext& ctx, Table* table, const std::vector<std::string>& keys);
+  Status TUpdate(ExecContext& ctx, Table* table, Slice key, Slice record,
+                 const Slice* known_old);
+  Status TInsert(ExecContext& ctx, Table* table, Slice key, Slice record);
+  Status TDelete(ExecContext& ctx, Table* table, Slice key);
+  Result<std::string> TProbeSecondary(ExecContext& ctx, Table* table,
+                                      const std::string& index_name,
+                                      Slice skey);
+  Status TInsertSecondary(ExecContext& ctx, Table* table,
+                          const std::string& index_name, Slice skey,
+                          Slice pkey);
+  Result<std::vector<std::pair<std::string, std::string>>> TRangeRead(
+      ExecContext& ctx, Table* table, Slice lo, Slice hi, size_t limit);
+  Result<std::vector<std::pair<std::string, std::string>>> TRangeReadIndex(
+      ExecContext& ctx, Table* table, const std::string& index_name, Slice lo,
+      Slice hi, size_t limit);
+  Result<uint64_t> TScanCount(ExecContext& ctx, Table* table,
+                              const std::function<bool(Slice)>& pred);
+  Result<ProjectionAggregate> TScanProjection(
+      ExecContext& ctx, Table* table, const std::string& projection_name,
+      const std::function<bool(int64_t)>& pred);
+  Status TBulkMerge(ExecContext& ctx, Table* table);
+  Status TCheckpoint(ExecContext& ctx);
+  Status TReorganizeIndex(ExecContext& ctx, Table* table);
+
   /// Binds every RunMetrics field, breakdown component, WAL/fault counter,
   /// and platform gauge into registry_ (construction time, once).
   void RegisterMetrics();
@@ -344,6 +402,21 @@ class Engine {
 
   /// Conventional mode: admission throttle modeling the worker pool.
   std::unique_ptr<sim::Semaphore> workers_sem_;
+
+  /// Real-thread backend, when attached (never set on simulator runs; the
+  /// sim paths' `threaded_` branch is always false there, keeping simulated
+  /// results bit-identical).
+  exec::ThreadedBackend* threaded_ = nullptr;
+  /// Per-table reader/writer locks for the threaded paths, indexed by
+  /// table id. Sized in AttachThreadedBackend.
+  std::vector<std::unique_ptr<std::shared_mutex>> table_mu_;
+  /// Engine-wide lock for the SimDisk page MAP, which every paged table
+  /// shares and the per-table locks therefore cannot cover. BasePut can
+  /// AllocPage (map insert) → exclusive; all other base-data access only
+  /// looks pages up → shared. Page CONTENTS need no disk lock: a page
+  /// belongs to exactly one table and is guarded by that table's mutex.
+  /// Always acquired inside a table-lock scope, never the reverse.
+  std::shared_mutex disk_mu_;
 
   hw::Breakdown breakdown_;
   RunMetrics metrics_;

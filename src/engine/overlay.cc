@@ -1,6 +1,7 @@
 #include "engine/overlay.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace bionicdb::engine {
 
@@ -22,11 +23,17 @@ Result<Slice> Overlay::GetView(Slice key) const {
 
 Result<Slice> Overlay::GetTracedView(Slice key, int* node_visits) const {
   auto r = index_.GetTracedView(key, node_visits);
+  // Probes run under SHARED table ownership on the threaded backend
+  // (mutations are exclusive), so hit/miss are the only overlay stats
+  // concurrent threads bump — relaxed atomic_ref, as in BTree's probe
+  // counters, keeps the layout and the simulator's plain reads.
   if (!r.ok()) {
-    ++stats_.misses;
+    std::atomic_ref<uint64_t>(stats_.misses)
+        .fetch_add(1, std::memory_order_relaxed);
     return Status::OutOfMemory("key not resident in overlay");
   }
-  ++stats_.hits;
+  std::atomic_ref<uint64_t>(stats_.hits).fetch_add(1,
+                                                   std::memory_order_relaxed);
   Slice tagged = *r;
   BIONICDB_DCHECK(!tagged.empty());
   if (tagged[0] == 'D') {

@@ -1,0 +1,450 @@
+#include "exec/threaded.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace bionicdb::exec {
+
+ThreadedBackend::ThreadedBackend(engine::Engine* engine, const Config& config)
+    : engine_(engine), config_(config), wal_(config.wal),
+      free_actions_(4096) {
+  // Partition count MUST equal the engine's: Engine::PartitionOf (which
+  // workloads use to group a step's keys) and Dispatch below route with the
+  // same hash modulo this count. A mismatch would let one key lock on two
+  // different partitions, breaking DORA's locking soundness.
+  const int n = engine->config().num_partitions;
+  BIONICDB_CHECK(n > 0 && n <= 64);  // ReleaseTxnLocks uses a 64-bit mask
+  for (int i = 0; i < n; ++i) {
+    // The partition's embedded SimQueue is unused here (capacity 2, the
+    // minimum); only its lock and park tables are exercised.
+    partitions_.push_back(std::make_unique<dora::Partition>(
+        engine->simulator(), static_cast<uint32_t>(i), /*queue_capacity=*/2));
+    queues_.push_back(
+        std::make_unique<MpscBlockingQueue<Msg>>(config.queue_capacity));
+  }
+}
+
+ThreadedBackend::~ThreadedBackend() { Shutdown(); }
+
+void ThreadedBackend::Start() {
+  BIONICDB_CHECK(!started_);
+  started_ = true;
+  wal_.Start();
+  engine_->AttachThreadedBackend(this);
+  for (uint32_t i = 0; i < partitions_.size(); ++i) {
+    agents_.emplace_back([this, i] { AgentLoop(i); });
+  }
+}
+
+void ThreadedBackend::Shutdown() {
+  if (!started_) return;
+  for (auto& q : queues_) {
+    Msg stop;
+    stop.kind = Msg::Kind::kStop;
+    q->Push(stop);
+  }
+  for (auto& t : agents_) t.join();
+  agents_.clear();
+  wal_.Stop();
+  engine_->AttachThreadedBackend(nullptr);
+  started_ = false;
+}
+
+void ThreadedBackend::AgentLoop(uint32_t pid) {
+  dora::Partition& part = *partitions_[pid];
+  MpscBlockingQueue<Msg>& q = *queues_[pid];
+  std::vector<dora::Action*> ready;
+  for (;;) {
+    Msg msg = q.Pop();
+    if (msg.kind == Msg::Kind::kStop) break;
+    if (msg.kind == Msg::Kind::kRelease) {
+      // All lock-table state for this partition is touched only on this
+      // thread; the transaction's mutex guards its held_locks list, which
+      // ReleaseLocks prunes.
+      ready.clear();
+      {
+        std::lock_guard<std::mutex> lk(msg.release_xct->mu);
+        part.ReleaseLocks(msg.release_xct, &ready);
+      }
+      // Arrive before running the woken actions: the releasing driver only
+      // needs its locks gone, and the woken actions belong to other
+      // transactions whose drivers are still parked in their own Wait().
+      msg.latch->Arrive();
+      for (dora::Action* a : ready) HandleAction(part, a);
+      continue;
+    }
+    HandleAction(part, msg.action);
+  }
+}
+
+void ThreadedBackend::HandleAction(dora::Partition& part,
+                                   dora::Action* action) {
+  dora::LockOutcome lock;
+  {
+    // TryLockAll reads the priority and records grants on the transaction.
+    std::lock_guard<std::mutex> lk(action->xct->mu);
+    lock = part.TryLockAll(action);
+  }
+  if (lock == dora::LockOutcome::kParked) {
+    actions_parked_.fetch_add(1, std::memory_order_relaxed);
+    return;  // re-surfaces via a kRelease message
+  }
+  if (lock == dora::LockOutcome::kDie) {
+    wait_die_aborts_.fetch_add(1, std::memory_order_relaxed);
+    ThreadedRvp* rvp = action->trvp;
+    ReleaseAction(action);
+    rvp->Arrive(Status::Aborted("wait-die on partition-local lock"));
+    return;
+  }
+  dora::ActionContext ctx;
+  ctx.xct = action->xct;
+  ctx.partition = &part;
+  ctx.socket = action->socket;
+  // The body is a task chain that never suspends on simulator events (the
+  // engine's threaded paths are plain functions), so it completes inline.
+  Status st = sim::RunToCompletion(action->fn(ctx));
+  actions_executed_.fetch_add(1, std::memory_order_relaxed);
+  ThreadedRvp* rvp = action->trvp;
+  // Release before Arrive: once the driver resumes it may destroy the
+  // phase the action's body captured, so the action must already be reset.
+  ReleaseAction(action);
+  rvp->Arrive(st);
+}
+
+void ThreadedBackend::Dispatch(dora::Action* action) {
+  BIONICDB_CHECK(action->num_lock_keys() != 0);
+  // Same routing as dora::Executor::Dispatch: avalanche the first sorted
+  // lock key's hash, then modulo.
+  const uint32_t pid = static_cast<uint32_t>(
+      common::Mix64(common::HashBytes(action->lock_key(0))) %
+      static_cast<uint64_t>(partitions_.size()));
+  Msg msg;
+  msg.kind = Msg::Kind::kAction;
+  msg.action = action;
+  queues_[pid]->Push(msg);
+}
+
+Status ThreadedBackend::RunAllPhases(engine::Engine::TxnSpec& spec,
+                                     engine::Engine::ExecContext& ctx) {
+  const bool conventional =
+      engine_->config().mode == engine::EngineMode::kConventional;
+  for (engine::Engine::Phase& phase : spec.phases) {
+    Status st = conventional ? RunPhaseInline(phase, ctx)
+                             : RunPhaseDora(phase, ctx);
+    if (!st.ok()) return st;
+  }
+  if (spec.dynamic_phases) {
+    for (int i = 0;; ++i) {
+      engine::Engine::Phase phase;
+      if (!spec.dynamic_phases(i, &phase)) break;
+      Status st = conventional ? RunPhaseInline(phase, ctx)
+                               : RunPhaseDora(phase, ctx);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreadedBackend::RunPhaseDora(engine::Engine::Phase& phase,
+                                     engine::Engine::ExecContext& ctx) {
+  const bool async = engine_->config().mode == engine::EngineMode::kBionic;
+  ThreadedRvp rvp(static_cast<int>(phase.size()));
+  for (engine::Engine::TxnStep& step : phase) {
+    dora::Action* action = AcquireAction();
+    action->xct = ctx.xct;
+    action->trvp = &rvp;
+    action->socket = ctx.socket;
+    action->shared_locks = step.read_only;
+    char prefix[16];
+    const int n =
+        std::snprintf(prefix, sizeof(prefix), "t%u:", step.table->id());
+    for (const std::string& key : step.keys) {
+      action->AddLockKey(Slice(prefix, static_cast<size_t>(n)), Slice(key));
+    }
+    action->SortLockKeys();
+    engine::Engine* self = engine_;
+    // The phase outlives every action (awaited below), so the body captures
+    // a step pointer and stays within ActionFn's inline storage — same
+    // shape as Engine::RunPhaseDora.
+    const engine::Engine::TxnStep* pstep = &step;
+    const int socket = ctx.socket;
+    action->fn = [self, pstep, socket,
+                  async](dora::ActionContext& actx) -> sim::Task<Status> {
+      engine::Engine::ExecContext ectx;
+      ectx.engine = self;
+      ectx.xct = actx.xct;
+      ectx.socket = socket;
+      ectx.core_held = !async;
+      co_return co_await pstep->fn(ectx);
+    };
+    Dispatch(action);
+  }
+  return rvp.Wait();
+}
+
+Status ThreadedBackend::RunPhaseInline(engine::Engine::Phase& phase,
+                                       engine::Engine::ExecContext& ctx) {
+  // Conventional mode: the caller holds conventional_mu_, which stands in
+  // for the 2PL lock manager (one transaction owns the whole database), so
+  // steps run inline with no per-row locking.
+  for (engine::Engine::TxnStep& step : phase) {
+    Status st = sim::RunToCompletion(step.fn(ctx));
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+wal::Lsn ThreadedBackend::AppendCommit(txn::Xct* xct) {
+  BIONICDB_CHECK(xct->state == txn::XctState::kActive);
+  if (!xct->begin_logged) {
+    // Read-only: nothing to make durable.
+    xct->state = txn::XctState::kCommitted;
+    read_only_commits_.fetch_add(1, std::memory_order_relaxed);
+    return wal::kInvalidLsn;
+  }
+  xct->state = txn::XctState::kCommitting;
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kCommit;
+  rec.txn_id = xct->id;
+  rec.prev_lsn = xct->last_lsn;
+  return wal_.Append(rec);
+}
+
+Status ThreadedBackend::FinishCommit(txn::Xct* xct, wal::Lsn commit_lsn) {
+  if (commit_lsn == wal::kInvalidLsn) return Status::OK();  // read-only
+  Status st = wal_.WaitDurable(commit_lsn + 1);
+  if (!st.ok()) return st;
+  xct->state = txn::XctState::kCommitted;
+  return Status::OK();
+}
+
+void ThreadedBackend::AbortTxn(txn::Xct* xct) {
+  BIONICDB_CHECK(xct->state == txn::XctState::kActive);
+  // Undo backwards, logging a CLR per reverted action — the mirror of
+  // XctManager::Abort. The transaction still holds its partition locks on
+  // every key it wrote, so the undo writes cannot race other transactions.
+  for (auto it = xct->undo_chain.rbegin(); it != xct->undo_chain.rend();
+       ++it) {
+    engine_->TApplyUndo(*it);
+    wal::LogRecord clr;
+    clr.type = wal::RecordType::kClr;
+    clr.txn_id = xct->id;
+    clr.table_id = it->table_id;
+    clr.prev_lsn = xct->last_lsn;
+    clr.key = it->key;
+    clr.redo = it->before;  // the CLR's redo is the restored before-image
+    xct->last_lsn = wal_.Append(clr);
+  }
+  if (xct->begin_logged) {
+    wal::LogRecord rec;
+    rec.type = wal::RecordType::kAbort;
+    rec.txn_id = xct->id;
+    rec.prev_lsn = xct->last_lsn;
+    xct->last_lsn = wal_.Append(rec);
+  }
+  xct->state = txn::XctState::kAborted;
+}
+
+void ThreadedBackend::ReleaseTxnLocks(txn::Xct* xct) {
+  if (engine_->config().mode == engine::EngineMode::kConventional) return;
+  // Safe to read held_locks without the mutex: every action has arrived
+  // (the RVP's mutex carries the happens-before edge) and no agent touches
+  // this transaction again until the release messages below.
+  uint64_t mask = 0;
+  for (const auto& [pid, key] : xct->held_locks) mask |= uint64_t{1} << pid;
+  if (mask == 0) return;
+  ReleaseLatch latch(std::popcount(mask));
+  for (uint32_t pid = 0; pid < partitions_.size(); ++pid) {
+    if (((mask >> pid) & 1) == 0) continue;
+    Msg msg;
+    msg.kind = Msg::Kind::kRelease;
+    msg.release_xct = xct;
+    msg.latch = &latch;
+    queues_[pid]->Push(msg);
+  }
+  // Synchronous: the Xct lives on this caller's stack, so the release must
+  // not outlive Execute().
+  latch.Wait();
+}
+
+dora::Action* ThreadedBackend::AcquireAction() {
+  if (auto a = free_actions_.TryPop()) return *a;
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  all_actions_.push_back(std::make_unique<dora::Action>());
+  return all_actions_.back().get();
+}
+
+void ThreadedBackend::ReleaseAction(dora::Action* action) {
+  action->Reset();
+  // A full freelist (more actions live than ring capacity) just forfeits
+  // reuse of this one; all_actions_ still owns it.
+  free_actions_.TryPush(action);
+}
+
+Status ThreadedBackend::Execute(engine::Engine::TxnSpec spec,
+                                uint64_t* priority) {
+  BIONICDB_CHECK(started_);
+  started_txns_.fetch_add(1, std::memory_order_relaxed);
+  // The Xct lives on this driver's stack: ReleaseTxnLocks is synchronous
+  // and all actions arrive before Execute returns, so nothing outlives it.
+  txn::Xct xct;
+  xct.id = next_txn_.fetch_add(1, std::memory_order_relaxed);
+  xct.priority = xct.id;
+  if (priority != nullptr) {
+    if (*priority == 0) {
+      *priority = xct.priority;
+    } else {
+      xct.priority = *priority;
+    }
+  }
+  engine::Engine::ExecContext ctx;
+  ctx.engine = engine_;
+  ctx.xct = &xct;
+  ctx.socket = 0;
+  ctx.core_held = false;
+
+  if (engine_->config().mode == engine::EngineMode::kConventional) {
+    std::unique_lock<std::mutex> lk(conventional_mu_);
+    Status st = RunAllPhases(spec, ctx);
+    if (st.ok()) {
+      const wal::Lsn lsn = AppendCommit(&xct);
+      // Early lock release: the commit record is ordered in the log, so
+      // the global mutex can drop before the durability wait — that's what
+      // lets concurrent committers share one group-commit fsync.
+      lk.unlock();
+      st = FinishCommit(&xct, lsn);
+      if (st.ok()) {
+        commits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        durability_failures_.fetch_add(1, std::memory_order_relaxed);
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      if (st.IsIOError()) io_errors_.fetch_add(1, std::memory_order_relaxed);
+      AbortTxn(&xct);
+      lk.unlock();
+      aborts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return st;
+  }
+
+  Status st = RunAllPhases(spec, ctx);
+  if (st.ok()) {
+    const wal::Lsn lsn = AppendCommit(&xct);
+    st = FinishCommit(&xct, lsn);
+    if (st.ok()) {
+      commits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      durability_failures_.fetch_add(1, std::memory_order_relaxed);
+      aborts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    if (st.IsIOError()) io_errors_.fetch_add(1, std::memory_order_relaxed);
+    AbortTxn(&xct);
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Locks release after durability, mirroring Engine::CommitTxn's ordering
+  // (strict two-phase locking across the commit point).
+  ReleaseTxnLocks(&xct);
+  return st;
+}
+
+ThreadedBackend::RunReport ThreadedBackend::RunClosedLoop(
+    const std::function<engine::Engine::TxnSpec()>& next,
+    const RunOptions& options) {
+  BIONICDB_CHECK(started_);
+  BIONICDB_CHECK(options.clients > 0);
+
+  struct WaveResult {
+    uint64_t committed = 0;
+    uint64_t aborted_attempts = 0;
+    Histogram latency;
+  };
+  auto run_wave = [&](uint64_t total, bool measured) {
+    WaveResult result;
+    std::mutex result_mu;
+    std::vector<std::thread> clients;
+    const uint64_t n = static_cast<uint64_t>(options.clients);
+    for (uint64_t c = 0; c < n; ++c) {
+      const uint64_t share = total / n + (c < total % n ? 1 : 0);
+      clients.emplace_back([&, share] {
+        WaveResult local;
+        for (uint64_t i = 0; i < share; ++i) {
+          engine::Engine::TxnSpec spec;
+          {
+            // Workload generators are not thread-safe.
+            std::lock_guard<std::mutex> lk(next_mu_);
+            spec = next();
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          Status st;
+          uint64_t priority = 0;  // pinned across retries so the txn ages
+          for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+            engine::Engine::TxnSpec copy = spec;
+            st = Execute(std::move(copy), &priority);
+            if (!st.IsAborted()) break;
+            ++local.aborted_attempts;
+            // Linear backoff, as in workload::RunClosedLoop.
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                options.retry_backoff_ns *
+                static_cast<uint64_t>(attempt + 1)));
+          }
+          if (st.ok()) ++local.committed;
+          local.latency.Add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+        }
+        if (measured) {
+          std::lock_guard<std::mutex> lk(result_mu);
+          result.committed += local.committed;
+          result.aborted_attempts += local.aborted_attempts;
+          result.latency.Merge(local.latency);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    return result;
+  };
+
+  run_wave(options.warmup_txns, /*measured=*/false);
+  const auto start = std::chrono::steady_clock::now();
+  WaveResult wave = run_wave(options.measured_txns, /*measured=*/true);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunReport report;
+  report.committed = wave.committed;
+  report.aborted_attempts = wave.aborted_attempts;
+  report.elapsed_s = elapsed_s;
+  report.txn_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(wave.committed) / elapsed_s : 0.0;
+  report.latency = wave.latency;
+  report.wal = wal_.stats();
+  return report;
+}
+
+ThreadedStats ThreadedBackend::stats() const {
+  ThreadedStats s;
+  s.started = started_txns_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.read_only_commits = read_only_commits_.load(std::memory_order_relaxed);
+  s.aborts = aborts_.load(std::memory_order_relaxed);
+  s.wait_die_aborts = wait_die_aborts_.load(std::memory_order_relaxed);
+  s.io_errors = io_errors_.load(std::memory_order_relaxed);
+  s.durability_failures =
+      durability_failures_.load(std::memory_order_relaxed);
+  s.actions_executed = actions_executed_.load(std::memory_order_relaxed);
+  s.actions_parked = actions_parked_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ThreadedBackend::actions_allocated() const {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  return all_actions_.size();
+}
+
+}  // namespace bionicdb::exec

@@ -1,0 +1,246 @@
+// ThreadedBackend: the real-thread execution backend. One std::thread agent
+// per DORA partition, real MPSC mailboxes, a real group-commit WAL flusher.
+// Runs the same engine/DORA/workload code as the simulator; the simulator
+// remains the determinism oracle (see docs/EXECUTION.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "dora/action.h"
+#include "dora/partition.h"
+#include "engine/engine.h"
+#include "exec/context.h"
+#include "exec/mpsc_queue.h"
+#include "exec/threaded_wal.h"
+#include "queueing/mpmc.h"
+
+namespace bionicdb::exec {
+
+/// Real-thread rendezvous point: joins a phase's actions across partition
+/// agent threads. Mirrors dora::Rvp (first non-OK status wins) with a
+/// mutex/condvar instead of a simulated Completion. The mutex also carries
+/// the happens-before edge from each agent's writes (locks recorded on the
+/// Xct, undo entries, table mutations) to the driver thread that proceeds
+/// past Wait().
+class ThreadedRvp {
+ public:
+  explicit ThreadedRvp(int count) : remaining_(count) {}
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(ThreadedRvp);
+
+  void Arrive(Status st) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!st.ok() && agg_.ok()) agg_ = st;
+    if (--remaining_ == 0) cv_.notify_one();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return remaining_ == 0; });
+    return agg_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+  Status agg_;
+};
+
+/// Wall-clock run counters (the threaded analogue of engine::RunMetrics;
+/// the engine's own metrics/registry stay virtual-time-only).
+struct ThreadedStats {
+  uint64_t started = 0;
+  uint64_t commits = 0;
+  uint64_t read_only_commits = 0;
+  uint64_t aborts = 0;
+  uint64_t wait_die_aborts = 0;
+  uint64_t io_errors = 0;
+  uint64_t durability_failures = 0;
+  uint64_t actions_executed = 0;
+  uint64_t actions_parked = 0;
+};
+
+/// Drives an Engine on real host threads. Construction wires one
+/// dora::Partition (lock + park tables; the partition's SimQueue is unused)
+/// and one MPSC mailbox per engine partition; Start() spawns the agent
+/// threads and the WAL flusher.
+///
+/// Functional behavior matches the simulator backend exactly — same
+/// routing (Mix64 of the sorted first lock key), same wait-die policy via
+/// the shared dora::Partition code, same log-then-apply write protocol,
+/// same undo/CLR abort path — which is what the differential oracle test
+/// (tests/exec_backend_test.cc) pins down. Timing behavior is the host's:
+/// no cost model, no virtual clock.
+class ThreadedBackend {
+ public:
+  struct Config {
+    /// Partition mailbox depth (actions + release messages in flight).
+    size_t queue_capacity = 4096;
+    ThreadedWal::Config wal;
+  };
+
+  struct RunOptions {
+    int clients = 8;
+    uint64_t warmup_txns = 200;
+    uint64_t measured_txns = 2000;
+    int max_retries = 30;
+    uint64_t retry_backoff_ns = 20000;
+  };
+
+  /// Measured-window report from RunClosedLoop.
+  struct RunReport {
+    uint64_t committed = 0;
+    uint64_t aborted_attempts = 0;
+    double elapsed_s = 0.0;
+    double txn_per_sec = 0.0;
+    /// Wall-clock end-to-end transaction latency (ns), retries included.
+    Histogram latency;
+    ThreadedWal::Stats wal;
+  };
+
+  ThreadedBackend(engine::Engine* engine, const Config& config);
+  ~ThreadedBackend();
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(ThreadedBackend);
+
+  /// Spawns the partition agents and the WAL flusher, and attaches this
+  /// backend to the engine (flipping its ops onto the threaded paths).
+  /// Call after tables are created and loaded.
+  void Start();
+
+  /// Drains agents (all submitted transactions must have completed), joins
+  /// every thread, flushes and stops the WAL, and detaches from the engine.
+  void Shutdown();
+
+  /// Runs one transaction to commit or abort on the calling thread,
+  /// dispatching phase actions to the partition agents. Thread-safe: any
+  /// number of client threads may call concurrently. `priority` carries
+  /// the wait-die timestamp across retries, as in Engine::Execute.
+  Status Execute(engine::Engine::TxnSpec spec, uint64_t* priority = nullptr);
+
+  /// Closed-loop driver: `clients` real threads, warmup wave (not counted),
+  /// then a measured wave. `next` is called under an internal mutex to draw
+  /// each transaction (workload generators are not thread-safe).
+  RunReport RunClosedLoop(const std::function<engine::Engine::TxnSpec()>& next,
+                          const RunOptions& options);
+
+  // Dispatch primitives (the threaded analogue of dora::Executor's public
+  // surface; exercised directly by tests/dispatch_alloc_test.cc).
+  /// Hands out a pooled action: lock-free freelist fast path, allocation
+  /// only while the pool warms up.
+  dora::Action* AcquireAction();
+  /// Resets the action and returns it to the freelist.
+  void ReleaseAction(dora::Action* action);
+  /// Routes by the action's first (sorted) lock key — the same
+  /// Mix64-of-hash modulo as dora::Executor — and enqueues it on the
+  /// owning partition's mailbox. The action must carry a trvp.
+  void Dispatch(dora::Action* action);
+  /// Sends release messages to every partition holding locks for `xct` and
+  /// blocks until all have processed them (the Xct may live on the caller's
+  /// stack, so release must not outlive Execute).
+  void ReleaseTxnLocks(txn::Xct* xct);
+
+  engine::Engine* engine() { return engine_; }
+  ThreadedWal& wal() { return wal_; }
+  Context& context() { return context_; }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  ThreadedStats stats() const;
+  /// Total actions ever allocated (steady state: stops growing once the
+  /// pool has warmed up — asserted by tests/dispatch_alloc_test.cc).
+  size_t actions_allocated() const;
+
+  dora::Partition* partition(uint32_t id) { return partitions_[id].get(); }
+
+ private:
+  struct ReleaseLatch {
+    explicit ReleaseLatch(int count) : remaining(count) {}
+    void Arrive() {
+      std::lock_guard<std::mutex> lk(mu);
+      if (--remaining == 0) cv.notify_one();
+    }
+    void Wait() {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return remaining == 0; });
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining;
+  };
+
+  /// Partition mailbox message. Exactly one meaning:
+  ///  kAction  — run/lock this action;
+  ///  kRelease — release `release_xct`'s locks on this partition, wake
+  ///             parked actions, then arrive at `latch`;
+  ///  kStop    — agent poison pill.
+  struct Msg {
+    enum class Kind : uint8_t { kStop = 0, kAction, kRelease };
+    Kind kind = Kind::kStop;
+    dora::Action* action = nullptr;
+    txn::Xct* release_xct = nullptr;
+    ReleaseLatch* latch = nullptr;
+  };
+
+  void AgentLoop(uint32_t pid);
+  void HandleAction(dora::Partition& part, dora::Action* action);
+
+  Status RunAllPhases(engine::Engine::TxnSpec& spec,
+                      engine::Engine::ExecContext& ctx);
+  Status RunPhaseDora(engine::Engine::Phase& phase,
+                      engine::Engine::ExecContext& ctx);
+  Status RunPhaseInline(engine::Engine::Phase& phase,
+                        engine::Engine::ExecContext& ctx);
+
+  /// Commit protocol, mirroring XctManager::AppendCommitRecord: returns
+  /// kInvalidLsn (and commits immediately) for read-only transactions.
+  wal::Lsn AppendCommit(txn::Xct* xct);
+  /// WaitCommitDurable mirror: blocks on the flusher for write txns.
+  Status FinishCommit(txn::Xct* xct, wal::Lsn commit_lsn);
+  /// Abort mirror: reverse undo + CLR per entry + abort record.
+  void AbortTxn(txn::Xct* xct);
+
+  engine::Engine* engine_;
+  Config config_;
+  ThreadedContext context_;
+  ThreadedWal wal_;
+  std::vector<std::unique_ptr<dora::Partition>> partitions_;
+  std::vector<std::unique_ptr<MpscBlockingQueue<Msg>>> queues_;
+  std::vector<std::thread> agents_;
+  bool started_ = false;
+
+  /// Thread-safe action freelist: lock-free ring fast path, fallback
+  /// allocation under pool_mu_ only while warming up.
+  queueing::MpmcQueue<dora::Action*> free_actions_;
+  mutable std::mutex pool_mu_;
+  std::vector<std::unique_ptr<dora::Action>> all_actions_;
+
+  std::atomic<uint64_t> next_txn_{1};
+  /// Conventional mode: one global transaction mutex stands in for the
+  /// 2PL lock manager (strict serial execution; see docs/EXECUTION.md).
+  std::mutex conventional_mu_;
+  /// Draws from the workload generator in RunClosedLoop.
+  std::mutex next_mu_;
+
+  // Stats as atomics (snapshotted by stats()).
+  std::atomic<uint64_t> started_txns_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> read_only_commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> wait_die_aborts_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint64_t> durability_failures_{0};
+  std::atomic<uint64_t> actions_executed_{0};
+  std::atomic<uint64_t> actions_parked_{0};
+};
+
+}  // namespace bionicdb::exec

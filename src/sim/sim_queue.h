@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
-#include "queueing/ring.h"
+#include "queueing/fifo_ring.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -17,18 +17,18 @@ namespace bionicdb::sim {
 /// both sides, deterministic wakeups.
 ///
 /// Storage is a fixed ring buffer sized once at construction, so the
-/// steady-state push/pop cycle never touches the allocator (the simulator
-/// is single-threaded, so the SPSC ring's producer/consumer sides are
-/// never entered concurrently; the semaphores serialize logical access).
+/// steady-state push/pop cycle never touches the allocator. The simulator
+/// is single-threaded, so the ring is a plain non-atomic FIFO — no fences
+/// on the hot path; the semaphores serialize logical access. For real
+/// cross-thread queues see exec::MpscBlockingQueue.
 template <typename T>
 class SimQueue {
  public:
-  // The ring reserves one slot (usable = pow2 - 1), so ask for capacity+1
-  // to guarantee `capacity` usable slots; the `space_` semaphore enforces
-  // the exact logical bound.
+  // The ring rounds capacity up to a power of two; the `space_` semaphore
+  // enforces the exact logical bound.
   SimQueue(Simulator* sim, size_t capacity)
       : sim_(sim), capacity_(capacity), space_(sim, static_cast<int64_t>(capacity)),
-        items_(sim, 0), ring_(capacity + 1) {}
+        items_(sim, 0), ring_(capacity) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(SimQueue);
 
   /// Awaiter for Push/Pop: acquires the given semaphore (inline when a unit
@@ -70,8 +70,8 @@ class SimQueue {
     return DoPop();
   }
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
   size_t capacity() const { return capacity_; }
   uint64_t pushes() const { return pushes_; }
   uint64_t pops() const { return pops_; }
@@ -82,8 +82,8 @@ class SimQueue {
  private:
   void DoPush(T item) {
     BIONICDB_CHECK(ring_.TryPush(std::move(item)));
-    ++size_;
-    if (size_ > high_watermark_) high_watermark_ = size_;
+    size_t depth = ring_.size();
+    if (depth > high_watermark_) high_watermark_ = depth;
     ++pushes_;
     items_.Release();
   }
@@ -91,7 +91,6 @@ class SimQueue {
   T DoPop() {
     std::optional<T> item = ring_.TryPop();
     BIONICDB_DCHECK(item.has_value());
-    --size_;
     ++pops_;
     space_.Release();
     return std::move(*item);
@@ -101,8 +100,7 @@ class SimQueue {
   size_t capacity_;
   Semaphore space_;
   Semaphore items_;
-  queueing::SpscRing<T> ring_;
-  size_t size_ = 0;
+  queueing::FifoRing<T> ring_;
   uint64_t pushes_ = 0;
   uint64_t pops_ = 0;
   size_t high_watermark_ = 0;

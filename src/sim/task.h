@@ -134,6 +134,21 @@ class [[nodiscard]] Task {
   Handle handle_;
 };
 
+/// Runs a task to completion synchronously on the calling thread and
+/// returns its value. Only valid for task chains that never actually
+/// suspend on simulator events — the threaded execution backend's engine
+/// paths are built this way (every awaited sub-task completes inline via
+/// symmetric transfer). CHECK-fails if the task suspends, which would mean
+/// a simulated wait leaked onto a real thread.
+template <typename T>
+T RunToCompletion(Task<T> task) {
+  BIONICDB_CHECK(task.valid());
+  auto awaiter = std::move(task).operator co_await();
+  if (!awaiter.await_ready()) awaiter.handle.resume();
+  BIONICDB_CHECK(awaiter.handle.done());
+  return awaiter.await_resume();
+}
+
 namespace detail {
 
 template <typename T>

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,14 @@ struct Xct {
   /// charge site gates on the pointer, so the disabled cost is one
   /// predicted branch.
   obs::TxnTimeline* timeline = nullptr;
+
+  /// Threaded backend only: serializes the mutable fields above
+  /// (undo_chain, held_locks, last_lsn, begin_logged) when actions of one
+  /// transaction run concurrently on different partition agent threads.
+  /// Lock/release sites take it for the duration of one call and never
+  /// nest two transactions' mutexes, so no ordering discipline is needed.
+  /// The simulator backend is single-threaded and never locks it.
+  std::mutex mu;
 
   bool read_only() const { return undo_chain.empty() && !begin_logged; }
 };

@@ -1,5 +1,6 @@
 #include "workload/tpcc.h"
 
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <set>
@@ -181,7 +182,10 @@ Engine::TxnSpec TpccWorkload::MakeNewOrder(uint64_t w, uint64_t d) {
   };
   struct State {
     uint64_t o_id = 0;
-    int64_t total_cents = 0;
+    // Accumulated by every item-read step of phase 2; on the threaded
+    // backend those steps run concurrently on different partition agents.
+    // Atomic addition commutes, so the total stays deterministic.
+    std::atomic<int64_t> total_cents{0};
   };
   auto state = std::make_shared<State>();
   auto lines = std::make_shared<std::vector<LineReq>>();
@@ -486,7 +490,9 @@ Engine::TxnSpec TpccWorkload::MakeStockLevel(uint64_t w, uint64_t d,
   struct State {
     uint64_t next_o_id = 0;
     std::set<uint64_t> items;
-    uint64_t below = 0;
+    // Incremented by every stock-probe step of the dynamic phase, which
+    // the threaded backend runs concurrently; counting commutes.
+    std::atomic<uint64_t> below{0};
   };
   auto state = std::make_shared<State>();
   Engine::TxnSpec spec;

@@ -26,6 +26,8 @@
 
 #include "dora/action.h"
 #include "dora/executor.h"
+#include "engine/engine.h"
+#include "exec/threaded.h"
 #include "hw/platform.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -111,6 +113,53 @@ TEST(DispatchAllocTest, DisabledTracerStaysAllocationFree) {
   ASSERT_FALSE(tracer.enabled());
   ExpectSteadyStateAllocFree(RunDispatchCycle(&tracer));
   EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+// The threaded backend's dispatch cycle — freelist acquire, arena lock
+// keys, MPSC mailbox push, agent-side lock/execute, release latch — must
+// be equally allocation-free once the pool, the lock tables, and each
+// agent thread's coroutine-frame pool have warmed up. The reused Xct
+// mirrors the simulated cycle above (Execute's per-transaction Xct owns
+// growing vectors by design; the dispatch layer underneath it is what is
+// pinned here).
+TEST(DispatchAllocTest, ThreadedSteadyStateCycleIsAllocationFree) {
+  sim::Simulator sim;
+  engine::EngineConfig cfg = engine::EngineConfig::Dora();
+  cfg.num_partitions = 4;
+  engine::Engine engine(&sim, cfg);
+  exec::ThreadedBackend backend(&engine, exec::ThreadedBackend::Config{});
+  backend.Start();
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("k" + std::to_string(i));
+
+  txn::Xct xct;
+  uint64_t steady = 0;
+  for (uint64_t i = 0; i < kWarmup + kMeasured; ++i) {
+    if (i == kWarmup) steady = bench::AllocCount();
+    xct.id = i + 1;
+    xct.priority = i + 1;
+    exec::ThreadedRvp rvp(1);
+    dora::Action* a = backend.AcquireAction();
+    a->xct = &xct;
+    a->trvp = &rvp;
+    a->socket = 0;
+    a->AddLockKey(Slice(keys[i % keys.size()]));
+    a->fn = [](dora::ActionContext&) -> sim::Task<Status> {
+      co_return Status::OK();
+    };
+    backend.Dispatch(a);
+    Status st = rvp.Wait();
+    BIONICDB_CHECK(st.ok());
+    backend.ReleaseTxnLocks(&xct);
+  }
+  steady = bench::AllocCount() - steady;
+  EXPECT_EQ(backend.stats().actions_executed, kWarmup + kMeasured);
+  const size_t allocated = backend.actions_allocated();
+  backend.Shutdown();
+  ExpectSteadyStateAllocFree(steady);
+  // The pool stopped growing after warmup (one action in flight at a time).
+  EXPECT_LE(allocated, 4u);
 }
 
 TEST(DispatchAllocTest, EnabledTracerRecordsIntoRingAndIsDeterministic) {

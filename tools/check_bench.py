@@ -2,27 +2,51 @@
 """CI wall-clock smoke gate for the simulator engine room.
 
 Compares a fresh bench run against the checked-in baseline
-(BENCH_PR5.json) using only signals that survive a change of host:
+(BENCH_PR7.json) using only signals that survive a change of host. The
+gates come in two backend dimensions, selected with --backend:
 
-  * sim_txn_per_sec must match the baseline EXACTLY. It is pure
-    virtual-time output of a seeded simulation, so any difference means
-    the engine's simulated behavior diverged — the wall-clock analogue of
-    the `sweep --jobs 1` vs `--jobs N` byte-identity diff.
+  sim       Virtual-time gates on the simulated rows:
+              * sim_txn_per_sec must match the baseline EXACTLY (and the
+                hardcoded 2192905.5 pin). It is pure virtual-time output
+                of a seeded simulation, so any difference means the
+                engine's simulated behavior diverged — the wall-clock
+                analogue of the `sweep --jobs 1` vs `--jobs N`
+                byte-identity diff. The pin is checked with the threaded
+                backend compiled in and linked: its engine hooks must be
+                dormant when no backend is attached.
+              * Tail-attribution fields present and sane.
+              * Event-queue speedup ratio (heap/calendar, both measured
+                in one process) within 15% of the baseline ratio.
 
-  * The event-queue speedup (heap ns/op / calendar ns/op on the captured
-    TATP trace, both measured interleaved in one binary) must not regress
-    more than 15% below the recorded baseline ratio. Being a ratio of two
-    same-process measurements, it transfers across machines in a way raw
-    ns/op never does.
+  threaded  Wall-clock gates on the real-thread backend rows
+            (tatp_threaded_t{1,2,4,8}, tpcc_threaded_t8). Absolute
+            txn_per_sec is deliberately NOT gated — varying by machine
+            is the point of the backend. What must hold anywhere:
+              * every measured transaction commits (committed == ops);
+              * TATP wal_appends identical across thread counts on the
+                same seed (deterministic committed write-set — the
+                wall-clock analogue of the sim pin);
+              * group commit batches: flushes <= appends, and the flush
+                count shrinks from t1 to t8;
+              * machine-relative scaling: t8/t1 txn_per_sec >= 1.25 on
+                ANY host (group-commit overlap alone guarantees it with
+                the fsync stub), >= 1.6 when the host has 2+ cores.
+
+  all       Both (the default).
 
 Absolute ns/op numbers are deliberately NOT gated: they swing by tens of
 percent between hosts (and between days on shared runners), so a fixed
 threshold would only teach people to ignore the job.
 
 Usage: check_bench.py <wallclock.json> <event_queue.json> <baseline.json>
+                      [--backend {sim,threaded,all}]
 """
+import argparse
 import json
 import sys
+
+SIM_TXN_PER_SEC_PIN = 2192905.5
+TATP_THREAD_SWEEP = [1, 2, 4, 8]
 
 
 def fail(msg):
@@ -30,16 +54,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 4:
-        fail(f"usage: {sys.argv[0]} <wallclock.json> <evq.json> <baseline.json>")
-    with open(sys.argv[1]) as f:
-        wallclock = json.load(f)
-    with open(sys.argv[2]) as f:
-        evq = json.load(f)
-    with open(sys.argv[3]) as f:
-        baseline = json.load(f)
-
+def check_sim(wallclock, evq, baseline):
     base_metrics = baseline["metrics"]
 
     # 1. Simulated-behavior divergence gate (exact).
@@ -53,18 +68,20 @@ def main():
         )
     print(f"ok: sim_txn_per_sec == {want} (bit-identical schedule)")
 
-    # 1b. The flight recorder must be purely passive: with tail-latency
-    # attribution enabled, the simulated schedule is pinned to the value
-    # recorded before the recorder existed. Hardcoded on purpose — a
-    # re-baseline that moves this number means instrumentation perturbed
-    # the simulation, which is a bug, not a semantic change.
-    if got != 2192905.5:
+    # 1b. Instrumentation and the threaded backend must both be purely
+    # passive on simulator runs: the schedule is pinned to the value
+    # recorded before either existed. Hardcoded on purpose — a re-baseline
+    # that moves this number means the flight recorder perturbed the
+    # simulation or an engine threaded hook fired without a backend
+    # attached, which is a bug, not a semantic change.
+    if got != SIM_TXN_PER_SEC_PIN:
         fail(
-            f"sim_txn_per_sec is {got}, expected exactly 2192905.5 — the "
-            "flight recorder (or other instrumentation) perturbed the "
-            "simulated schedule"
+            f"sim_txn_per_sec is {got}, expected exactly "
+            f"{SIM_TXN_PER_SEC_PIN} — instrumentation or the threaded "
+            "backend's engine hooks perturbed the simulated schedule"
         )
-    print("ok: sim_txn_per_sec == 2192905.5 with flight recorder enabled")
+    print(f"ok: sim_txn_per_sec == {SIM_TXN_PER_SEC_PIN} with recorder "
+          "enabled and threaded backend linked in")
 
     # 1c. Tail-latency attribution fields must be present in the e2e row.
     e2e = wallclock["tatp_e2e_dora"]
@@ -101,6 +118,95 @@ def main():
         )
     print(f"ok: event-queue TATP-trace speedup {ratio:.2f}x "
           f"(baseline {base_ratio:.2f}x, floor {floor:.2f}x)")
+
+
+def check_threaded(wallclock):
+    names = [f"tatp_threaded_t{n}" for n in TATP_THREAD_SWEEP]
+    names.append(f"tpcc_threaded_t{TATP_THREAD_SWEEP[-1]}")
+    missing = [n for n in names if n not in wallclock]
+    if missing:
+        fail(f"threaded rows missing from wallclock output: {missing}")
+    rows = {n: wallclock[n] for n in names}
+
+    # 3. Liveness: the closed loop must push every measured transaction
+    # through to commit (wait-die losers retry until they win).
+    for name, row in rows.items():
+        if row["committed"] != row["ops"]:
+            fail(
+                f"{name}: committed {row['committed']} != measured "
+                f"{row['ops']} — transactions lost or stuck in retry"
+            )
+        if row["txn_per_sec"] <= 0:
+            fail(f"{name}: non-positive txn_per_sec")
+    print(f"ok: all {len(rows)} threaded rows committed every measured txn")
+
+    # 4. Determinism of the committed write-set: TATP has zero aborted
+    # attempts at these contention levels, so the committed WAL must
+    # contain the same record count regardless of interleaving.
+    appends = {n: rows[f"tatp_threaded_t{n}"]["wal_appends"]
+               for n in TATP_THREAD_SWEEP}
+    if len(set(appends.values())) != 1:
+        fail(
+            f"TATP wal_appends varies across thread counts: {appends} — "
+            "the committed write-set depends on the interleaving"
+        )
+    print(f"ok: TATP wal_appends identical across threads "
+          f"({appends[1]:.0f} records)")
+
+    # 5. Group commit must actually batch: fewer fsyncs than appends, and
+    # batching must improve as concurrent committers pile up.
+    t1 = rows[f"tatp_threaded_t{TATP_THREAD_SWEEP[0]}"]
+    tn = rows[f"tatp_threaded_t{TATP_THREAD_SWEEP[-1]}"]
+    for name, row in rows.items():
+        if row["wal_flushes"] > row["wal_appends"]:
+            fail(f"{name}: more flushes than appends; flusher broken")
+    if tn["wal_flushes"] >= t1["wal_flushes"]:
+        fail(
+            f"group commit not batching: t{TATP_THREAD_SWEEP[-1]} flushed "
+            f"{tn['wal_flushes']:.0f} times vs t1's {t1['wal_flushes']:.0f}"
+        )
+    print(f"ok: group commit batches ({t1['wal_flushes']:.0f} flushes at "
+          f"t1 -> {tn['wal_flushes']:.0f} at t{TATP_THREAD_SWEEP[-1]})")
+
+    # 6. Machine-relative scaling gate. Never gate absolute throughput;
+    # gate the t8/t1 ratio from the SAME run on the SAME host. With the
+    # 50us fsync stub, overlapping durability waits alone must buy 1.25x
+    # even on one core; real cores must buy more.
+    host_cores = tn.get("host_cores", 1)
+    floor = 1.6 if host_cores >= 2 else 1.25
+    ratio = tn["txn_per_sec"] / t1["txn_per_sec"]
+    if ratio < floor:
+        fail(
+            f"threaded TATP scaling regressed: t{TATP_THREAD_SWEEP[-1]}/t1 "
+            f"= {ratio:.2f}x < {floor:.2f}x floor (host_cores="
+            f"{host_cores:.0f})"
+        )
+    print(f"ok: threaded TATP t{TATP_THREAD_SWEEP[-1]}/t1 scaling "
+          f"{ratio:.2f}x (floor {floor:.2f}x, host_cores={host_cores:.0f})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bionicdb wall-clock bench gate")
+    parser.add_argument("wallclock")
+    parser.add_argument("evq")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--backend", choices=["sim", "threaded", "all"], default="all",
+        help="which execution-backend gates to run (default: all)")
+    args = parser.parse_args()
+
+    with open(args.wallclock) as f:
+        wallclock = json.load(f)
+    with open(args.evq) as f:
+        evq = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.backend in ("sim", "all"):
+        check_sim(wallclock, evq, baseline)
+    if args.backend in ("threaded", "all"):
+        check_threaded(wallclock)
     sys.exit(0)
 
 
