@@ -58,8 +58,15 @@ uint64_t Histogram::CountAbove(int64_t threshold) const {
   if (count_ == 0) return 0;
   if (threshold < 0) return count_;
   if (threshold >= max_) return 0;
+  // Include the threshold's own bucket unless the threshold IS the bucket's
+  // upper bound (then every sample in it is <= threshold). A mid-bucket
+  // threshold used to start one bucket later, silently dropping samples
+  // above the threshold that shared its bucket — an undercount exactly at
+  // the tail boundaries this method exists to probe.
+  const int first = BucketFor(threshold);
   uint64_t n = 0;
-  for (int i = BucketFor(threshold) + 1; i < kBuckets; ++i) {
+  for (int i = first + (BucketUpperBound(first) <= threshold ? 1 : 0);
+       i < kBuckets; ++i) {
     n += buckets_[static_cast<size_t>(i)];
   }
   return n;

@@ -25,11 +25,12 @@ class Histogram {
   /// no runtime layout to validate or reject.
   void Merge(const Histogram& other);
 
-  /// Number of recorded samples strictly above `threshold`, at bucket
-  /// granularity: samples sharing `threshold`'s bucket are not counted
-  /// (they may be <= threshold), so the result is a lower bound with the
-  /// histogram's usual ~3% boundary error. Exact for threshold < 0 (all
-  /// samples) and threshold >= max() (none).
+  /// Number of recorded samples above `threshold`, at bucket granularity.
+  /// Samples sharing a mid-bucket threshold's bucket ARE counted (they may
+  /// be <= threshold), so the result is a conservative upper bound on the
+  /// strict count — it never silently drops tail samples. Exact when
+  /// `threshold` lands on a bucket upper bound (every value < 16 does),
+  /// for threshold < 0 (all samples), and threshold >= max() (none).
   uint64_t CountAbove(int64_t threshold) const;
 
   uint64_t count() const { return count_; }

@@ -20,6 +20,7 @@
 #include "obs/profiler.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "queueing/admission.h"
 #include "queueing/scheduler.h"
 #include "sim/fault.h"
 
@@ -63,6 +64,11 @@ struct EngineConfig {
   /// Deterministic fault schedule for the simulated I/O stack. Empty (the
   /// default) means an infallible platform — no injector is created.
   sim::FaultPlan fault_plan;
+
+  /// Bounded admission layer for open-loop load (see queueing/admission.h).
+  /// Disabled by default: closed-loop drivers call Execute() directly and
+  /// their pinned schedules are untouched.
+  AdmissionConfig admission;
 
   /// Observability switch. Disabled (the default) costs one predicted-
   /// not-taken branch per record site and allocates nothing; enabled, the

@@ -72,6 +72,11 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
         platform_.get(), ec, queue_engine_.get(), &breakdown_);
   }
 
+  if (config.admission.enabled) {
+    admission_ =
+        std::make_unique<AdmissionQueue<AdmittedTxn>>(sim, config.admission);
+  }
+
   if (tracer_) {
     trace_txn_track_ = tracer_->RegisterTrack("engine/txn");
     trace_txn_name_ = tracer_->InternName("txn");
@@ -93,6 +98,12 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
     sampler_->AddGauge("wal.backlog_bytes", [this] {
       return static_cast<double>(log_->current_lsn() - log_->durable_lsn());
     });
+    // Admission backlog: requests admitted but not yet claimed by a server.
+    if (admission_) {
+      sampler_->AddGauge("engine.admission.depth", [this] {
+        return static_cast<double>(admission_->depth());
+      });
+    }
     // Windowed link/CPU utilization: delta busy-ns over the tick interval.
     for (sim::Link* l : {&platform_->pcie(), &platform_->sg_dram(),
                          &platform_->host_dram(), &platform_->sas_disk(),
@@ -262,6 +273,30 @@ void Engine::RegisterMetrics() {
     return static_cast<double>(platform_->pcie().bytes_transferred());
   }, "PCIe bytes moved since construction");
 
+  // Open-loop admission layer: offered/admitted/shed counters and the live
+  // queue depth. Only bound when the queue exists (closed-loop engines
+  // keep their registry layout unchanged).
+  if (admission_) {
+    registry_.BindGauge("engine.admission.offered", [this] {
+      return static_cast<double>(admission_->stats().offered);
+    }, "Open-loop arrivals offered to admission");
+    registry_.BindGauge("engine.admission.admitted", [this] {
+      return static_cast<double>(admission_->stats().admitted);
+    }, "Arrivals admitted into the bounded queue");
+    registry_.BindGauge("engine.admission.shed", [this] {
+      return static_cast<double>(admission_->stats().shed);
+    }, "Arrivals shed (rejected or evicted) at admission");
+    registry_.BindGauge("engine.admission.max_depth", [this] {
+      return static_cast<double>(admission_->stats().max_depth);
+    }, "High-water admission queue depth");
+    registry_.BindGauge("engine.admission.queue_wait_ns", [this] {
+      return static_cast<double>(admission_->stats().queue_wait_ns);
+    }, "Cumulative enqueue->claim wait of served requests");
+    registry_.BindGauge("engine.admission.depth", [this] {
+      return static_cast<double>(admission_->depth());
+    }, "Live admission queue depth");
+  }
+
   // Trace health: events the ring dropped since the last Clear(). A
   // nonzero value means exported timelines have holes (trace_dump
   // --validate warns on it).
@@ -354,6 +389,7 @@ void Engine::ResetStats() {
   if (tracer_) tracer_->Clear();
   if (flight_) flight_->Reset();
   if (profiler_) profiler_->Reset();
+  if (admission_) admission_->ResetStats();
 }
 
 void Engine::FinishRun() {
@@ -1132,11 +1168,17 @@ sim::Task<Status> Engine::AbortTxn(ExecContext& ctx, txn::Xct* xct) {
 }
 
 sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
-                                  uint64_t* priority) {
+                                  uint64_t* priority, SimTime arrival_ts) {
   // Threaded runs drive transactions through ThreadedBackend::Execute; the
   // simulated path below must never run with the backend attached.
   BIONICDB_CHECK(threaded_ == nullptr);
-  const SimTime start = sim_->Now();
+  // Open-loop callers backdate `start` to the admission-queue enqueue time:
+  // latency.Add() below then records sojourn (queue wait included), and the
+  // admit-stage charge absorbs the wait. Accounting only — every event this
+  // coroutine schedules still happens at Now() or later.
+  const SimTime now0 = sim_->Now();
+  BIONICDB_DCHECK(arrival_ts <= now0);
+  const SimTime start = arrival_ts >= 0 ? arrival_ts : now0;
   // In-flight transactions overlap arbitrarily -> async spans on one track.
   uint64_t span_id = 0;
   if (tracer_) {

@@ -188,8 +188,27 @@ class Engine {
   /// entry *priority == 0 assigns a fresh timestamp and writes it back;
   /// a retry passes the same pointer so the transaction ages instead of
   /// forever dying to older peers.
+  ///
+  /// `arrival_ts` (optional): when >= 0, the transaction's true arrival
+  /// time — an open-loop server passes the admission-queue enqueue
+  /// timestamp so the recorded latency is the end-to-end SOJOURN time and
+  /// the queue wait lands in the timeline's admit stage. Purely an
+  /// accounting origin: it never changes scheduling, so the default (-1,
+  /// "arrived now") leaves closed-loop runs bit-identical.
   sim::Task<Status> Execute(TxnSpec spec, int socket = 0,
-                            uint64_t* priority = nullptr);
+                            uint64_t* priority = nullptr,
+                            SimTime arrival_ts = -1);
+
+  /// Request payload flowing through the bounded admission layer.
+  struct AdmittedTxn {
+    TxnSpec spec;
+    uint64_t client = 0;  ///< Lazily-generated client id (routes sockets).
+  };
+
+  /// Bounded open-loop admission queue; null unless config.admission
+  /// .enabled. Arrival generators Offer() into it, open-loop servers
+  /// PopBatch() from it (see workload::RunOpenLoop).
+  AdmissionQueue<AdmittedTxn>* admission() { return admission_.get(); }
 
   // ------------------------------------------------------------ lifecycle --
   /// Spawns DORA agents (no-op for the conventional engine).
@@ -402,6 +421,9 @@ class Engine {
 
   /// Conventional mode: admission throttle modeling the worker pool.
   std::unique_ptr<sim::Semaphore> workers_sem_;
+
+  /// Open-loop bounded admission queue (config.admission.enabled only).
+  std::unique_ptr<AdmissionQueue<AdmittedTxn>> admission_;
 
   /// Real-thread backend, when attached (never set on simulator runs; the
   /// sim paths' `threaded_` branch is always false there, keeping simulated

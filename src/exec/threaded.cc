@@ -2,9 +2,12 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <deque>
 
 #include "common/hash.h"
+#include "common/random.h"
 
 namespace bionicdb::exec {
 
@@ -424,6 +427,142 @@ ThreadedBackend::RunReport ThreadedBackend::RunClosedLoop(
       elapsed_s > 0.0 ? static_cast<double>(wave.committed) / elapsed_s : 0.0;
   report.latency = wave.latency;
   report.wal = wal_.stats();
+  return report;
+}
+
+ThreadedBackend::OpenLoopReport ThreadedBackend::RunOpenLoop(
+    const std::function<engine::Engine::TxnSpec()>& next,
+    const OpenLoopOptions& options) {
+  BIONICDB_CHECK(started_);
+  BIONICDB_CHECK(options.servers > 0);
+  BIONICDB_CHECK(options.queue_depth > 0);
+  BIONICDB_CHECK(options.offered_tps > 0);
+
+  using Clock = std::chrono::steady_clock;
+  struct Queued {
+    engine::Engine::TxnSpec spec;
+    Clock::time_point enqueue;
+  };
+  // Bounded admission queue. The mutex also carries the happens-before
+  // edge from the arrival thread's spec construction to the server that
+  // runs it; all window counters mutate under it too (TSan-clean by
+  // construction, no atomics to reason about).
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Queued> q;
+    bool closed = false;
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  } sh;
+
+  const auto start = Clock::now();
+  const auto warmup_end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.warmup_s));
+  const auto t_end =
+      warmup_end + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(options.duration_s));
+
+  // Arrival thread: exponential inter-arrival gaps on an absolute-deadline
+  // schedule (sleep_until), so service stalls don't slow the offered rate —
+  // the defining property of an open loop.
+  std::thread arrivals([&] {
+    Rng rng(options.seed);
+    auto due = Clock::now();
+    for (;;) {
+      const double u = 1.0 - rng.NextDouble();
+      const double gap_ns =
+          std::max(1.0, -std::log(u) / options.offered_tps * 1e9);
+      due += std::chrono::nanoseconds(static_cast<int64_t>(gap_ns));
+      std::this_thread::sleep_until(due);
+      const auto now = Clock::now();
+      if (now >= t_end) break;
+      engine::Engine::TxnSpec spec;
+      {
+        // Workload generators are not thread-safe.
+        std::lock_guard<std::mutex> lk(next_mu_);
+        spec = next();
+      }
+      const bool measured = now >= warmup_end;
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        if (measured) ++sh.offered;
+        if (sh.q.size() >= options.queue_depth) {
+          if (measured) ++sh.shed;
+        } else {
+          sh.q.push_back(Queued{std::move(spec), now});
+          if (measured) ++sh.admitted;
+          sh.cv.notify_one();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.closed = true;
+    }
+    sh.cv.notify_all();
+  });
+
+  struct Local {
+    uint64_t completed = 0;
+    uint64_t committed = 0;
+    Histogram sojourn;
+  };
+  OpenLoopReport report;
+  std::mutex report_mu;
+  std::vector<std::thread> servers;
+  for (int s = 0; s < options.servers; ++s) {
+    servers.emplace_back([&] {
+      Local local;
+      for (;;) {
+        Queued item;
+        {
+          std::unique_lock<std::mutex> lk(sh.mu);
+          sh.cv.wait(lk, [&] { return sh.closed || !sh.q.empty(); });
+          if (sh.q.empty()) break;  // closed and drained
+          item = std::move(sh.q.front());
+          sh.q.pop_front();
+        }
+        Status st;
+        uint64_t priority = 0;  // pinned across retries so the txn ages
+        for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+          engine::Engine::TxnSpec copy = item.spec;
+          st = Execute(std::move(copy), &priority);
+          if (!st.IsAborted()) break;
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              options.retry_backoff_ns * static_cast<uint64_t>(attempt + 1)));
+        }
+        if (item.enqueue >= warmup_end) {
+          ++local.completed;
+          if (st.ok()) ++local.committed;
+          local.sojourn.Add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - item.enqueue)
+                  .count());
+        }
+      }
+      std::lock_guard<std::mutex> lk(report_mu);
+      report.completed += local.completed;
+      report.committed += local.committed;
+      report.sojourn.Merge(local.sojourn);
+    });
+  }
+
+  arrivals.join();
+  for (auto& t : servers) t.join();
+
+  // Threads are joined: sh is quiescent, plain reads are safe.
+  report.offered = sh.offered;
+  report.admitted = sh.admitted;
+  report.shed = sh.shed;
+  report.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - warmup_end).count();
+  report.goodput_tps = report.elapsed_s > 0.0
+                           ? static_cast<double>(report.committed) /
+                                 report.elapsed_s
+                           : 0.0;
   return report;
 }
 

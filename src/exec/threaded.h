@@ -133,6 +133,40 @@ class ThreadedBackend {
   RunReport RunClosedLoop(const std::function<engine::Engine::TxnSpec()>& next,
                           const RunOptions& options);
 
+  /// Wall-clock open-loop driver (the threaded mirror of
+  /// workload::RunOpenLoop): one arrival thread generates Poisson arrivals
+  /// at `offered_tps` through a bounded mutex/condvar admission queue
+  /// (full => shed), `servers` worker threads drain it. Time is the host's
+  /// steady clock; arrivals keep coming whether or not servers keep up.
+  struct OpenLoopOptions {
+    double offered_tps = 20000;
+    double warmup_s = 0.1;    ///< Arrivals flow, nothing is counted.
+    double duration_s = 0.5;  ///< Measured window.
+    size_t queue_depth = 256;
+    int servers = 4;
+    uint64_t seed = 0x0bee5eed;
+    int max_retries = 30;
+    uint64_t retry_backoff_ns = 20000;
+  };
+
+  struct OpenLoopReport {
+    // Counters over the measured window (arrival-time attributed).
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;
+    uint64_t committed = 0;
+    double elapsed_s = 0.0;   ///< Measured window + residual drain.
+    double goodput_tps = 0.0; ///< committed / elapsed_s.
+    /// Wall-clock sojourn (enqueue -> final status, ns) of completed
+    /// requests that arrived inside the window.
+    Histogram sojourn;
+  };
+
+  OpenLoopReport RunOpenLoop(
+      const std::function<engine::Engine::TxnSpec()>& next,
+      const OpenLoopOptions& options);
+
   // Dispatch primitives (the threaded analogue of dora::Executor's public
   // surface; exercised directly by tests/dispatch_alloc_test.cc).
   /// Hands out a pooled action: lock-free freelist fast path, allocation

@@ -1,0 +1,148 @@
+// Bounded admission queue: the front door between an open-loop arrival
+// stream and the engine's service capacity. Offered load may exceed what
+// the engine can absorb indefinitely; this layer keeps memory bounded by
+// shedding, not by blocking the (conceptually infinite) client population.
+//
+//  * FIFO or LIFO service discipline. LIFO is the classic tail trick under
+//    sustained overload: fresh requests are served while stale ones age out
+//    and get shed, so the p99 of *served* requests stays near the service
+//    time instead of the full queue sojourn.
+//  * Configurable depth with two shed policies: reject the arriving request
+//    (kRejectNew) or evict the oldest queued one to admit it (kDropOldest).
+//  * Optional batching: a server claims up to `batch` entries per wakeup,
+//    amortizing its dispatch overhead exactly like group commit does.
+//
+// Single-simulator-task discipline: producers call Offer() synchronously,
+// consumers co_await PopBatch(). All waits go through sim::CondVar, so
+// wakeup order is deterministic and the whole structure adds no RNG draws —
+// closed-loop runs that never construct one are bit-identical to before.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bionicdb::engine {
+
+enum class AdmissionDiscipline : uint8_t { kFifo, kLifo };
+enum class ShedPolicy : uint8_t { kRejectNew, kDropOldest };
+
+struct AdmissionConfig {
+  /// Engines only build the queue when asked: closed-loop drivers bypass
+  /// admission entirely, keeping the pinned schedules untouched.
+  bool enabled = false;
+  /// Maximum queued (not yet claimed) requests before shedding.
+  size_t depth = 1024;
+  AdmissionDiscipline discipline = AdmissionDiscipline::kFifo;
+  ShedPolicy shed = ShedPolicy::kRejectNew;
+  /// Entries a server claims per PopBatch() wakeup (>= 1).
+  size_t batch = 1;
+};
+
+struct AdmissionStats {
+  uint64_t offered = 0;   ///< Offer() calls since the last ResetStats().
+  uint64_t admitted = 0;  ///< Entries that made it into the queue.
+  uint64_t shed = 0;      ///< Requests dropped (rejected or evicted).
+  uint64_t popped = 0;    ///< Entries claimed by servers.
+  uint64_t max_depth = 0; ///< High-water queue depth.
+  SimTime queue_wait_ns = 0;  ///< Cumulative enqueue->claim wait of popped.
+};
+
+/// Bounded admission queue over an arbitrary request payload. The engine
+/// instantiates it with its transaction spec; tests use scalars.
+template <typename Item>
+class AdmissionQueue {
+ public:
+  struct Entry {
+    Item item;
+    SimTime enqueue_ts = 0;
+  };
+
+  AdmissionQueue(sim::Simulator* sim, const AdmissionConfig& config)
+      : sim_(sim), config_(config), cv_(sim) {
+    BIONICDB_CHECK(config_.depth > 0);
+  }
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(AdmissionQueue);
+
+  /// Producer side: admit or shed, never wait. Returns true iff the item
+  /// was enqueued. After Close() everything is shed (arrivals racing the
+  /// end of a run are refused, not leaked).
+  bool Offer(Item item) {
+    ++stats_.offered;
+    if (closed_) {
+      ++stats_.shed;
+      return false;
+    }
+    if (q_.size() >= config_.depth) {
+      if (config_.shed == ShedPolicy::kRejectNew) {
+        ++stats_.shed;
+        return false;
+      }
+      // kDropOldest: the stalest request has waited past any useful
+      // deadline anyway; evict it so the fresh one gets served.
+      q_.pop_front();
+      ++stats_.shed;
+    }
+    q_.push_back(Entry{std::move(item), sim_->Now()});
+    ++stats_.admitted;
+    if (q_.size() > stats_.max_depth) stats_.max_depth = q_.size();
+    cv_.NotifyOne();
+    return true;
+  }
+
+  /// Consumer side: claims up to config.batch entries (FIFO from the
+  /// front, LIFO from the back), appending to *out (cleared first).
+  /// Suspends while the queue is empty; returns 0 only when closed and
+  /// fully drained — the server's signal to exit.
+  sim::Task<size_t> PopBatch(std::vector<Entry>* out) {
+    out->clear();
+    while (q_.empty()) {
+      if (closed_) co_return 0;
+      co_await cv_.Wait();
+    }
+    const size_t batch = config_.batch > 0 ? config_.batch : 1;
+    const size_t n = batch < q_.size() ? batch : q_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (config_.discipline == AdmissionDiscipline::kFifo) {
+        out->push_back(std::move(q_.front()));
+        q_.pop_front();
+      } else {
+        out->push_back(std::move(q_.back()));
+        q_.pop_back();
+      }
+      stats_.queue_wait_ns += sim_->Now() - out->back().enqueue_ts;
+    }
+    stats_.popped += n;
+    co_return n;
+  }
+
+  /// Stops admission and wakes every waiting server so the drain finishes.
+  void Close() {
+    closed_ = true;
+    cv_.NotifyAll();
+  }
+
+  bool closed() const { return closed_; }
+  size_t depth() const { return q_.size(); }
+  const AdmissionConfig& config() const { return config_; }
+  const AdmissionStats& stats() const { return stats_; }
+
+  /// Zeroes the measurement-window counters (queued entries stay queued —
+  /// a warmup boundary must not drop live work).
+  void ResetStats() { stats_ = AdmissionStats{}; }
+
+ private:
+  sim::Simulator* sim_;
+  AdmissionConfig config_;
+  sim::CondVar cv_;
+  std::deque<Entry> q_;
+  AdmissionStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace bionicdb::engine

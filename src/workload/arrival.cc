@@ -1,0 +1,84 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bionicdb::workload {
+
+const char* ArrivalProcessName(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalModel::ArrivalModel(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.offered_tps <= 0) config_.offered_tps = 1.0;
+  if (config_.population == 0) config_.population = 1;
+  config_.burst_factor = std::max(1.0, config_.burst_factor);
+  config_.burst_fraction = std::clamp(config_.burst_fraction, 0.01, 0.9);
+  config_.diurnal_amplitude = std::clamp(config_.diurnal_amplitude, 0.0, 0.99);
+  if (config_.burst_dwell_ns <= 0) config_.burst_dwell_ns = 1;
+  if (config_.diurnal_period_ns <= 0) config_.diurnal_period_ns = 1;
+
+  const double f = config_.burst_fraction;
+  // Keep the quiet-state rate positive: cap the burst multiplier at the
+  // point where bursts alone would exceed the whole offered budget.
+  const double factor = std::min(config_.burst_factor, 0.95 / f);
+  rate_burst_ = config_.offered_tps * factor;
+  rate_quiet_ = config_.offered_tps * (1.0 - f * factor) / (1.0 - f);
+  // Exponential dwells whose means put the chain in state `burst` exactly
+  // fraction f of the time.
+  quiet_dwell_ns_ = static_cast<SimTime>(
+      static_cast<double>(config_.burst_dwell_ns) * (1.0 - f) / f);
+  if (quiet_dwell_ns_ <= 0) quiet_dwell_ns_ = 1;
+}
+
+SimTime ArrivalModel::ExpGapNs(double rate_per_sec) {
+  // Inverse-CDF exponential draw. 1 - NextDouble() is in (0, 1], so the
+  // log argument never hits zero.
+  const double u = 1.0 - rng_.NextDouble();
+  const double gap_ns = -std::log(u) / rate_per_sec * 1e9;
+  if (gap_ns < 1.0) return 1;
+  // Saturate absurd gaps (rate ~ 0) well below SimTime overflow.
+  if (gap_ns > 9e15) return static_cast<SimTime>(9e15);
+  return static_cast<SimTime>(gap_ns);
+}
+
+SimTime ArrivalModel::NextGapNs(SimTime now) {
+  switch (config_.process) {
+    case ArrivalProcess::kPoisson:
+      return ExpGapNs(config_.offered_tps);
+    case ArrivalProcess::kBursty: {
+      // Advance the modulating chain to `now`, drawing exponential dwells.
+      // Rate changes mid-gap are approximated by the state at draw time —
+      // fine at dwells much longer than inter-arrival gaps (the regime the
+      // defaults sit in).
+      while (now >= state_until_) {
+        in_burst_ = !in_burst_;
+        const SimTime mean =
+            in_burst_ ? config_.burst_dwell_ns : quiet_dwell_ns_;
+        const double u = 1.0 - rng_.NextDouble();
+        const SimTime dwell = std::max<SimTime>(
+            1, static_cast<SimTime>(-std::log(u) *
+                                    static_cast<double>(mean)));
+        state_until_ += dwell;
+      }
+      return ExpGapNs(in_burst_ ? rate_burst_ : rate_quiet_);
+    }
+    case ArrivalProcess::kDiurnal: {
+      const double phase = 2.0 * M_PI * static_cast<double>(now) /
+                           static_cast<double>(config_.diurnal_period_ns);
+      const double rate = config_.offered_tps *
+                          (1.0 + config_.diurnal_amplitude * std::sin(phase));
+      // Amplitude < 1 keeps the rate positive; guard the numeric floor.
+      return ExpGapNs(std::max(rate, config_.offered_tps * 0.01));
+    }
+  }
+  return 1;
+}
+
+}  // namespace bionicdb::workload

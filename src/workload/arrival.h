@@ -1,0 +1,80 @@
+// Open-loop arrival processes over a lazily-generated client population.
+//
+// The population is a NUMBER, not a data structure: each arrival draws a
+// client id uniformly from [0, population), so millions of simulated
+// subscribers cost no memory — exactly the "client count decoupled from
+// memory" requirement of an overload study. Three inter-arrival processes:
+//
+//  * kPoisson — memoryless arrivals at a constant mean rate. The M/x/c
+//    baseline every queueing result is stated against.
+//  * kBursty  — a 2-state Markov-modulated Poisson process (MMPP): a high-
+//    rate burst state and a low-rate quiet state with exponentially
+//    distributed dwells, normalized so the LONG-RUN mean equals
+//    offered_tps. Models flash crowds; p99.9 feels the burst rate even
+//    when the mean looks safe.
+//  * kDiurnal — a sinusoidally modulated rate (day/night cycle compressed
+//    into virtual time): rate(t) = offered * (1 + A*sin(2*pi*t/period)).
+//
+// All draws come from a private seeded Rng, so a model never perturbs the
+// simulator's RNG stream and a given config is deterministic on any host
+// and any `--jobs` sharding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace bionicdb::workload {
+
+enum class ArrivalProcess : uint8_t { kPoisson, kBursty, kDiurnal };
+
+const char* ArrivalProcessName(ArrivalProcess p);
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean offered load, transactions per virtual second.
+  double offered_tps = 1e6;
+  /// Client-population size; ids are drawn lazily per arrival.
+  uint64_t population = 1000000;
+  uint64_t seed = 0x0bee5eed;
+
+  // Bursty (MMPP) knobs. The low-state rate is derived so the long-run
+  // mean stays offered_tps: lo = offered*(1 - f*factor)/(1 - f), which
+  // requires burst_fraction*burst_factor < 1 (clamped otherwise).
+  double burst_factor = 6.0;    ///< Burst-state rate = offered * factor.
+  double burst_fraction = 0.1;  ///< Long-run fraction of time in burst.
+  SimTime burst_dwell_ns = 200000;  ///< Mean burst-state dwell.
+
+  // Diurnal knobs.
+  SimTime diurnal_period_ns = 10000000;
+  double diurnal_amplitude = 0.8;  ///< In [0, 1): rate never reaches zero.
+};
+
+/// Stateful generator: call NextGapNs(now) for the virtual-time gap to the
+/// next arrival and NextClient() for its (lazily materialized) client id.
+class ArrivalModel {
+ public:
+  explicit ArrivalModel(const ArrivalConfig& config);
+
+  SimTime NextGapNs(SimTime now);
+  uint64_t NextClient() { return rng_.Uniform(config_.population); }
+
+  const ArrivalConfig& config() const { return config_; }
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  /// Exponential inter-arrival gap for `rate` arrivals per second, >= 1 ns.
+  SimTime ExpGapNs(double rate_per_sec);
+
+  ArrivalConfig config_;
+  Rng rng_;
+  // MMPP state machine.
+  bool in_burst_ = false;
+  SimTime state_until_ = 0;
+  double rate_burst_ = 0;
+  double rate_quiet_ = 0;
+  SimTime quiet_dwell_ns_ = 0;
+};
+
+}  // namespace bionicdb::workload

@@ -1,8 +1,18 @@
 #include "workload/driver.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/sync.h"
 
 namespace bionicdb::workload {
+
+DriverConfig ValidatedDriverConfig(DriverConfig config) {
+  if (config.clients <= 0) config.clients = 1;
+  if (config.max_retries < 0) config.max_retries = 0;
+  if (config.retry_backoff_ns < 0) config.retry_backoff_ns = 0;
+  return config;
+}
 
 namespace {
 
@@ -25,25 +35,37 @@ sim::Task<void> Client(engine::Engine* engine, NextTxnFn next,
       if (!st.IsAborted()) break;
       if (report) ++report->retries;
       // Linear backoff with deterministic jitter: correlated retry storms
-      // of similarly-aged transactions otherwise keep colliding.
-      const SimTime jitter = static_cast<SimTime>(
-          engine->simulator()->rng().Uniform(
-              static_cast<uint64_t>(config->retry_backoff_ns)));
+      // of similarly-aged transactions otherwise keep colliding. Zero
+      // backoff means an immediate retry — no jitter draw (Uniform(0) is
+      // a contract violation).
+      SimTime jitter = 0;
+      if (config->retry_backoff_ns > 0) {
+        jitter = static_cast<SimTime>(engine->simulator()->rng().Uniform(
+            static_cast<uint64_t>(config->retry_backoff_ns)));
+      }
       co_await sim::Delay{engine->simulator(),
                           config->retry_backoff_ns * (attempt + 1) + jitter};
     }
     if (report) {
       ++report->submitted;
-      if (st.IsAborted()) ++report->gave_up;
+      if (st.IsAborted()) {
+        ++report->gave_up;
+      } else if (!st.ok()) {
+        ++report->failed;
+      }
     }
   }
   if (--wave->remaining == 0) wave->done.Set();
 }
 
+/// Precondition: config came through ValidatedDriverConfig (clients >= 1;
+/// a zero-client wave would never Set() its completion and divide by zero
+/// splitting shares).
 sim::Task<void> RunWave(engine::Engine* engine, NextTxnFn next,
                         uint64_t total_txns, const DriverConfig& config,
                         DriverReport* report) {
   sim::Simulator* sim = engine->simulator();
+  BIONICDB_CHECK(config.clients > 0);
   Wave wave(sim);
   wave.remaining = static_cast<uint64_t>(config.clients);
   const int sockets = std::max(1, engine->config().sockets);
@@ -63,8 +85,9 @@ sim::Task<void> RunWave(engine::Engine* engine, NextTxnFn next,
 }  // namespace
 
 sim::Task<void> RunClosedLoop(engine::Engine* engine, NextTxnFn next,
-                              const DriverConfig& config,
+                              const DriverConfig& raw_config,
                               DriverReport* report) {
+  const DriverConfig config = ValidatedDriverConfig(raw_config);
   engine->Start();
   if (config.preheat) co_await engine->PreheatBufferPool();
   if (config.warmup_txns > 0) {
@@ -73,6 +96,144 @@ sim::Task<void> RunClosedLoop(engine::Engine* engine, NextTxnFn next,
   engine->ResetStats();
   co_await RunWave(engine, next, config.measured_txns, config, report);
   engine->FinishRun();
+  co_await engine->Shutdown();
+}
+
+// ------------------------------------------------------------ open loop --
+
+namespace {
+
+struct OpenLoopState {
+  explicit OpenLoopState(sim::Simulator* sim) : done(sim) {}
+  int servers_left = 0;
+  /// Flipped by the arrival task at the warmup boundary; servers only
+  /// attribute counters and sojourn samples while true.
+  bool measuring = false;
+  sim::Completion done;
+};
+
+/// One server: claims admitted requests (in batches when configured) and
+/// runs each to a final status, retrying wait-die aborts like the closed
+/// loop. The admission-queue enqueue timestamp rides into Execute() so the
+/// engine charges the queue wait to the admit stage and records sojourn.
+sim::Task<void> OpenLoopServer(engine::Engine* engine,
+                               const OpenLoopConfig* config,
+                               OpenLoopState* state, OpenLoopReport* report) {
+  sim::Simulator* sim = engine->simulator();
+  auto* q = engine->admission();
+  const int sockets = std::max(1, engine->config().sockets);
+  std::vector<engine::AdmissionQueue<engine::Engine::AdmittedTxn>::Entry>
+      batch;
+  for (;;) {
+    const size_t n = co_await q->PopBatch(&batch);
+    if (n == 0) break;  // closed and drained
+    for (auto& entry : batch) {
+      const int socket = static_cast<int>(entry.item.client %
+                                          static_cast<uint64_t>(sockets));
+      Status st;
+      uint64_t priority = 0;  // pinned across retries so the txn ages
+      for (int attempt = 0; attempt <= config->service.max_retries;
+           ++attempt) {
+        engine::Engine::TxnSpec copy = entry.item.spec;
+        st = co_await engine->Execute(std::move(copy), socket, &priority,
+                                      entry.enqueue_ts);
+        if (!st.IsAborted()) break;
+        if (report && state->measuring) ++report->retries;
+        SimTime jitter = 0;
+        if (config->service.retry_backoff_ns > 0) {
+          jitter = static_cast<SimTime>(sim->rng().Uniform(
+              static_cast<uint64_t>(config->service.retry_backoff_ns)));
+        }
+        co_await sim::Delay{
+            sim, config->service.retry_backoff_ns * (attempt + 1) + jitter};
+      }
+      if (report && state->measuring) {
+        ++report->completed;
+        if (st.ok()) {
+          ++report->committed;
+        } else if (st.IsAborted()) {
+          ++report->gave_up;
+        } else {
+          ++report->failed;
+        }
+        report->sojourn_ns.Add(sim->Now() - entry.enqueue_ts);
+      }
+    }
+  }
+  if (--state->servers_left == 0) state->done.Set();
+}
+
+/// The arrival task: one coroutine generates the whole offered stream in
+/// virtual time — a million-client population costs one event at a time on
+/// the calendar queue, never a task or a byte per client.
+sim::Task<void> OpenLoopArrivals(engine::Engine* engine, NextTxnFn next,
+                                 const OpenLoopConfig* config,
+                                 OpenLoopState* state,
+                                 OpenLoopReport* report) {
+  sim::Simulator* sim = engine->simulator();
+  auto* q = engine->admission();
+  ArrivalModel model(config->arrival);
+  const SimTime warmup_end = sim->Now() + config->warmup_ns;
+  const SimTime t_end = warmup_end + config->measure_ns;
+  for (;;) {
+    co_await sim::Delay{sim, model.NextGapNs(sim->Now())};
+    const SimTime now = sim->Now();
+    if (now >= t_end) break;
+    if (!state->measuring && now >= warmup_end) {
+      // Measurement window opens: engine metrics (and admission counters)
+      // restart so warmup arrivals don't contaminate the curves.
+      engine->ResetStats();
+      state->measuring = true;
+    }
+    // Shed accounting via the queue's counter delta: kRejectNew sheds the
+    // arriving request (Offer returns false), but kDropOldest sheds a
+    // previously-queued entry while admitting this one — both must land in
+    // the report's shed count.
+    const uint64_t shed_before = q->stats().shed;
+    q->Offer({next(), model.NextClient()});
+    if (report && state->measuring) {
+      ++report->offered;
+      report->shed += q->stats().shed - shed_before;
+    }
+  }
+  // Stop admission; servers drain what's queued and exit.
+  q->Close();
+}
+
+OpenLoopConfig ValidatedOpenLoopConfig(OpenLoopConfig config) {
+  config.service = ValidatedDriverConfig(config.service);
+  if (config.warmup_ns < 0) config.warmup_ns = 0;
+  if (config.measure_ns <= 0) config.measure_ns = 1;
+  // Arrival-side clamps live in ArrivalModel's constructor (it owns the
+  // process math); population/rate zero are handled there.
+  return config;
+}
+
+}  // namespace
+
+sim::Task<void> RunOpenLoop(engine::Engine* engine, NextTxnFn next,
+                            const OpenLoopConfig& raw_config,
+                            OpenLoopReport* report) {
+  const OpenLoopConfig config = ValidatedOpenLoopConfig(raw_config);
+  // The engine must have been built with config.admission.enabled — the
+  // bounded queue IS the open-loop front door.
+  BIONICDB_CHECK(engine->admission() != nullptr);
+  sim::Simulator* sim = engine->simulator();
+  engine->Start();
+  if (config.service.preheat) co_await engine->PreheatBufferPool();
+
+  OpenLoopState state(sim);
+  state.servers_left = config.service.clients;
+  for (int s = 0; s < config.service.clients; ++s) {
+    sim->Spawn(OpenLoopServer(engine, &config, &state, report));
+  }
+  co_await OpenLoopArrivals(engine, next, &config, &state, report);
+  co_await state.done.Wait();
+
+  // FinishRun after the drain: the elapsed window covers measure_ns plus
+  // the bounded residual drain (at most depth + in-flight requests).
+  engine->FinishRun();
+  if (report) report->admission = engine->admission()->stats();
   co_await engine->Shutdown();
 }
 

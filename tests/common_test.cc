@@ -325,11 +325,44 @@ TEST(HistogramTest, CountAboveThresholds) {
   EXPECT_EQ(h.CountAbove(-1), 1000u);   // below min: everything
   EXPECT_EQ(h.CountAbove(h.max()), 0u); // at/above max: nothing
   EXPECT_EQ(h.CountAbove(1000000), 0u);
-  // Bucket-granularity lower bound: never overcounts, and a threshold at
-  // a bucket boundary is exact.
+  // Bucket-granularity upper bound on the strict count: never undercounts,
+  // and overshoots by at most the threshold's own bucket width.
   const uint64_t above = h.CountAbove(500);
-  EXPECT_LE(above, 500u);
-  EXPECT_GT(above, 0u);
+  EXPECT_GE(above, 500u);
+  EXPECT_LE(above, 505u);  // bucket holding 500 spans 496..511
+}
+
+TEST(HistogramTest, CountAboveExactBelowSixteen) {
+  // Values < 16 land in single-value buckets, so every small threshold is
+  // a bucket upper bound and the answer is exact.
+  Histogram h;
+  for (int64_t v = 0; v < 16; ++v) h.Add(v);
+  for (int64_t t = 0; t < 15; ++t) {
+    EXPECT_EQ(h.CountAbove(t), static_cast<uint64_t>(15 - t)) << "t=" << t;
+  }
+}
+
+TEST(HistogramTest, CountAboveMidBucketNeverDropsTailSamples) {
+  // Regression: 500 and 510 share a log bucket (496..511). A threshold of
+  // 500 used to start the walk one bucket later and answer 0 — silently
+  // dropping the sample at 510 that is strictly above the threshold.
+  Histogram h;
+  h.Add(100);
+  h.Add(510);
+  EXPECT_GE(h.CountAbove(500), 1u);
+  // And the conservative include never pulls in earlier buckets: samples
+  // strictly below the threshold's bucket stay excluded.
+  EXPECT_LE(h.CountAbove(500), 2u);
+  EXPECT_EQ(h.CountAbove(511), 0u);  // 511 == bucket upper bound: exact
+}
+
+TEST(HistogramTest, CountAboveBucketBoundaryIsExact) {
+  // 511 is the upper bound of the bucket holding 496..511; a sample AT the
+  // boundary must not be counted above it, while the next bucket must be.
+  Histogram h;
+  h.Add(511);
+  h.Add(512);
+  EXPECT_EQ(h.CountAbove(511), 1u);
 }
 
 TEST(HistogramTest, NegativeClampsToZero) {

@@ -327,5 +327,70 @@ TEST(ExecBackendCrashTest, GroupCommitBatchesFlushes) {
   EXPECT_LT(wal.flushes, wal.appends);
 }
 
+// Wall-clock open loop: a real arrival thread offers load through the
+// bounded queue while server threads drain it. Smoke-checks the counter
+// reconciliation (offered == admitted + shed) and that goodput is real.
+// Runs under TSan in CI — the shared queue and report merging must be
+// clean.
+TEST(ExecBackendOpenLoopTest, OpenLoopOffersShedsAndCommits) {
+  Simulator sim;
+  Engine engine(&sim, ConfigFor(EngineMode::kDora));
+  TatpConfig wcfg;
+  wcfg.subscribers = 500;
+  TatpWorkload tatp(&engine, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+  ThreadedBackend backend(&engine, ThreadedBackend::Config{});
+  backend.Start();
+
+  ThreadedBackend::OpenLoopOptions options;
+  options.offered_tps = 20000;
+  options.warmup_s = 0.05;
+  options.duration_s = 0.25;
+  options.queue_depth = 128;
+  options.servers = 4;
+  ThreadedBackend::OpenLoopReport report =
+      backend.RunOpenLoop([&] { return tatp.NextTransaction(); }, options);
+  backend.Shutdown();
+
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_EQ(report.offered, report.admitted + report.shed);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_LE(report.committed, report.completed);
+  EXPECT_GT(report.goodput_tps, 0.0);
+  EXPECT_EQ(report.sojourn.count(), report.completed);
+  EXPECT_GT(report.sojourn.Percentile(50), 0);
+}
+
+// Overload on the wall clock: offer far beyond what four servers with a
+// slow simulated fsync can absorb; the bounded queue must shed rather
+// than grow, and served goodput must survive.
+TEST(ExecBackendOpenLoopTest, OpenLoopOverloadSheds) {
+  Simulator sim;
+  Engine engine(&sim, ConfigFor(EngineMode::kDora));
+  TatpConfig wcfg;
+  wcfg.subscribers = 200;
+  TatpWorkload tatp(&engine, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+  ThreadedBackend::Config bcfg;
+  bcfg.wal.fsync_latency_us = 200;  // throttle service capacity
+  ThreadedBackend backend(&engine, bcfg);
+  backend.Start();
+
+  ThreadedBackend::OpenLoopOptions options;
+  options.offered_tps = 200000;
+  options.warmup_s = 0.02;
+  options.duration_s = 0.2;
+  options.queue_depth = 32;
+  options.servers = 2;
+  ThreadedBackend::OpenLoopReport report =
+      backend.RunOpenLoop([&] { return tatp.NextTransaction(); }, options);
+  backend.Shutdown();
+
+  EXPECT_EQ(report.offered, report.admitted + report.shed);
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_GT(report.committed, 0u);
+}
+
 }  // namespace
 }  // namespace bionicdb::exec

@@ -38,8 +38,15 @@ Absolute ns/op numbers are deliberately NOT gated: they swing by tens of
 percent between hosts (and between days on shared runners), so a fixed
 threshold would only teach people to ignore the job.
 
+With --overload <overload.json>, additionally gates the open-loop
+saturation curves from bench/overload: shed_rate monotone in offered load
+(reaching > 0 at the top of the sweep, 0 at the bottom), goodput bounded
+by offered load, and the closed-loop replica row pinned to
+SIM_TXN_PER_SEC_PIN exactly (admission machinery passivity).
+
 Usage: check_bench.py <wallclock.json> <event_queue.json> <baseline.json>
                       [--backend {sim,threaded,all}]
+                      [--overload <overload.json>]
 """
 import argparse
 import json
@@ -185,6 +192,68 @@ def check_threaded(wallclock):
           f"{ratio:.2f}x (floor {floor:.2f}x, host_cores={host_cores:.0f})")
 
 
+def check_overload(overload):
+    """Gates on bench/overload output (open-loop saturation curves).
+
+    Host-independent by construction: every gated row is pure virtual-time
+    output of a seeded simulation.
+      * Closed-loop passivity pin: the overload binary's replica of the
+        wallclock tatp_e2e_dora run must emit sim_txn_per_sec ==
+        SIM_TXN_PER_SEC_PIN exactly — the admission/open-loop machinery,
+        compiled in and linked, must be inert when disabled.
+      * Per mode (dora, bionic), along the Poisson offered-load sweep:
+        shed_rate is non-decreasing (epsilon for knee jitter), zero at the
+        lowest offered load, and strictly positive at the highest (the
+        sweep actually drives the engine through saturation);
+        goodput never exceeds offered load; p999 >= p50.
+    """
+    closed = overload.get("overload_closed_dora")
+    if closed is None:
+        fail("overload: missing closed-loop pin row overload_closed_dora")
+    if closed["sim_txn_per_sec"] != SIM_TXN_PER_SEC_PIN:
+        fail(f"overload passivity pin: sim_txn_per_sec "
+             f"{closed['sim_txn_per_sec']} != {SIM_TXN_PER_SEC_PIN} — the "
+             f"admission queue / open-loop driver perturbed the closed-loop "
+             f"schedule")
+    print(f"OK  overload closed-loop pin: sim_txn_per_sec == "
+          f"{SIM_TXN_PER_SEC_PIN}")
+
+    for mode in ("dora", "bionic"):
+        prefix = f"overload_{mode}_poisson_"
+        curve = sorted(
+            (row for name, row in overload.items()
+             if name.startswith(prefix)),
+            key=lambda r: r["offered_tps"])
+        if len(curve) < 4:
+            fail(f"overload: {mode} Poisson sweep has {len(curve)} points "
+                 f"(need >= 4 for a curve)")
+        prev_shed = 0.0
+        for row in curve:
+            offered, shed = row["offered_tps"], row["shed_rate"]
+            if shed < prev_shed - 0.02:
+                fail(f"overload {mode}: shed_rate not monotone in offered "
+                     f"load ({shed:.3f} after {prev_shed:.3f} at "
+                     f"{offered:.0f} tps)")
+            prev_shed = max(prev_shed, shed)
+            if row["goodput_tps"] > offered * 1.02:
+                fail(f"overload {mode}: goodput {row['goodput_tps']:.0f} "
+                     f"exceeds offered load {offered:.0f}")
+            if row["p999_us"] < row["p50_us"]:
+                fail(f"overload {mode}: p999 {row['p999_us']} < p50 "
+                     f"{row['p50_us']} at {offered:.0f} tps")
+        if curve[0]["shed_rate"] > 0.01:
+            fail(f"overload {mode}: shedding at the lowest offered load "
+                 f"({curve[0]['shed_rate']:.3f}) — sweep floor is not "
+                 f"below capacity")
+        if curve[-1]["shed_rate"] <= 0.0:
+            fail(f"overload {mode}: no shedding at the highest offered "
+                 f"load — sweep never reached saturation")
+        print(f"OK  overload {mode}: shed_rate 0 -> "
+              f"{curve[-1]['shed_rate']:.3f} over {len(curve)} points, "
+              f"goodput knee {max(r['goodput_tps'] for r in curve):.0f} "
+              f"txn/s")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="bionicdb wall-clock bench gate")
@@ -194,6 +263,10 @@ def main():
     parser.add_argument(
         "--backend", choices=["sim", "threaded", "all"], default="all",
         help="which execution-backend gates to run (default: all)")
+    parser.add_argument(
+        "--overload", default=None, metavar="OVERLOAD_JSON",
+        help="bench/overload output; enables the open-loop saturation "
+             "gates (shed-rate monotonicity + closed-loop passivity pin)")
     args = parser.parse_args()
 
     with open(args.wallclock) as f:
@@ -207,6 +280,9 @@ def main():
         check_sim(wallclock, evq, baseline)
     if args.backend in ("threaded", "all"):
         check_threaded(wallclock)
+    if args.overload is not None:
+        with open(args.overload) as f:
+            check_overload(json.load(f))
     sys.exit(0)
 
 
