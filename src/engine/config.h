@@ -61,6 +61,14 @@ struct EngineConfig {
   /// are evicted FIFO and re-fetched from base data on demand (§5.6).
   size_t overlay_capacity = 0;
 
+  /// Memory-lean table storage for scale sweeps (storage/compact.h): rows
+  /// in slabbed heaps behind front-coded packed key indexes instead of
+  /// slotted pages + primary B+Tree. Bulk-load then Engine::FinalizeLoad()
+  /// before serving. Probe costs are charged identically (synthetic
+  /// fanout-64 height); buffer-pool charges disappear with the pool. Not
+  /// supported with the bionic overlay or the real-thread backend.
+  bool compact_storage = false;
+
   /// Deterministic fault schedule for the simulated I/O stack. Empty (the
   /// default) means an infallible platform — no injector is created.
   sim::FaultPlan fault_plan;

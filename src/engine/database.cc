@@ -4,11 +4,17 @@ namespace bionicdb::engine {
 
 Table::Table(uint32_t id, std::string name, storage::SimDisk* disk,
              const index::BTreeConfig& index_config, bool with_overlay,
-             size_t overlay_capacity)
+             size_t overlay_capacity, bool compact_storage)
     : id_(id), name_(std::move(name)), disk_(disk), primary_(index_config),
       index_config_(index_config) {
   if (with_overlay) {
     overlay_ = std::make_unique<Overlay>(index_config, overlay_capacity);
+  }
+  if (compact_storage) {
+    // Compact mode replaces pages + primary B+Tree; the overlay caches
+    // paged base data and cannot sit on top of it.
+    BIONICDB_CHECK(!with_overlay);
+    compact_ = std::make_unique<storage::CompactStore>();
   }
 }
 
@@ -43,6 +49,12 @@ Status Table::AppendToBase(Slice key, Slice record) {
 }
 
 Status Table::LoadRow(Slice key, Slice record, bool overlay_resident) {
+  if (compact_) {
+    BIONICDB_RETURN_NOT_OK(compact_->Load(key, record));
+    ++rows_;
+    record_bytes_ += record.size();
+    return Status::OK();
+  }
   BIONICDB_RETURN_NOT_OK(AppendToBase(key, record));
   if (overlay_ && overlay_resident) overlay_->InstallClean(key, record);
   ++rows_;
@@ -70,6 +82,7 @@ Result<std::string> Table::BaseGet(Slice key) const {
 }
 
 Result<Slice> Table::BaseGetView(Slice key) const {
+  if (compact_) return compact_->Get(key, nullptr);
   auto rid = LookupRid(key);
   if (!rid.ok()) return rid.status();
   storage::Page* page = const_cast<storage::SimDisk*>(disk_)
@@ -79,6 +92,13 @@ Result<Slice> Table::BaseGetView(Slice key) const {
 }
 
 Status Table::BasePut(Slice key, Slice record) {
+  if (compact_) {
+    if (!compact_->Contains(key)) {
+      ++rows_;
+      record_bytes_ += record.size();
+    }
+    return compact_->Put(key, record);
+  }
   auto rid = LookupRid(key);
   if (rid.ok()) {
     storage::Page* page = disk_->GetPageForLoad(rid->page_id);
@@ -99,6 +119,11 @@ Status Table::BasePut(Slice key, Slice record) {
 }
 
 Status Table::BaseDelete(Slice key) {
+  if (compact_) {
+    BIONICDB_RETURN_NOT_OK(compact_->Delete(key));
+    --rows_;
+    return Status::OK();
+  }
   auto rid = LookupRid(key);
   if (!rid.ok()) return rid.status();
   storage::Page* page = disk_->GetPageForLoad(rid->page_id);
@@ -110,6 +135,16 @@ Status Table::BaseDelete(Slice key) {
 }
 
 std::vector<std::pair<std::string, std::string>> Table::ScanAll() const {
+  if (compact_) {
+    // Already in key order, no overlay to patch (checked at construction).
+    std::vector<std::pair<std::string, std::string>> rows;
+    rows.reserve(rows_);
+    compact_->Scan(Slice(), Slice(), [&rows](Slice k, Slice rec) {
+      rows.emplace_back(k.ToString(), rec.ToString());
+      return true;
+    });
+    return rows;
+  }
   // Base rows in key order...
   std::map<std::string, std::string> merged;
   for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
@@ -148,6 +183,14 @@ void Table::RefreshProjections() {
     p.values.clear();
     p.keys.reserve(rows_);
     p.values.reserve(rows_);
+    if (compact_) {
+      compact_->Scan(Slice(), Slice(), [&p](Slice k, Slice rec) {
+        p.keys.push_back(k.ToString());
+        p.values.push_back(p.extractor(rec));
+        return true;
+      });
+      continue;
+    }
     for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
       auto rec = BaseGet(it.key());
       if (!rec.ok()) continue;
@@ -165,8 +208,8 @@ const Table::Projection* Table::projection(const std::string& name) const {
 Table* Database::CreateTable(const std::string& name) {
   const uint32_t id = static_cast<uint32_t>(tables_.size());
   tables_.push_back(std::make_unique<Table>(id, name, disk_, index_config_,
-                                            with_overlays_,
-                                            overlay_capacity_));
+                                            with_overlays_, overlay_capacity_,
+                                            compact_storage_));
   return tables_.back().get();
 }
 

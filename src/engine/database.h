@@ -20,6 +20,7 @@
 #include "engine/overlay.h"
 #include "index/btree.h"
 #include "index/codec.h"
+#include "storage/compact.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 
@@ -29,7 +30,7 @@ class Table {
  public:
   Table(uint32_t id, std::string name, storage::SimDisk* disk,
         const index::BTreeConfig& index_config, bool with_overlay,
-        size_t overlay_capacity = 0);
+        size_t overlay_capacity = 0, bool compact_storage = false);
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Table);
 
   uint32_t id() const { return id_; }
@@ -43,6 +44,26 @@ class Table {
   index::BTree* secondary(const std::string& index_name);
 
   Overlay* overlay() { return overlay_.get(); }
+
+  /// Compact mode (storage/compact.h): rows in a slabbed heap behind a
+  /// front-coded packed key index, replacing pages + primary B+Tree for
+  /// memory-lean scale sweeps. The functional API below branches
+  /// internally; the engine consults compact() only where it would charge
+  /// buffer-pool costs that compact tables never incur.
+  bool compact() const { return compact_ != nullptr; }
+  storage::CompactStore* compact_store() { return compact_.get(); }
+  const storage::CompactStore* compact_store() const { return compact_.get(); }
+  /// Seals bulk-loaded rows into the packed index (no-op for paged tables
+  /// and for already-finalized stores). Workload loaders call this through
+  /// Engine::FinalizeLoad() before serving.
+  void FinalizeLoad() {
+    if (compact_ && !compact_->finalized()) compact_->Finalize();
+  }
+  /// Probe cost of a primary lookup, in node visits, whichever index form
+  /// the table uses.
+  int probe_height() const {
+    return compact_ ? compact_->height() : primary_.height();
+  }
 
   // --- Bulk load (untimed) -------------------------------------------------
   /// Appends a row to base storage and the primary index. With an overlay,
@@ -107,6 +128,7 @@ class Table {
   std::map<std::string, std::unique_ptr<index::BTree>> secondaries_;
   std::map<std::string, Projection> projections_;
   std::unique_ptr<Overlay> overlay_;
+  std::unique_ptr<storage::CompactStore> compact_;
   index::BTreeConfig index_config_;
   storage::PageId fill_page_ = storage::kInvalidPageId;
   size_t rows_ = 0;
@@ -118,21 +140,28 @@ class Table {
 class Database {
  public:
   Database(storage::SimDisk* data_disk, const index::BTreeConfig& index_config,
-           bool with_overlays, size_t overlay_capacity = 0)
+           bool with_overlays, size_t overlay_capacity = 0,
+           bool compact_storage = false)
       : disk_(data_disk), index_config_(index_config),
-        with_overlays_(with_overlays), overlay_capacity_(overlay_capacity) {}
+        with_overlays_(with_overlays), overlay_capacity_(overlay_capacity),
+        compact_storage_(compact_storage) {}
   BIONICDB_DISALLOW_COPY_AND_ASSIGN(Database);
 
   Table* CreateTable(const std::string& name);
   Table* GetTable(const std::string& name);
   Table* GetTable(uint32_t id);
   size_t num_tables() const { return tables_.size(); }
+  /// Seals every compact table's bulk load (see Table::FinalizeLoad).
+  void FinalizeLoad() {
+    for (auto& t : tables_) t->FinalizeLoad();
+  }
 
  private:
   storage::SimDisk* disk_;
   index::BTreeConfig index_config_;
   bool with_overlays_;
   size_t overlay_capacity_;
+  bool compact_storage_;
   std::vector<std::unique_ptr<Table>> tables_;
 };
 

@@ -28,10 +28,15 @@ Engine::Engine(sim::Simulator* sim, const EngineConfig& config)
                                                  "log");
   bpool_ = std::make_unique<storage::BufferPool>(sim, data_disk_.get(),
                                                  config.bpool_frames);
+  BIONICDB_CHECK_MSG(!config.compact_storage ||
+                         config.mode != EngineMode::kBionic,
+                     "compact storage replaces the paged heap the overlay "
+                     "caches; use kConventional or kDora");
   db_ = std::make_unique<Database>(data_disk_.get(), config.index_config,
                                    /*with_overlays=*/config.mode ==
                                        EngineMode::kBionic,
-                                   config.overlay_capacity);
+                                   config.overlay_capacity,
+                                   config.compact_storage);
 
   const bool fpga = config.platform.has_fpga;
   if (fpga) {
@@ -185,6 +190,8 @@ Status Engine::LoadRow(Table* table, Slice key, Slice record) {
   return table->LoadRow(key, record, resident);
 }
 
+void Engine::FinalizeLoad() { db_->FinalizeLoad(); }
+
 void Engine::RegisterMetrics() {
   // RunMetrics fields, bound in place (metrics_ is reassigned by
   // ResetStats(), never moved, so the addresses are stable).
@@ -286,6 +293,9 @@ void Engine::RegisterMetrics() {
     registry_.BindGauge("engine.admission.shed", [this] {
       return static_cast<double>(admission_->stats().shed);
     }, "Arrivals shed (rejected or evicted) at admission");
+    registry_.BindGauge("engine.admission.deadline_shed", [this] {
+      return static_cast<double>(admission_->stats().deadline_shed);
+    }, "Queued entries discarded at claim time past the sojourn SLO");
     registry_.BindGauge("engine.admission.max_depth", [this] {
       return static_cast<double>(admission_->stats().max_depth);
     }, "High-water admission queue depth");
@@ -527,6 +537,20 @@ sim::Task<Result<Slice>> Engine::ReadView(ExecContext& ctx, Table* table,
 
 sim::Task<Result<Slice>> Engine::ReadPagedView(ExecContext& ctx,
                                                Table* table, Slice key) {
+  if (table->compact()) {
+    // Packed-index probe + slab read: no buffer pool in compact mode. The
+    // view is taken after the last suspension (concurrent writes may
+    // relocate a slab entry while this transaction waits).
+    int cvisits = 0;
+    const Status probe =
+        table->compact_store()->Get(key, &cvisits).status();
+    co_await ProbeCost(ctx, cvisits, static_cast<uint32_t>(key.size()));
+    if (!probe.ok()) co_return probe;
+    co_await CpuWork(ctx, platform_->cost().TupleReadNs(), Component::kOther);
+    auto rec = table->compact_store()->Get(key, nullptr);
+    if (!rec.ok()) co_return rec.status();
+    co_return *rec;
+  }
   int visits = 0;
   auto rid_view = table->primary().GetTracedView(key, &visits);
   // Decode before suspending: the index view dies with the next index write.
@@ -642,6 +666,11 @@ sim::Task<Status> Engine::Update(ExecContext& ctx, Table* table, Slice key,
 
   if (UseOverlay()) {
     table->overlay()->Put(key, record);
+  } else if (table->compact()) {
+    // Slab rewrite, in place when the new bytes fit (functional; the
+    // TupleWriteNs charge below covers the copy).
+    Status st = table->BasePut(key, record);
+    if (!st.ok()) co_return st;
   } else {
     // In-place page update through the buffer pool.
     auto rid = table->LookupRid(key);
@@ -675,6 +704,11 @@ sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
     if (existing.IsOutOfMemory() && table->LookupRid(key).ok()) {
       co_return Status::AlreadyExists("key exists in base data");
     }
+  } else if (table->compact()) {
+    int visits = 0;
+    const bool exists = table->compact_store()->Get(key, &visits).ok();
+    co_await ProbeCost(ctx, visits);
+    if (exists) co_return Status::AlreadyExists("key exists");
   } else {
     int visits = 0;
     const bool exists = table->primary().GetTracedView(key, &visits).ok();
@@ -688,6 +722,12 @@ sim::Task<Status> Engine::Insert(ExecContext& ctx, Table* table, Slice key,
   if (UseOverlay()) {
     table->overlay()->Put(key, record);
     // Leaf insert + possible split work.
+    co_await CpuWork(ctx, platform_->cost().InstrNs(60), Component::kBtree);
+  } else if (table->compact()) {
+    Status st = table->BasePut(key, record);
+    if (!st.ok()) co_return st;
+    // Delta-map insert stands in for the leaf insert; no pool to install
+    // a fresh page into.
     co_await CpuWork(ctx, platform_->cost().InstrNs(60), Component::kBtree);
   } else {
     Status st = table->BasePut(key, record);
@@ -721,8 +761,10 @@ sim::Task<Status> Engine::Delete(ExecContext& ctx, Table* table, Slice key) {
   } else {
     Status st = table->BaseDelete(key);
     if (!st.ok()) co_return st;
-    co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
-                     Component::kBpool);
+    if (!table->compact()) {
+      co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                       Component::kBpool);
+    }
   }
   co_await CpuWork(ctx, platform_->cost().TupleWriteNs(), Component::kOther);
   co_return Status::OK();
@@ -771,9 +813,17 @@ Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
   if (threaded_) co_return TRangeRead(ctx, table, lo, hi, limit);
   // Functional result: base rows in [lo, hi) patched by the overlay.
   std::map<std::string, std::string> merged;
-  for (auto it = table->primary().SeekRange(lo, hi); it.Valid(); it.Next()) {
-    auto rec = table->BaseGet(it.key());
-    if (rec.ok()) merged[it.key().ToString()] = std::move(*rec);
+  if (table->compact()) {
+    table->compact_store()->Scan(lo, hi, [&merged](Slice k, Slice rec) {
+      merged[k.ToString()] = rec.ToString();
+      return true;
+    });
+  } else {
+    for (auto it = table->primary().SeekRange(lo, hi); it.Valid();
+         it.Next()) {
+      auto rec = table->BaseGet(it.key());
+      if (rec.ok()) merged[it.key().ToString()] = std::move(*rec);
+    }
   }
   size_t overlay_rows = 0;
   if (table->overlay() != nullptr) {
@@ -796,7 +846,7 @@ Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
   }
 
   // Timing: one probe to locate the start leaf, then per-row costs.
-  int visits = table->primary().height();
+  int visits = table->probe_height();
   co_await ProbeCost(ctx, visits);
   if (UseOverlay()) {
     // The hardware engine streams leaves FPGA-side; the host receives only
@@ -815,18 +865,21 @@ Engine::RangeRead(ExecContext& ctx, Table* table, Slice lo, Slice hi,
   } else {
     // Scanned rows are clustered: the buffer pool is charged only when the
     // scan crosses onto a new page (the frame stays pinned across the
-    // page's rows, as a real scan operator would hold its latch).
+    // page's rows, as a real scan operator would hold its latch). Compact
+    // tables are memory-resident — entry + tuple costs only.
     storage::PageId current_page = storage::kInvalidPageId;
     for (auto& [k, v] : rows) {
       co_await CpuWork(ctx, platform_->cost().BtreeScanEntryNs(),
                        Component::kBtree);
-      auto rid = table->LookupRid(k);
-      if (rid.ok() && rid->page_id != current_page) {
-        current_page = rid->page_id;
-        co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
-                         Component::kBpool);
-        auto frame = co_await bpool_->Fetch(rid->page_id);
-        if (frame.ok()) bpool_->Unpin(rid->page_id, false);
+      if (!table->compact()) {
+        auto rid = table->LookupRid(k);
+        if (rid.ok() && rid->page_id != current_page) {
+          current_page = rid->page_id;
+          co_await CpuWork(ctx, platform_->cost().BpoolLookupNs(),
+                           Component::kBpool);
+          auto frame = co_await bpool_->Fetch(rid->page_id);
+          if (frame.ok()) bpool_->Unpin(rid->page_id, false);
+        }
       }
       co_await CpuWork(ctx, platform_->cost().TupleScanNs(),
                        Component::kOther);
@@ -1053,6 +1106,14 @@ sim::Task<Status> Engine::Checkpoint(ExecContext& ctx) {
 
 sim::Task<Status> Engine::ReorganizeIndex(ExecContext& ctx, Table* table) {
   if (threaded_) co_return TReorganizeIndex(ctx, table);
+  if (table->compact()) {
+    // The compact analogue: fold the delta back into the packed run.
+    const size_t centries = table->compact_store()->Compact();
+    co_await CpuWorkNoCore(platform_->cost().InstrNs(30.0) *
+                               static_cast<double>(centries),
+                           Component::kBtree);
+    co_return Status::OK();
+  }
   index::BTree& idx = table->primary();
   const size_t entries = idx.size();
   Status st = idx.Rebuild();
@@ -1245,6 +1306,128 @@ sim::Task<Status> Engine::Execute(TxnSpec spec, int socket,
     // pool, and nothing must observe it through the Xct afterwards.
     xct->timeline = nullptr;
     flight_->Finish(tl, sim_->Now(), st.ok());
+  }
+  if (workers_sem_) workers_sem_->Release();
+  co_return st;
+}
+
+sim::Task<Status> Engine::ExecuteBranch(BranchHandle* h, TxnSpec spec,
+                                        int socket, uint64_t* priority) {
+  BIONICDB_CHECK(threaded_ == nullptr);
+  // Mirrors Execute() up to (and excluding) the commit protocol; the
+  // cluster's 2PC supplies that via PrepareBranch/FinishBranch.
+  const SimTime start = sim_->Now();
+  if (tracer_) {
+    h->span_id = ++trace_txn_seq_;
+    tracer_->AsyncBegin(trace_txn_track_, trace_txn_name_, trace_txn_cat_,
+                        start, h->span_id);
+  }
+  obs::TxnTimeline* tl = flight_ ? flight_->Begin(start) : nullptr;
+  if (workers_sem_) co_await workers_sem_->Acquire();
+  if (tl != nullptr) tl->Charge(obs::Stage::kAdmit, sim_->Now() - start);
+  const SimTime route0 = tl != nullptr ? sim_->Now() : 0;
+  co_await CpuWorkNoCore(platform_->cost().FrontendDispatchNs(),
+                         Component::kFrontend);
+  if (tl != nullptr) tl->Charge(obs::Stage::kRoute, sim_->Now() - route0);
+
+  auto xct = xm_->Begin();
+  if (priority != nullptr) {
+    if (*priority == 0) {
+      *priority = xct->priority;
+    } else {
+      xct->priority = *priority;
+    }
+  }
+  if (tl != nullptr) {
+    tl->txn_id = xct->id;
+    xct->timeline = tl;
+  }
+  ExecContext ctx;
+  ctx.engine = this;
+  ctx.xct = xct.get();
+  ctx.socket = socket;
+  ctx.core_held = false;
+  co_await CpuWorkNoCore(platform_->cost().XctBeginNs(), Component::kXct);
+
+  Status st = co_await RunAllPhases(spec, ctx);
+  if (st.IsIOError()) ++metrics_.io_errors;
+
+  h->xct = std::move(xct);
+  h->tl = tl;
+  h->start = start;
+  h->socket = socket;
+  co_return st;
+}
+
+sim::Task<Status> Engine::PrepareBranch(BranchHandle* h, uint64_t gtid) {
+  obs::TxnTimeline* tl = h->tl;
+  const SimTime p0 = tl != nullptr ? sim_->Now() : 0;
+  co_await CpuWorkNoCore(platform_->cost().XctCommitNs(), Component::kXct);
+  // The prepare-record append is CPU work on the software log; the
+  // durability wait afterwards is idle and is not charged.
+  const SimTime t0 = sim_->Now();
+  const wal::Lsn prepare_lsn =
+      co_await xm_->AppendPrepareRecord(h->xct.get(), gtid, h->socket);
+  const SimTime elapsed = sim_->Now() - t0;
+  const bool hw_log =
+      config_.mode == EngineMode::kBionic && config_.offload.logging;
+  if (!hw_log && elapsed > 0) {
+    platform_->meter().ChargeBusy(platform_->cpu_component(), elapsed, 0);
+    breakdown_.Charge(Component::kLog, elapsed);
+  }
+  Status st = co_await xm_->WaitPrepareDurable(prepare_lsn);
+  if (tl != nullptr) {
+    tl->Charge(obs::Stage::kTwoPC, sim_->Now() - p0);
+    if (hw_log) tl->TagHw(obs::Stage::kTwoPC);
+  }
+  co_return st;
+}
+
+sim::Task<Status> Engine::LogCoordCommit(BranchHandle* coord, uint64_t gtid) {
+  obs::TxnTimeline* tl = coord->tl;
+  const SimTime d0 = tl != nullptr ? sim_->Now() : 0;
+  // Small fixed cost for assembling the decision record; the append +
+  // durability wait dominate inside LogCommitDecision.
+  co_await CpuWorkNoCore(platform_->cost().InstrNs(40.0), Component::kLog);
+  Status st = co_await xm_->LogCommitDecision(gtid, coord->socket);
+  if (tl != nullptr) tl->Charge(obs::Stage::kTwoPC, sim_->Now() - d0);
+  co_return st;
+}
+
+sim::Task<Status> Engine::FinishBranch(BranchHandle* h, bool commit) {
+  ExecContext ctx;
+  ctx.engine = this;
+  ctx.xct = h->xct.get();
+  ctx.socket = h->socket;
+  ctx.core_held = false;
+  Status st;
+  if (commit) {
+    st = co_await CommitTxn(ctx, h->xct.get());
+    if (st.ok()) {
+      ++metrics_.commits;
+    } else {
+      ++metrics_.aborts;
+    }
+  } else {
+    Status abort_st = co_await AbortTxn(ctx, h->xct.get());
+    BIONICDB_CHECK(abort_st.ok());
+    ++metrics_.aborts;
+    st = Status::OK();
+  }
+  const bool committed = commit && st.ok();
+  if (tracer_) {
+    const SimTime end = sim_->Now();
+    tracer_->Instant(trace_txn_track_,
+                     committed ? trace_commit_name_ : trace_abort_name_,
+                     trace_txn_cat_, end);
+    tracer_->AsyncEnd(trace_txn_track_, trace_txn_name_, trace_txn_cat_, end,
+                      h->span_id);
+  }
+  metrics_.latency.Add(sim_->Now() - h->start);
+  if (h->tl != nullptr) {
+    h->xct->timeline = nullptr;
+    flight_->Finish(h->tl, sim_->Now(), committed);
+    h->tl = nullptr;
   }
   if (workers_sem_) workers_sem_->Release();
   co_return st;

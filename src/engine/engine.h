@@ -66,6 +66,9 @@ class Engine {
   /// Untimed bulk load; overlay residency is drawn per row from the
   /// configured fraction (deterministic under the simulator seed).
   Status LoadRow(Table* table, Slice key, Slice record);
+  /// Seals compact tables' bulk loads (storage/compact.h) — call after the
+  /// last LoadRow, before serving. No-op for paged tables.
+  void FinalizeLoad();
 
   Database& db() { return *db_; }
   hw::Platform& platform() { return *platform_; }
@@ -198,6 +201,35 @@ class Engine {
   sim::Task<Status> Execute(TxnSpec spec, int socket = 0,
                             uint64_t* priority = nullptr,
                             SimTime arrival_ts = -1);
+
+  // ------------------------------------------------ distributed branches --
+  /// One shard-local branch of a distributed (2PC) transaction, produced by
+  /// ExecuteBranch and finished by FinishBranch. Between the two the branch
+  /// holds its locks and (conventional mode) its worker-pool slot, exactly
+  /// like a transaction between its last action and its commit record.
+  struct BranchHandle {
+    std::unique_ptr<txn::Xct> xct;
+    obs::TxnTimeline* tl = nullptr;
+    SimTime start = 0;
+    int socket = 0;
+    uint64_t span_id = 0;
+  };
+
+  /// Runs `spec`'s phases like Execute but stops BEFORE the commit
+  /// protocol, leaving the branch active with locks held. On failure the
+  /// caller must still FinishBranch(h, false) to undo and release. The
+  /// shard::Cluster drives these; single-shard transactions take Execute.
+  sim::Task<Status> ExecuteBranch(BranchHandle* h, TxnSpec spec, int socket,
+                                  uint64_t* priority);
+  /// 2PC phase 1 on this branch: durable yes-vote for `gtid` (read-only
+  /// branches vote for free). Charged to the timeline's 2pc stage.
+  sim::Task<Status> PrepareBranch(BranchHandle* h, uint64_t gtid);
+  /// Coordinator decision record for `gtid`, appended to THIS engine's log
+  /// and made durable; charged to `coord`'s 2pc stage.
+  sim::Task<Status> LogCoordCommit(BranchHandle* coord, uint64_t gtid);
+  /// 2PC phase 2: commit (commit record + durability wait) or abort (undo
+  /// + CLRs). Releases locks, records latency/metrics, frees the slot.
+  sim::Task<Status> FinishBranch(BranchHandle* h, bool commit);
 
   /// Request payload flowing through the bounded admission layer.
   struct AdmittedTxn {

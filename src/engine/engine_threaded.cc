@@ -32,6 +32,11 @@ namespace bionicdb::engine {
 void Engine::AttachThreadedBackend(exec::ThreadedBackend* backend) {
   threaded_ = backend;
   if (backend == nullptr) return;
+  // Compact stores are single-simulator-task structures (no latching);
+  // the real-thread backend keeps the paged heap.
+  BIONICDB_CHECK_MSG(!config_.compact_storage,
+                     "compact storage is not supported on the threaded "
+                     "backend");
   table_mu_.clear();
   for (size_t i = 0; i < db_->num_tables(); ++i) {
     table_mu_.push_back(std::make_unique<std::shared_mutex>());

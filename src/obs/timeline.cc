@@ -10,12 +10,12 @@ namespace bionicdb::obs {
 namespace {
 
 constexpr const char* kStageKeys[kNumStages] = {
-    "admit",      "route",      "queue_wait", "lock_wait",
-    "execute",    "wal_append", "flush_wait", "commit",
+    "admit",      "route",      "queue_wait", "lock_wait", "execute",
+    "wal_append", "flush_wait", "commit",     "2pc",
 };
 constexpr const char* kStageLabels[kNumStages] = {
-    "Admission wait", "Routing",    "Queue wait", "Lock wait",
-    "Execution",      "WAL append", "Flush wait", "Commit",
+    "Admission wait", "Routing",    "Queue wait", "Lock wait", "Execution",
+    "WAL append",     "Flush wait", "Commit",     "2PC",
 };
 
 /// Retention order for the slowest-reservoir: higher total first, earlier

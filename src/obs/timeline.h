@@ -46,8 +46,9 @@ enum class Stage : uint8_t {
   kWalAppend,   ///< WAL append ordering (reserve/copy or hw descriptor).
   kFlushWait,   ///< Group-commit durability wait.
   kCommit,      ///< Commit bookkeeping + commit-record append.
+  kTwoPC,       ///< 2PC coordination: prepare votes + decision durability.
 };
-inline constexpr int kNumStages = 8;
+inline constexpr int kNumStages = 9;
 
 /// Stable lowercase key, used in metric names ("engine.txn.stage.<key>_ns")
 /// and JSON fields ("stage_<key>_p999_us").

@@ -42,12 +42,18 @@ struct AdmissionConfig {
   ShedPolicy shed = ShedPolicy::kRejectNew;
   /// Entries a server claims per PopBatch() wakeup (>= 1).
   size_t batch = 1;
+  /// Queued-sojourn SLO: an entry that has already waited longer than this
+  /// by the time a server would claim it is discarded instead of served
+  /// (deadline shedding — serving it could only produce a late answer and
+  /// starve fresher requests). 0 disables the check.
+  SimTime deadline_ns = 0;
 };
 
 struct AdmissionStats {
   uint64_t offered = 0;   ///< Offer() calls since the last ResetStats().
   uint64_t admitted = 0;  ///< Entries that made it into the queue.
   uint64_t shed = 0;      ///< Requests dropped (rejected or evicted).
+  uint64_t deadline_shed = 0;  ///< Claimed-stale entries past deadline_ns.
   uint64_t popped = 0;    ///< Entries claimed by servers.
   uint64_t max_depth = 0; ///< High-water queue depth.
   SimTime queue_wait_ns = 0;  ///< Cumulative enqueue->claim wait of popped.
@@ -101,24 +107,45 @@ class AdmissionQueue {
   /// fully drained — the server's signal to exit.
   sim::Task<size_t> PopBatch(std::vector<Entry>* out) {
     out->clear();
-    while (q_.empty()) {
-      if (closed_) co_return 0;
-      co_await cv_.Wait();
-    }
-    const size_t batch = config_.batch > 0 ? config_.batch : 1;
-    const size_t n = batch < q_.size() ? batch : q_.size();
-    for (size_t i = 0; i < n; ++i) {
-      if (config_.discipline == AdmissionDiscipline::kFifo) {
-        out->push_back(std::move(q_.front()));
-        q_.pop_front();
-      } else {
-        out->push_back(std::move(q_.back()));
-        q_.pop_back();
+    for (;;) {
+      while (q_.empty()) {
+        if (closed_) co_return 0;
+        co_await cv_.Wait();
       }
-      stats_.queue_wait_ns += sim_->Now() - out->back().enqueue_ts;
+      // Deadline shedding happens at claim time, not arrival time: an
+      // entry's sojourn is only known once a server reaches it. Discarding
+      // may drain the queue entirely, in which case the server goes back
+      // to waiting rather than returning an empty batch.
+      if (config_.deadline_ns > 0) {
+        while (!q_.empty()) {
+          const Entry& head = config_.discipline == AdmissionDiscipline::kFifo
+                                  ? q_.front()
+                                  : q_.back();
+          if (sim_->Now() - head.enqueue_ts <= config_.deadline_ns) break;
+          if (config_.discipline == AdmissionDiscipline::kFifo) {
+            q_.pop_front();
+          } else {
+            q_.pop_back();
+          }
+          ++stats_.deadline_shed;
+        }
+        if (q_.empty()) continue;
+      }
+      const size_t batch = config_.batch > 0 ? config_.batch : 1;
+      const size_t n = batch < q_.size() ? batch : q_.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (config_.discipline == AdmissionDiscipline::kFifo) {
+          out->push_back(std::move(q_.front()));
+          q_.pop_front();
+        } else {
+          out->push_back(std::move(q_.back()));
+          q_.pop_back();
+        }
+        stats_.queue_wait_ns += sim_->Now() - out->back().enqueue_ts;
+      }
+      stats_.popped += n;
+      co_return n;
     }
-    stats_.popped += n;
-    co_return n;
   }
 
   /// Stops admission and wakes every waiting server so the drain finishes.

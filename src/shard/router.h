@@ -1,0 +1,69 @@
+// Router: key -> shard placement for the sharded cluster.
+//
+// Two placement functions cover the two ways workloads address rows:
+//  * ShardOf(key)  — FNV-1a hash of the encoded key bytes, for generic
+//    keys with no exploitable structure.
+//  * OwnerOf(id)   — modulo placement for workloads whose rows are keyed
+//    by a dense numeric id (TATP s_id, TPC-C w_id). Modulo keeps every
+//    shard's population within one row of even at any count, and lets a
+//    loader enumerate its own rows without consulting a directory.
+//
+// A transaction whose fragments all land on one shard bypasses 2PC
+// entirely (shard::Cluster::Execute routes it straight into that shard's
+// Engine::Execute); anything else is a distributed transaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/slice.h"
+#include "engine/engine.h"
+
+namespace bionicdb::shard {
+
+/// One shard-local piece of a (possibly distributed) transaction: the
+/// spec runs entirely on `shard`, under that shard's locks and WAL.
+struct ShardFragment {
+  int shard = 0;
+  engine::Engine::TxnSpec spec;
+};
+
+/// A routed transaction. One fragment == single-shard fast path; two or
+/// more (distinct shards) == 2PC. Fragments should be ordered by
+/// ascending shard id — TwoPhaseCommit::Run enforces this so every
+/// distributed transaction acquires shards in the same global order
+/// (no cross-shard deadlock by construction).
+struct ShardedTxn {
+  std::vector<ShardFragment> fragments;
+  bool cross_shard() const { return fragments.size() > 1; }
+};
+
+class Router {
+ public:
+  explicit Router(int num_shards) : num_shards_(num_shards) {
+    BIONICDB_CHECK(num_shards >= 1);
+  }
+
+  int num_shards() const { return num_shards_; }
+
+  /// Hash placement for arbitrary encoded keys (FNV-1a 64).
+  int ShardOf(Slice key) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < key.size(); ++i) {
+      h ^= static_cast<unsigned char>(key.data()[i]);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<int>(h % static_cast<uint64_t>(num_shards_));
+  }
+
+  /// Modulo placement for dense numeric ids.
+  int OwnerOf(uint64_t id) const {
+    return static_cast<int>(id % static_cast<uint64_t>(num_shards_));
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace bionicdb::shard

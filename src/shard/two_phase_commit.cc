@@ -1,0 +1,92 @@
+#include "shard/two_phase_commit.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bionicdb::shard {
+
+sim::Task<Status> TwoPhaseCommit::Run(ShardedTxn txn, int socket,
+                                      uint64_t* priority) {
+  BIONICDB_CHECK(txn.fragments.size() >= 2);
+  // Global acquisition order: every distributed transaction takes its
+  // shards ascending, so two of them can never hold-and-wait in a cycle
+  // across shards (within a shard, wait-die handles it).
+  std::sort(txn.fragments.begin(), txn.fragments.end(),
+            [](const ShardFragment& a, const ShardFragment& b) {
+              return a.shard < b.shard;
+            });
+  for (size_t i = 1; i < txn.fragments.size(); ++i) {
+    BIONICDB_CHECK_MSG(
+        txn.fragments[i].shard != txn.fragments[i - 1].shard,
+        "two fragments routed to shard %d: merge them into one spec",
+        txn.fragments[i].shard);
+  }
+  const uint64_t gtid = next_gtid_++;
+  ++stats_.started;
+
+  std::vector<engine::Engine::BranchHandle> branches(txn.fragments.size());
+
+  // --- Execute: sequentially, ascending shard order. ----------------------
+  Status st = Status::OK();
+  size_t ran = 0;
+  for (size_t i = 0; i < txn.fragments.size(); ++i) {
+    ShardFragment& frag = txn.fragments[i];
+    st = co_await shards_[static_cast<size_t>(frag.shard)]->ExecuteBranch(
+        &branches[i], std::move(frag.spec), socket, priority);
+    ++ran;
+    if (!st.ok()) break;
+  }
+  if (!st.ok()) {
+    ++stats_.exec_aborts;
+    ++stats_.aborted;
+    for (size_t i = 0; i < ran; ++i) {
+      co_await shards_[static_cast<size_t>(txn.fragments[i].shard)]
+          ->FinishBranch(&branches[i], /*commit=*/false);
+    }
+    co_return st;
+  }
+
+  // --- Phase 1: durable yes-votes. ----------------------------------------
+  for (size_t i = 0; i < txn.fragments.size(); ++i) {
+    st = co_await shards_[static_cast<size_t>(txn.fragments[i].shard)]
+             ->PrepareBranch(&branches[i], gtid);
+    if (!st.ok()) break;
+  }
+  if (!st.ok()) {
+    ++stats_.vote_failures;
+    ++stats_.aborted;
+    for (size_t i = 0; i < txn.fragments.size(); ++i) {
+      co_await shards_[static_cast<size_t>(txn.fragments[i].shard)]
+          ->FinishBranch(&branches[i], /*commit=*/false);
+    }
+    co_return st;
+  }
+
+  // --- Decision: durable on the coordinator before ANY branch commits. ----
+  const int coord = txn.fragments[0].shard;
+  st = co_await shards_[static_cast<size_t>(coord)]->LogCoordCommit(
+      &branches[0], gtid);
+  if (!st.ok()) {
+    // The decision never became durable: presumed abort, cluster-wide.
+    ++stats_.decision_failures;
+    ++stats_.aborted;
+    for (size_t i = 0; i < txn.fragments.size(); ++i) {
+      co_await shards_[static_cast<size_t>(txn.fragments[i].shard)]
+          ->FinishBranch(&branches[i], /*commit=*/false);
+    }
+    co_return st;
+  }
+
+  // --- Phase 2: local commits. The outcome is already decided; a branch
+  // whose commit record fails durability is repaired from the decision
+  // record at recovery (prepare + decision == committed), so the
+  // transaction still reports success.
+  for (size_t i = 0; i < txn.fragments.size(); ++i) {
+    co_await shards_[static_cast<size_t>(txn.fragments[i].shard)]
+        ->FinishBranch(&branches[i], /*commit=*/true);
+  }
+  ++stats_.committed;
+  co_return Status::OK();
+}
+
+}  // namespace bionicdb::shard

@@ -1,0 +1,68 @@
+// Virtual-time two-phase commit across engine shards (presumed abort).
+//
+// Protocol, all inside one simulator so every step is timed:
+//
+//   execute   — fragments run sequentially in ascending shard order via
+//               Engine::ExecuteBranch, sharing one wait-die priority so
+//               the distributed transaction ages as a unit. Each branch
+//               ends with its locks still held.
+//   phase 1   — PrepareBranch per shard: a kPrepare record (tagged with
+//               the global transaction id) made durable in the
+//               participant's own WAL. Read-only branches vote yes for
+//               free. Any failed vote aborts everything.
+//   decision  — the coordinator (the first fragment's shard) appends a
+//               kCoordCommit record to ITS log and waits for durability
+//               BEFORE any branch commits. Presumed abort: no decision
+//               record is ever written for aborts.
+//   phase 2   — FinishBranch per shard: local commit record (group
+//               committed) or undo + CLRs; locks release here.
+//
+// Because the decision is durable before any branch's commit record is
+// even appended, a crash cut at any consistent virtual-time point leaves
+// the cluster recoverable: wal::Recover commits a prepared branch iff
+// the decision survives in SOME shard's log (wal::CollectDecisions), and
+// presumes abort otherwise. workload::ShardedCrashHarness checks exactly
+// this against an oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "shard/router.h"
+#include "sim/task.h"
+
+namespace bionicdb::shard {
+
+struct TwoPhaseCommitStats {
+  uint64_t started = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;            ///< All aborts (sum of the three below).
+  uint64_t exec_aborts = 0;        ///< A fragment failed during execution.
+  uint64_t vote_failures = 0;      ///< A prepare never became durable.
+  uint64_t decision_failures = 0;  ///< The decision record was lost.
+};
+
+class TwoPhaseCommit {
+ public:
+  /// `shards[i]` must be the engine for shard id i.
+  explicit TwoPhaseCommit(std::vector<engine::Engine*> shards)
+      : shards_(std::move(shards)) {}
+
+  /// Runs one distributed transaction (>= 2 fragments on distinct
+  /// shards) to a cluster-wide commit or abort. `priority` follows the
+  /// same pinned wait-die contract as Engine::Execute. Returns OK on
+  /// commit, Aborted if any fragment aborted (retryable), or the
+  /// underlying failure.
+  sim::Task<Status> Run(ShardedTxn txn, int socket, uint64_t* priority);
+
+  const TwoPhaseCommitStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  std::vector<engine::Engine*> shards_;
+  uint64_t next_gtid_ = 1;
+  TwoPhaseCommitStats stats_;
+};
+
+}  // namespace bionicdb::shard

@@ -1,0 +1,70 @@
+#include "storage/slab.h"
+
+#include <cstring>
+
+namespace bionicdb::storage {
+
+namespace {
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+
+void PutU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>(v >> 8);
+}
+
+}  // namespace
+
+const char* SlabHeap::Loc(uint64_t handle) const {
+  const uint64_t slab = handle / kSlabBytes;
+  BIONICDB_CHECK(slab < slabs_.size());
+  return slabs_[slab].get() + handle % kSlabBytes;
+}
+
+uint64_t SlabHeap::Insert(Slice record) {
+  // Capacity rounds up to 8 bytes so same-shape rewrites (the common
+  // fixed-width update) always stay in place.
+  const uint64_t cap = (record.size() + 7) & ~uint64_t{7};
+  const uint64_t need = kEntryHeader + cap;
+  BIONICDB_CHECK_MSG(need <= kSlabBytes, "record larger than a slab");
+  BIONICDB_CHECK(record.size() <= 0xffff);
+  if (tail_free_ < need) {
+    slabs_.push_back(std::make_unique<char[]>(kSlabBytes));
+    tail_free_ = kSlabBytes;
+  }
+  const uint64_t handle =
+      (slabs_.size() - 1) * kSlabBytes + (kSlabBytes - tail_free_);
+  char* p = Loc(handle);
+  PutU16(p, static_cast<uint16_t>(cap));
+  PutU16(p + 2, static_cast<uint16_t>(record.size()));
+  std::memcpy(p + kEntryHeader, record.data(), record.size());
+  tail_free_ -= need;
+  live_ += need;
+  return handle;
+}
+
+Slice SlabHeap::Get(uint64_t handle) const {
+  const char* p = Loc(handle);
+  return Slice(p + kEntryHeader, GetU16(p + 2));
+}
+
+bool SlabHeap::UpdateInPlace(uint64_t handle, Slice record) {
+  char* p = Loc(handle);
+  const uint16_t cap = GetU16(p);
+  if (record.size() > cap) return false;
+  PutU16(p + 2, static_cast<uint16_t>(record.size()));
+  std::memcpy(p + kEntryHeader, record.data(), record.size());
+  return true;
+}
+
+void SlabHeap::NoteDead(uint64_t handle) {
+  const char* p = Loc(handle);
+  const uint64_t entry = kEntryHeader + GetU16(p);
+  dead_ += entry;
+  live_ -= entry < live_ ? entry : live_;
+}
+
+}  // namespace bionicdb::storage

@@ -1,0 +1,71 @@
+// Slabbed record heap for memory-lean table storage.
+//
+// Million-subscriber scale sweeps are limited by host memory, not virtual
+// time: the slotted-page heap plus a pointer-rich B+Tree costs several
+// hundred bytes per TATP row. SlabHeap stores records back to back in
+// 64 KiB slabs with a 4-byte header each, addressed by a plain byte-offset
+// handle — no per-row allocation, no page table, no slot directory.
+//
+// Untimed and functional, like the rest of storage/: the engine charges
+// probe and tuple costs around it. Records may be updated in place while
+// the new bytes fit the entry's capacity (lengths are rounded up to 8
+// bytes, so the fixed-width rows of TATP/TPC-C always do); growth means
+// the caller inserts a fresh entry and re-points its index at the new
+// handle. Freed space is accounted but never reused — compaction is a
+// rebuild (CompactStore::Compact), matching the no-steal, load-then-serve
+// life cycle of the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/slice.h"
+
+namespace bionicdb::storage {
+
+class SlabHeap {
+ public:
+  static constexpr uint64_t kSlabBytes = 64 * 1024;
+  static constexpr uint64_t kInvalidHandle = ~0ULL;
+
+  SlabHeap() = default;
+  BIONICDB_DISALLOW_COPY_AND_ASSIGN(SlabHeap);
+
+  /// Appends a record; returns its handle. Records never span slabs, so
+  /// record.size() must fit one slab (checked).
+  uint64_t Insert(Slice record);
+
+  /// The record's current bytes. The view is stable until that record is
+  /// updated (same aliasing contract as a slotted page's Get).
+  Slice Get(uint64_t handle) const;
+
+  /// Rewrites the record in place when the new bytes fit the entry's
+  /// capacity; returns false (entry untouched) when they don't.
+  bool UpdateInPlace(uint64_t handle, Slice record);
+
+  /// Accounting-only free: the entry's capacity is counted dead. Call when
+  /// an index drops or re-points a handle.
+  void NoteDead(uint64_t handle);
+
+  uint64_t allocated_bytes() const { return slabs_.size() * kSlabBytes; }
+  uint64_t live_bytes() const { return live_; }
+  uint64_t dead_bytes() const { return dead_; }
+
+ private:
+  // Entry layout: [u16 cap][u16 len][cap bytes, first len live].
+  static constexpr uint64_t kEntryHeader = 4;
+  const char* Loc(uint64_t handle) const;
+  char* Loc(uint64_t handle) {
+    return const_cast<char*>(
+        static_cast<const SlabHeap*>(this)->Loc(handle));
+  }
+
+  std::vector<std::unique_ptr<char[]>> slabs_;
+  uint64_t tail_free_ = 0;  ///< Bytes free at the end of the last slab.
+  uint64_t live_ = 0;
+  uint64_t dead_ = 0;
+};
+
+}  // namespace bionicdb::storage

@@ -1,5 +1,7 @@
 #include "txn/xct_manager.h"
 
+#include "wal/recovery.h"
+
 namespace bionicdb::txn {
 
 const char* XctStateName(XctState s) {
@@ -90,6 +92,42 @@ sim::Task<Status> XctManager::WaitCommitDurable(Xct* xct,
   xct->state = XctState::kCommitted;
   ++stats_.committed;
   co_return Status::OK();
+}
+
+sim::Task<Status> XctManager::Prepare(Xct* xct, uint64_t gtid, int socket) {
+  const wal::Lsn lsn = co_await AppendPrepareRecord(xct, gtid, socket);
+  co_return co_await WaitPrepareDurable(lsn);
+}
+
+sim::Task<wal::Lsn> XctManager::AppendPrepareRecord(Xct* xct, uint64_t gtid,
+                                                    int socket) {
+  BIONICDB_CHECK(xct->state == XctState::kActive);
+  // Read-only branch: nothing to make durable, the vote is free.
+  if (!xct->begin_logged) co_return wal::kInvalidLsn;
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kPrepare;
+  rec.txn_id = xct->id;
+  rec.prev_lsn = xct->last_lsn;
+  rec.key = wal::EncodeGtid(gtid);
+  xct->last_lsn = co_await log_->Append(std::move(rec), socket);
+  ++stats_.prepared;
+  co_return xct->last_lsn;
+}
+
+sim::Task<Status> XctManager::WaitPrepareDurable(wal::Lsn prepare_lsn) {
+  if (prepare_lsn == wal::kInvalidLsn) co_return Status::OK();
+  co_return co_await log_->WaitDurable(prepare_lsn + 1);
+}
+
+sim::Task<Status> XctManager::LogCommitDecision(uint64_t gtid, int socket) {
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kCoordCommit;
+  rec.txn_id = gtid;
+  rec.prev_lsn = wal::kInvalidLsn;
+  const wal::Lsn lsn = co_await log_->Append(std::move(rec), socket);
+  Status st = co_await log_->WaitDurable(lsn + 1);
+  if (st.ok()) ++stats_.decisions_logged;
+  co_return st;
 }
 
 sim::Task<Status> XctManager::Abort(Xct* xct, const UndoApplier& applier,

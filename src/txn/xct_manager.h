@@ -20,6 +20,8 @@ struct XctManagerStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t read_only_commits = 0;  ///< Commits that skipped the log entirely.
+  uint64_t prepared = 0;           ///< 2PC yes-votes logged (write branches).
+  uint64_t decisions_logged = 0;   ///< Coordinator commit decisions logged.
 };
 
 class XctManager {
@@ -54,6 +56,26 @@ class XctManager {
   /// final abort record. Abort needs no durability wait.
   using UndoApplier = std::function<void(const UndoEntry&)>;
   sim::Task<Status> Abort(Xct* xct, const UndoApplier& applier, int socket);
+
+  /// 2PC participant yes-vote for the branch `xct` of the cluster-wide
+  /// transaction `gtid`: appends a kPrepare record (gtid in its key,
+  /// wal::PrepareGtid decodes it) and waits for durability. A read-only
+  /// branch votes yes without logging. The branch stays kActive: it must
+  /// subsequently be finished with Commit (coordinator decided commit) or
+  /// Abort (presumed abort).
+  sim::Task<Status> Prepare(Xct* xct, uint64_t gtid, int socket);
+
+  /// The two halves of Prepare, for callers that account the CPU-bound
+  /// append separately from the (idle) durability wait. kInvalidLsn means
+  /// a read-only branch: already a yes-vote, nothing to wait for.
+  sim::Task<wal::Lsn> AppendPrepareRecord(Xct* xct, uint64_t gtid,
+                                          int socket);
+  sim::Task<Status> WaitPrepareDurable(wal::Lsn prepare_lsn);
+
+  /// Coordinator commit decision for `gtid`: appends kCoordCommit to this
+  /// manager's log and waits for durability. Presumed abort means no
+  /// record is ever written for the abort decision.
+  sim::Task<Status> LogCommitDecision(uint64_t gtid, int socket);
 
   const XctManagerStats& stats() const { return stats_; }
   wal::LogManager* log() { return log_; }

@@ -59,6 +59,10 @@ const char* RecordTypeName(RecordType t) {
       return "CLR";
     case RecordType::kCheckpoint:
       return "Checkpoint";
+    case RecordType::kPrepare:
+      return "Prepare";
+    case RecordType::kCoordCommit:
+      return "CoordCommit";
   }
   return "?";
 }

@@ -24,6 +24,16 @@ enum class RecordType : uint8_t {
   kDelete,
   kClr,         ///< Compensation record written during rollback.
   kCheckpoint,  ///< Fuzzy checkpoint marker.
+  /// 2PC participant vote: this branch's effects are durable and it can
+  /// commit if told to. `key` carries the cluster-wide transaction id
+  /// (8 bytes, big-endian) the branch belongs to; `txn_id` stays the
+  /// branch's local id so its records chain normally.
+  kPrepare,
+  /// 2PC coordinator decision: the cluster-wide transaction with
+  /// `txn_id` == gtid committed. Presumed abort: no decision record is
+  /// ever written for aborts, so a prepared branch whose gtid has no
+  /// decision anywhere resolves to abort at recovery.
+  kCoordCommit,
 };
 
 const char* RecordTypeName(RecordType t);

@@ -4,7 +4,36 @@
 
 namespace bionicdb::wal {
 
-Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
+std::string EncodeGtid(uint64_t gtid) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    key[static_cast<size_t>(i)] = static_cast<char>(gtid & 0xff);
+    gtid >>= 8;
+  }
+  return key;
+}
+
+uint64_t PrepareGtid(const LogRecord& rec) {
+  if (rec.key.size() != 8) return 0;
+  uint64_t v = 0;
+  for (char c : rec.key) v = (v << 8) | static_cast<unsigned char>(c);
+  return v;
+}
+
+Status CollectDecisions(Slice stream, DistributedDecisions* out) {
+  TornTailInfo torn;
+  auto parsed = ParseLogStream(stream, &torn);
+  if (!parsed.ok()) return parsed.status();
+  for (const LogRecord& rec : *parsed) {
+    if (rec.type == RecordType::kCoordCommit) {
+      out->committed_gtids.insert(rec.txn_id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats,
+               const DistributedDecisions* decisions) {
   auto parsed = ParseLogStream(stream, &stats->torn_tail);
   if (!parsed.ok()) return parsed.status();
   std::vector<LogRecord>& all_records = *parsed;
@@ -27,12 +56,16 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
   // --- Analysis: classify transactions. -----------------------------------
   std::unordered_set<uint64_t> committed;
   std::unordered_set<uint64_t> seen;
+  std::unordered_set<uint64_t> prepared;
   for (const LogRecord& rec : records) {
     ++stats->records_scanned;
     // Any record — not just kBegin — marks its transaction as seen: a
     // transaction whose kBegin landed before the checkpoint but whose later
     // records span it would otherwise escape loser accounting entirely.
-    if (rec.type != RecordType::kCheckpoint && rec.txn_id != 0) {
+    // Decision records carry a GLOBAL id, not a local txn id, so they stay
+    // out of loser accounting like checkpoints do.
+    if (rec.type != RecordType::kCheckpoint &&
+        rec.type != RecordType::kCoordCommit && rec.txn_id != 0) {
       seen.insert(rec.txn_id);
     }
     switch (rec.type) {
@@ -42,6 +75,17 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
       case RecordType::kAbort:
         committed.erase(rec.txn_id);
         break;
+      case RecordType::kPrepare:
+        // A prepared branch commits iff the coordinator's decision made it
+        // to SOME durable log (presumed abort otherwise). Without a
+        // decision set this degenerates to the local rule: only a local
+        // commit record wins.
+        prepared.insert(rec.txn_id);
+        if (decisions != nullptr &&
+            decisions->committed_gtids.count(PrepareGtid(rec)) > 0) {
+          committed.insert(rec.txn_id);
+        }
+        break;
       default:
         break;
     }
@@ -49,6 +93,13 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats) {
   stats->committed_txns = committed.size();
   for (uint64_t t : seen) {
     if (!committed.count(t)) ++stats->loser_txns;
+  }
+  for (uint64_t t : prepared) {
+    if (committed.count(t)) {
+      ++stats->prepared_committed;
+    } else {
+      ++stats->prepared_aborted;
+    }
   }
 
   // --- Redo winners, in LSN order. -----------------------------------------

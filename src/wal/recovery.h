@@ -36,11 +36,36 @@ struct RecoveryStats {
   uint64_t loser_txns = 0;       ///< In-flight or explicitly aborted.
   uint64_t redo_applied = 0;
   uint64_t redo_skipped = 0;     ///< Loser records not redone.
+  /// 2PC branches resolved through the decision set: prepared with a
+  /// committed gtid (redone even without a local commit record), and
+  /// prepared in-doubt (no decision anywhere -> presumed abort).
+  uint64_t prepared_committed = 0;
+  uint64_t prepared_aborted = 0;
   /// LSN (stream offset) of the last checkpoint record, if any.
   Lsn checkpoint_lsn = kInvalidLsn;
   /// How the stream ended; kind == kNone means a clean record boundary.
   TornTailInfo torn_tail;
 };
+
+/// Cluster-wide commit decisions for distributed (2PC) recovery: the union
+/// of kCoordCommit gtids found in every shard's durable log prefix. Built
+/// by CollectDecisions over each log, then passed to every shard's
+/// Recover call so prepared-but-undecided branches resolve presumed-abort.
+struct DistributedDecisions {
+  std::unordered_set<uint64_t> committed_gtids;
+};
+
+/// Scans `stream` for coordinator decision records (kCoordCommit) and adds
+/// their gtids to `*out`. Tolerates a torn tail exactly like Recover; run
+/// it over EVERY shard log before any shard recovers.
+Status CollectDecisions(Slice stream, DistributedDecisions* out);
+
+/// Decodes the gtid a prepare record carries (8 bytes, big-endian, in
+/// `key`). Returns 0 for a malformed key.
+uint64_t PrepareGtid(const LogRecord& rec);
+
+/// The inverse: the 8-byte big-endian key a kPrepare record carries.
+std::string EncodeGtid(uint64_t gtid);
 
 /// Replays the durable log `stream` into `target`. Returns Corruption if
 /// the stream is damaged mid-way (a torn tail is fine).
@@ -51,6 +76,13 @@ struct RecoveryStats {
 /// Checkpoint produces by bulk-merging overlays / flushing the pool
 /// first). Recovery therefore replays only the suffix after the last
 /// durable checkpoint.
-Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats);
+///
+/// `decisions` (optional) enables distributed recovery: a transaction with
+/// a durable kPrepare record whose gtid is in the decision set is a winner
+/// even without a local commit record (the coordinator decided commit; the
+/// branch crashed before appending its own). A prepared transaction whose
+/// gtid is NOT in the set is presumed aborted.
+Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats,
+               const DistributedDecisions* decisions = nullptr);
 
 }  // namespace bionicdb::wal

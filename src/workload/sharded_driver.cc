@@ -1,0 +1,112 @@
+#include "workload/sharded_driver.h"
+
+#include <algorithm>
+
+#include "sim/sync.h"
+
+namespace bionicdb::workload {
+
+namespace {
+
+struct ShardedWave {
+  explicit ShardedWave(sim::Simulator* sim) : done(sim) {}
+  uint64_t remaining = 0;
+  sim::Completion done;
+};
+
+int HomeShard(const shard::ShardedTxn& txn) {
+  int home = txn.fragments[0].shard;
+  for (const shard::ShardFragment& f : txn.fragments) {
+    home = std::min(home, f.shard);
+  }
+  return home;
+}
+
+/// Mirrors the unsharded driver's Client: same retry policy, same pinned
+/// wait-die priority, same backoff jitter draws from the shared
+/// simulator RNG.
+sim::Task<void> ShardedClient(shard::Cluster* cluster, NextShardedTxnFn next,
+                              uint64_t my_txns, int socket, ShardedWave* wave,
+                              const DriverConfig* config,
+                              ShardedDriverReport* report) {
+  sim::Simulator* sim = cluster->simulator();
+  for (uint64_t i = 0; i < my_txns; ++i) {
+    shard::ShardedTxn txn = next();
+    const int home = HomeShard(txn);
+    ShardStats* stats =
+        report != nullptr ? &report->per_shard[static_cast<size_t>(home)]
+                          : nullptr;
+    if (report != nullptr && txn.cross_shard()) {
+      ++report->cross_shard_submitted;
+    }
+    Status st;
+    uint64_t priority = 0;  // pinned across retries so the txn ages
+    for (int attempt = 0; attempt <= config->max_retries; ++attempt) {
+      shard::ShardedTxn copy = txn;
+      st = co_await cluster->Execute(std::move(copy), socket, &priority);
+      if (!st.IsAborted()) break;
+      if (stats != nullptr) ++stats->retries;
+      SimTime jitter = 0;
+      if (config->retry_backoff_ns > 0) {
+        jitter = static_cast<SimTime>(sim->rng().Uniform(
+            static_cast<uint64_t>(config->retry_backoff_ns)));
+      }
+      co_await sim::Delay{sim,
+                          config->retry_backoff_ns * (attempt + 1) + jitter};
+    }
+    if (stats != nullptr) {
+      ++stats->submitted;
+      if (st.IsAborted()) {
+        ++stats->gave_up;
+      } else if (!st.ok()) {
+        ++stats->failed;
+      }
+    }
+  }
+  if (--wave->remaining == 0) wave->done.Set();
+}
+
+sim::Task<void> RunShardedWave(shard::Cluster* cluster, NextShardedTxnFn next,
+                               uint64_t total_txns, const DriverConfig& config,
+                               ShardedDriverReport* report) {
+  sim::Simulator* sim = cluster->simulator();
+  BIONICDB_CHECK(config.clients > 0);
+  ShardedWave wave(sim);
+  wave.remaining = static_cast<uint64_t>(config.clients);
+  const int sockets = std::max(1, cluster->shard(0)->config().sockets);
+  for (int c = 0; c < config.clients; ++c) {
+    const uint64_t share =
+        total_txns / static_cast<uint64_t>(config.clients) +
+        (static_cast<uint64_t>(c) <
+                 total_txns % static_cast<uint64_t>(config.clients)
+             ? 1
+             : 0);
+    sim->Spawn(ShardedClient(cluster, next, share, c % sockets, &wave,
+                             &config, report));
+  }
+  co_await wave.done.Wait();
+}
+
+}  // namespace
+
+sim::Task<void> RunShardedClosedLoop(shard::Cluster* cluster,
+                                     NextShardedTxnFn next,
+                                     const DriverConfig& raw_config,
+                                     ShardedDriverReport* report) {
+  const DriverConfig config = ValidatedDriverConfig(raw_config);
+  if (report != nullptr) {
+    report->per_shard.assign(static_cast<size_t>(cluster->num_shards()), {});
+  }
+  cluster->Start();
+  if (config.preheat) co_await cluster->PreheatBufferPools();
+  if (config.warmup_txns > 0) {
+    co_await RunShardedWave(cluster, next, config.warmup_txns, config,
+                            nullptr);
+  }
+  cluster->ResetStats();
+  co_await RunShardedWave(cluster, next, config.measured_txns, config, report);
+  cluster->FinishRun();
+  co_await cluster->Shutdown();
+}
+
+}  // namespace bionicdb::workload

@@ -1,0 +1,81 @@
+#include "workload/sharded_tatp.h"
+
+namespace bionicdb::workload {
+
+ShardedTatp::ShardedTatp(shard::Cluster* cluster,
+                         const ShardedTatpConfig& config)
+    : cluster_(cluster),
+      config_(config),
+      mix_rng_(config.seed),
+      cross_rng_(config.seed ^ 0xc705c4a2d1ull) {
+  const int n = cluster->num_shards();
+  // Every shard must own at least one subscriber, and a cross-shard pair
+  // must exist (subscribers 0 and 1 land on different shards when n > 1).
+  BIONICDB_CHECK(config.subscribers >= static_cast<uint64_t>(n));
+  tatp_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TatpConfig tc;
+    tc.subscribers = config.subscribers;
+    tc.seed = config.seed;
+    tc.shard = static_cast<uint64_t>(i);
+    tc.num_shards = static_cast<uint64_t>(n);
+    tatp_.push_back(std::make_unique<TatpWorkload>(cluster->shard(i), tc));
+  }
+}
+
+Status ShardedTatp::Load() {
+  for (auto& w : tatp_) BIONICDB_RETURN_NOT_OK(w->Load());
+  return Status::OK();
+}
+
+TatpTxnType ShardedTatp::DrawType() {
+  // Same thresholds (and draw) as TatpWorkload::NextTransaction's roll.
+  const uint64_t roll = mix_rng_.Uniform(100);
+  if (roll < 35) return TatpTxnType::kGetSubscriberData;
+  if (roll < 45) return TatpTxnType::kGetNewDestination;
+  if (roll < 80) return TatpTxnType::kGetAccessData;
+  if (roll < 82) return TatpTxnType::kUpdateSubscriberData;
+  if (roll < 96) return TatpTxnType::kUpdateLocation;
+  if (roll < 98) return TatpTxnType::kInsertCallForwarding;
+  return TatpTxnType::kDeleteCallForwarding;
+}
+
+shard::ShardedTxn ShardedTatp::NextTransaction() {
+  shard::ShardedTxn txn;
+  if (cluster_->num_shards() == 1) {
+    // Verbatim delegation: same RNG object, same draw order as the
+    // unsharded workload — the 1-shard passivity pin depends on this.
+    txn.fragments.push_back({0, tatp_[0]->NextTransaction()});
+    return txn;
+  }
+  const shard::Router& router = cluster_->router();
+  if (config_.cross_shard_ratio > 0.0 &&
+      cross_rng_.Bernoulli(config_.cross_shard_ratio)) {
+    // Two-shard distributed write: UpdateSubscriberData on two
+    // subscribers owned by different shards (rejection-sampled partner).
+    const uint64_t s1 = cross_rng_.Uniform(config_.subscribers);
+    uint64_t s2 = cross_rng_.Uniform(config_.subscribers);
+    while (router.OwnerOf(s2) == router.OwnerOf(s1)) {
+      s2 = cross_rng_.Uniform(config_.subscribers);
+    }
+    ++cross_shard_generated_;
+    const int sh1 = router.OwnerOf(s1);
+    const int sh2 = router.OwnerOf(s2);
+    txn.fragments.push_back(
+        {sh1, tatp_[static_cast<size_t>(sh1)]->BuildTransaction(
+                  TatpTxnType::kUpdateSubscriberData, s1)});
+    txn.fragments.push_back(
+        {sh2, tatp_[static_cast<size_t>(sh2)]->BuildTransaction(
+                  TatpTxnType::kUpdateSubscriberData, s2)});
+    return txn;
+  }
+  // Single-shard: mirror the unsharded mix draws, build on the owner.
+  const uint64_t s_id = mix_rng_.Uniform(config_.subscribers);
+  const TatpTxnType type = DrawType();
+  const int owner = router.OwnerOf(s_id);
+  txn.fragments.push_back(
+      {owner, tatp_[static_cast<size_t>(owner)]->BuildTransaction(type, s_id)});
+  return txn;
+}
+
+}  // namespace bionicdb::workload

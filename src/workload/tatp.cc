@@ -51,8 +51,14 @@ Status TatpWorkload::Load() {
   call_forwarding_ = engine_->CreateTable("CALL_FORWARDING");
   BIONICDB_RETURN_NOT_OK(subscriber_->AddSecondaryIndex("sub_nbr"));
 
+  BIONICDB_CHECK(config_.num_shards >= 1 &&
+                 config_.shard < config_.num_shards);
   Rng load_rng(config_.seed ^ 0x10ad1234u);
   for (uint64_t s = 0; s < config_.subscribers; ++s) {
+    // Ownership gates only the LoadRow calls, never the RNG draws: every
+    // shard walks the same stream, so shard tables partition the global
+    // database row-for-row.
+    const bool owned = s % config_.num_shards == config_.shard;
     SubscriberRow row{};
     row.s_id = s;
     const std::string nbr = SubNbr(s);
@@ -64,10 +70,12 @@ Status TatpWorkload::Load() {
     }
     row.msc_location = static_cast<uint32_t>(load_rng.Next());
     row.vlr_location = static_cast<uint32_t>(load_rng.Next());
-    BIONICDB_RETURN_NOT_OK(
-        engine_->LoadRow(subscriber_, EncodeKeyU64(s), EncodeRow(row)));
-    BIONICDB_RETURN_NOT_OK(
-        subscriber_->LoadSecondaryEntry("sub_nbr", nbr, EncodeKeyU64(s)));
+    if (owned) {
+      BIONICDB_RETURN_NOT_OK(
+          engine_->LoadRow(subscriber_, EncodeKeyU64(s), EncodeRow(row)));
+      BIONICDB_RETURN_NOT_OK(
+          subscriber_->LoadSecondaryEntry("sub_nbr", nbr, EncodeKeyU64(s)));
+    }
 
     // 1-4 ACCESS_INFO rows with distinct ai_type.
     const int n_ai = static_cast<int>(load_rng.UniformRange(1, 4));
@@ -77,9 +85,11 @@ Status TatpWorkload::Load() {
       ai.ai_type = static_cast<uint8_t>(t);
       ai.data1 = static_cast<uint8_t>(load_rng.Uniform(256));
       ai.data2 = static_cast<uint8_t>(load_rng.Uniform(256));
-      BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
-          access_info_, EncodeKeyU64Pair(s, static_cast<uint64_t>(t)),
-          EncodeRow(ai)));
+      if (owned) {
+        BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+            access_info_, EncodeKeyU64Pair(s, static_cast<uint64_t>(t)),
+            EncodeRow(ai)));
+      }
     }
 
     // 1-4 SPECIAL_FACILITY rows; each with 0-3 CALL_FORWARDING rows.
@@ -90,9 +100,11 @@ Status TatpWorkload::Load() {
       sf.sf_type = static_cast<uint8_t>(t);
       sf.is_active = load_rng.Bernoulli(0.85) ? 1 : 0;
       sf.data_a = static_cast<uint8_t>(load_rng.Uniform(256));
-      BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
-          special_facility_, EncodeKeyU64Pair(s, static_cast<uint64_t>(t)),
-          EncodeRow(sf)));
+      if (owned) {
+        BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+            special_facility_, EncodeKeyU64Pair(s, static_cast<uint64_t>(t)),
+            EncodeRow(sf)));
+      }
       const int n_cf = static_cast<int>(load_rng.UniformRange(0, 3));
       for (int c = 0; c < n_cf; ++c) {
         CallForwardingRow cf{};
@@ -100,13 +112,17 @@ Status TatpWorkload::Load() {
         cf.sf_type = static_cast<uint8_t>(t);
         cf.start_time = static_cast<uint8_t>(8 * c);  // 0, 8, 16
         cf.end_time = static_cast<uint8_t>(8 * c + load_rng.UniformRange(1, 8));
-        BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
-            call_forwarding_,
-            EncodeKeyU64Triple(s, static_cast<uint64_t>(t), cf.start_time),
-            EncodeRow(cf)));
+        if (owned) {
+          BIONICDB_RETURN_NOT_OK(engine_->LoadRow(
+              call_forwarding_,
+              EncodeKeyU64Triple(s, static_cast<uint64_t>(t), cf.start_time),
+              EncodeRow(cf)));
+        }
       }
     }
   }
+  // Seals compact-storage tables (no-op otherwise).
+  engine_->FinalizeLoad();
   return Status::OK();
 }
 
@@ -394,6 +410,11 @@ Engine::TxnSpec TatpWorkload::NextTransaction(TatpTxnType* type_out) {
     type = TatpTxnType::kDeleteCallForwarding;
   }
   if (type_out) *type_out = type;
+  return BuildTransaction(type, s_id);
+}
+
+Engine::TxnSpec TatpWorkload::BuildTransaction(TatpTxnType type,
+                                               uint64_t s_id) {
   ++counts_.attempts[static_cast<int>(type)];
   switch (type) {
     case TatpTxnType::kGetSubscriberData:

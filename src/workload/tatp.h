@@ -81,6 +81,13 @@ const char* TatpTxnTypeName(TatpTxnType t);
 struct TatpConfig {
   uint64_t subscribers = 10000;
   uint64_t seed = 1;
+  /// Shard-ownership filter (workload/sharded_tatp.h): Load() populates
+  /// only subscribers with s_id % num_shards == shard. The loader still
+  /// draws the FULL RNG stream, so every owned row is byte-identical to
+  /// the same row in an unsharded load — a shard's tables are exactly a
+  /// partition of the global database. Defaults load everything.
+  uint64_t shard = 0;
+  uint64_t num_shards = 1;
 };
 
 struct TatpCounts {
@@ -96,6 +103,13 @@ class TatpWorkload {
 
   /// Draws a transaction from the standard mix.
   engine::Engine::TxnSpec NextTransaction(TatpTxnType* type_out = nullptr);
+
+  /// Builds a transaction of an externally-chosen type against an
+  /// externally-chosen subscriber (the sharded workload draws both from
+  /// its own mix RNG, then routes here so builder-side draws come from
+  /// the owning shard's stream). Consumes exactly the RNG draws the
+  /// matching branch of NextTransaction would.
+  engine::Engine::TxnSpec BuildTransaction(TatpTxnType type, uint64_t s_id);
 
   /// Individual builders (used by targeted benchmarks).
   engine::Engine::TxnSpec MakeGetSubscriberData(uint64_t s_id);

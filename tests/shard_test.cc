@@ -1,0 +1,379 @@
+// Shard subsystem tests: routing, the 1-shard passivity contract (a
+// 1-shard cluster run is bit-identical to the unsharded engine, WAL
+// bytes included), sharded loading as an exact partition of the
+// unsharded database, 2PC commit/abort atomicity with prepare/decision
+// records in the WAL, and distributed recovery from the decision set.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "shard/cluster.h"
+#include "shard/router.h"
+#include "sim/simulator.h"
+#include "wal/record.h"
+#include "wal/recovery.h"
+#include "workload/driver.h"
+#include "workload/sharded_driver.h"
+#include "workload/sharded_tatp.h"
+#include "workload/tatp.h"
+
+namespace bionicdb::shard {
+namespace {
+
+using engine::Engine;
+using engine::EngineConfig;
+using sim::Simulator;
+using sim::Task;
+using workload::DriverConfig;
+using workload::RunClosedLoop;
+using workload::RunShardedClosedLoop;
+using workload::ShardedDriverReport;
+using workload::ShardedTatp;
+using workload::ShardedTatpConfig;
+using workload::TatpConfig;
+using workload::TatpWorkload;
+
+EngineConfig SmallDora() {
+  EngineConfig c = EngineConfig::Dora();
+  c.num_partitions = 4;
+  return c;
+}
+
+ClusterConfig SmallCluster(int shards) {
+  ClusterConfig c;
+  c.num_shards = shards;
+  c.engine = SmallDora();
+  return c;
+}
+
+std::map<std::string, std::string> StateOf(engine::Database& db) {
+  std::map<std::string, std::string> state;
+  for (uint32_t id = 0; id < db.num_tables(); ++id) {
+    engine::Table* t = db.GetTable(id);
+    for (auto& [k, v] : t->ScanAll()) state[t->name() + "/" + k] = v;
+  }
+  return state;
+}
+
+// ------------------------------------------------------------- router --
+
+TEST(RouterTest, OwnerOfIsModulo) {
+  Router r(4);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(r.OwnerOf(id), static_cast<int>(id % 4));
+  }
+}
+
+TEST(RouterTest, ShardOfIsStableAndSpreads) {
+  Router r(4);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const int s = r.ShardOf(Slice(key));
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    EXPECT_EQ(s, r.ShardOf(Slice(key)));  // deterministic
+    ++hits[static_cast<size_t>(s)];
+  }
+  for (int s = 0; s < 4; ++s) EXPECT_GT(hits[static_cast<size_t>(s)], 100);
+}
+
+// ---------------------------------------------------------- passivity --
+
+/// The acceptance criterion of the sharding PR, in miniature: the same
+/// closed-loop TATP run through a 1-shard cluster and through the plain
+/// engine must produce byte-identical WALs, the same commit counts, and
+/// the same final virtual time.
+TEST(ShardClusterTest, SingleShardPassivityBitIdentical) {
+  DriverConfig dcfg;
+  dcfg.clients = 8;
+  dcfg.warmup_txns = 100;
+  dcfg.measured_txns = 1000;
+
+  // Unsharded reference run.
+  Simulator ref_sim;
+  Engine ref_engine(&ref_sim, SmallDora());
+  TatpConfig ref_wcfg;
+  ref_wcfg.subscribers = 500;
+  TatpWorkload ref_tatp(&ref_engine, ref_wcfg);
+  ASSERT_TRUE(ref_tatp.Load().ok());
+  workload::DriverReport ref_report;
+  ref_sim.Spawn(RunClosedLoop(
+      &ref_engine, [&] { return ref_tatp.NextTransaction(); }, dcfg,
+      &ref_report));
+  ref_sim.Run();
+
+  // Same run through a 1-shard cluster.
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(1));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 500;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+  ShardedDriverReport report;
+  sim.Spawn(RunShardedClosedLoop(
+      &cluster, [&] { return tatp.NextTransaction(); }, dcfg, &report));
+  sim.Run();
+
+  EXPECT_EQ(sim.Now(), ref_sim.Now());
+  EXPECT_EQ(cluster.TotalCommits(), ref_engine.metrics().commits);
+  EXPECT_EQ(cluster.TotalAborts(), ref_engine.metrics().aborts);
+  EXPECT_EQ(report.submitted(), ref_report.submitted);
+  EXPECT_EQ(report.retries(), ref_report.retries);
+  // The strongest form: every logged byte identical.
+  EXPECT_EQ(cluster.shard(0)->log()->buffer(), ref_engine.log()->buffer());
+  // And no distributed machinery fired.
+  EXPECT_EQ(cluster.tpc_stats().started, 0u);
+  EXPECT_EQ(report.cross_shard_submitted, 0u);
+}
+
+// ------------------------------------------------------------ loading --
+
+/// Sharded loading must partition the unsharded database exactly: the
+/// union of all shards' tables equals the unsharded tables row-for-row,
+/// and each row lives only on its owner.
+TEST(ShardClusterTest, ShardedLoadPartitionsDatabase) {
+  const uint64_t kSubs = 40;
+
+  Simulator ref_sim;
+  Engine ref_engine(&ref_sim, SmallDora());
+  TatpConfig ref_wcfg;
+  ref_wcfg.subscribers = kSubs;
+  TatpWorkload ref_tatp(&ref_engine, ref_wcfg);
+  ASSERT_TRUE(ref_tatp.Load().ok());
+  const auto ref_state = StateOf(ref_engine.db());
+
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(3));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = kSubs;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  std::map<std::string, std::string> merged;
+  for (int i = 0; i < cluster.num_shards(); ++i) {
+    for (const auto& [k, v] : StateOf(cluster.shard(i)->db())) {
+      auto [it, inserted] = merged.emplace(k, v);
+      EXPECT_TRUE(inserted) << "row " << k << " loaded on two shards";
+    }
+  }
+  EXPECT_EQ(merged, ref_state);
+}
+
+// ---------------------------------------------------------------- 2PC --
+
+struct TxnResult {
+  Status status = Status::OK();
+};
+
+Task<void> DriveOne(Cluster* cluster, ShardedTxn txn, TxnResult* out) {
+  out->status = co_await cluster->Execute(std::move(txn));
+  co_await cluster->Shutdown();
+}
+
+/// Builds a two-shard UpdateLocation pair against owned s_ids
+/// (UpdateLocation always succeeds when the subscriber exists, unlike
+/// UpdateSubscriberData whose sf_type draw may legitimately miss).
+ShardedTxn CrossShardUpdate(ShardedTatp* tatp, uint64_t s0, uint64_t s1,
+                            int shard0, int shard1) {
+  ShardedTxn txn;
+  TatpWorkload* w0 = tatp->shard_workload(shard0);
+  TatpWorkload* w1 = tatp->shard_workload(shard1);
+  txn.fragments.push_back(
+      {shard0, w0->MakeUpdateLocation(w0->SubNbr(s0), 12345)});
+  txn.fragments.push_back(
+      {shard1, w1->MakeUpdateLocation(w1->SubNbr(s1), 67890)});
+  return txn;
+}
+
+TEST(TwoPhaseCommitTest, CrossShardCommitWritesPrepareAndDecision) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 40;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  // s_id 2 lives on shard 0, s_id 3 on shard 1 (modulo placement).
+  TxnResult result;
+  cluster.Start();
+  sim.Spawn(DriveOne(&cluster, CrossShardUpdate(&tatp, 2, 3, 0, 1), &result));
+  sim.Run();
+
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(cluster.tpc_stats().started, 1u);
+  EXPECT_EQ(cluster.tpc_stats().committed, 1u);
+  EXPECT_EQ(cluster.tpc_stats().aborted, 0u);
+
+  // Both shards hold a durable kPrepare for the same gtid; the
+  // coordinator (lowest shard id = 0) additionally holds the decision.
+  std::vector<uint64_t> gtids;
+  for (int i = 0; i < 2; ++i) {
+    auto recs = wal::ParseLogStream(Slice(cluster.shard(i)->log()->buffer()));
+    ASSERT_TRUE(recs.ok());
+    uint64_t gtid = 0;
+    bool commit = false;
+    for (const wal::LogRecord& rec : *recs) {
+      if (rec.type == wal::RecordType::kPrepare) gtid = wal::PrepareGtid(rec);
+      if (rec.type == wal::RecordType::kCommit) commit = true;
+    }
+    EXPECT_NE(gtid, 0u) << "no prepare on shard " << i;
+    EXPECT_TRUE(commit) << "no branch commit on shard " << i;
+    gtids.push_back(gtid);
+
+    wal::DistributedDecisions decisions;
+    ASSERT_TRUE(wal::CollectDecisions(
+                    Slice(cluster.shard(i)->log()->buffer()), &decisions)
+                    .ok());
+    if (i == 0) {
+      EXPECT_EQ(decisions.committed_gtids.count(gtid), 1u)
+          << "coordinator decision missing";
+    } else {
+      EXPECT_TRUE(decisions.committed_gtids.empty())
+          << "participant wrote a decision record";
+    }
+  }
+  EXPECT_EQ(gtids[0], gtids[1]);
+}
+
+TEST(TwoPhaseCommitTest, FailedBranchAbortsAtomicallyOnAllShards) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 40;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  std::vector<std::map<std::string, std::string>> before;
+  for (int i = 0; i < 2; ++i) before.push_back(StateOf(cluster.shard(i)->db()));
+
+  // Shard 0's valid branch executes (locks held, write applied), then
+  // shard 1's fragment targets a subscriber that does not exist and
+  // fails — shard 0's already-executed branch must roll back with it.
+  TxnResult result;
+  cluster.Start();
+  sim.Spawn(
+      DriveOne(&cluster, CrossShardUpdate(&tatp, 2, 9999, 0, 1), &result));
+  sim.Run();
+
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(cluster.tpc_stats().committed, 0u);
+  EXPECT_EQ(cluster.tpc_stats().aborted, 1u);
+  EXPECT_GT(cluster.tpc_stats().exec_aborts, 0u);
+  // Atomicity: neither shard's state moved.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(StateOf(cluster.shard(i)->db()), before[static_cast<size_t>(i)])
+        << "shard " << i << " mutated by an aborted distributed txn";
+  }
+  // Presumed abort: no decision record anywhere.
+  for (int i = 0; i < 2; ++i) {
+    wal::DistributedDecisions decisions;
+    ASSERT_TRUE(wal::CollectDecisions(
+                    Slice(cluster.shard(i)->log()->buffer()), &decisions)
+                    .ok());
+    EXPECT_TRUE(decisions.committed_gtids.empty());
+  }
+}
+
+// ------------------------------------------------- sharded closed loop --
+
+TEST(ShardClusterTest, CrossShardTrafficCommitsAndIsAttributed) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(4));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 2000;
+  wcfg.cross_shard_ratio = 0.2;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  DriverConfig dcfg;
+  dcfg.clients = 8;
+  dcfg.warmup_txns = 100;
+  dcfg.measured_txns = 1000;
+  ShardedDriverReport report;
+  sim.Spawn(RunShardedClosedLoop(
+      &cluster, [&] { return tatp.NextTransaction(); }, dcfg, &report));
+  sim.Run();
+
+  EXPECT_EQ(report.submitted(), 1000u);
+  EXPECT_GT(report.cross_shard_submitted, 100u);  // ~20% of 1000
+  EXPECT_GT(cluster.tpc_stats().committed, 0u);
+  // Per-shard attribution: every home shard saw traffic, and the totals
+  // reconcile with the aggregate.
+  ASSERT_EQ(report.per_shard.size(), 4u);
+  for (const auto& s : report.per_shard) EXPECT_GT(s.submitted, 0u);
+  EXPECT_GT(cluster.TotalCommits(), 0u);
+}
+
+/// Distributed recovery end to end: run cross-shard traffic, then replay
+/// every shard's full log into a fresh cluster with the cluster-wide
+/// decision set; prepared branches with a surviving decision commit.
+TEST(ShardClusterTest, DistributedRecoveryReplaysFullLog) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 200;
+  wcfg.cross_shard_ratio = 0.3;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  DriverConfig dcfg;
+  dcfg.clients = 4;
+  dcfg.warmup_txns = 0;
+  dcfg.measured_txns = 300;
+  sim.Spawn(RunShardedClosedLoop(
+      &cluster, [&] { return tatp.NextTransaction(); }, dcfg, nullptr));
+  sim.Run();
+  ASSERT_GT(cluster.tpc_stats().committed, 0u);
+
+  wal::DistributedDecisions decisions;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(wal::CollectDecisions(
+                    Slice(cluster.shard(i)->log()->buffer()), &decisions)
+                    .ok());
+  }
+  EXPECT_GE(decisions.committed_gtids.size(), cluster.tpc_stats().committed);
+
+  uint64_t prepared_committed = 0;
+  for (int i = 0; i < 2; ++i) {
+    Simulator fresh_sim;
+    Cluster fresh(&fresh_sim, SmallCluster(2));
+    ShardedTatp fresh_tatp(&fresh, wcfg);
+    ASSERT_TRUE(fresh_tatp.Load().ok());
+
+    class DbTarget : public wal::RecoveryTarget {
+     public:
+      explicit DbTarget(engine::Database* db) : db_(db) {}
+      void RedoInsert(uint32_t t, Slice k, Slice v) override {
+        ASSERT_TRUE(db_->GetTable(t)->BasePut(k, v).ok());
+      }
+      void RedoUpdate(uint32_t t, Slice k, Slice v) override {
+        ASSERT_TRUE(db_->GetTable(t)->BasePut(k, v).ok());
+      }
+      void RedoDelete(uint32_t t, Slice k) override {
+        (void)db_->GetTable(t)->BaseDelete(k);
+      }
+
+     private:
+      engine::Database* db_;
+    };
+    DbTarget target(&fresh.shard(i)->db());
+    wal::RecoveryStats stats;
+    ASSERT_TRUE(wal::Recover(Slice(cluster.shard(i)->log()->buffer()),
+                             &target, &stats, &decisions)
+                    .ok());
+    prepared_committed += stats.prepared_committed;
+    EXPECT_EQ(StateOf(fresh.shard(i)->db()),
+              StateOf(cluster.shard(i)->db()))
+        << "shard " << i << " recovery diverged from live state";
+  }
+  // The full log holds every prepared branch; with the complete decision
+  // set they all commit (2 branches per distributed txn).
+  EXPECT_EQ(prepared_committed, 2 * cluster.tpc_stats().committed);
+}
+
+}  // namespace
+}  // namespace bionicdb::shard

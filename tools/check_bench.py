@@ -254,6 +254,80 @@ def check_overload(overload):
               f"txn/s")
 
 
+def check_shard(shard):
+    """Gates on bench/shard_scaling output (sharded scale-out sweep).
+
+    Host-independent: every row is virtual-time output of a seeded
+    simulation (byte-identical across --jobs by construction).
+      * 1-shard passivity pin: the cluster's single-fragment fast path
+        must be invisible — shard_closed_1 replicates the unsharded
+        closed-loop TATP run and must emit SIM_TXN_PER_SEC_PIN exactly,
+        with zero 2PC activity.
+      * Shard scaling: at cross-shard ratio 0 the sweep's throughput is
+        monotone non-decreasing in shard count (2% slack for scheduling
+        jitter at the top of the curve) — more shards, more DORA
+        partitions, never less virtual throughput.
+      * Cross-shard ablation: ratio-0 rows run zero distributed
+        transactions; every positive-ratio row starts AND commits 2PC
+        transactions (the coordinator actually works), and the observed
+        cross-shard submission fraction tracks the configured ratio.
+    """
+    pin = shard.get("shard_closed_1")
+    if pin is None:
+        fail("shard: missing 1-shard passivity pin row shard_closed_1")
+    if pin["sim_txn_per_sec"] != SIM_TXN_PER_SEC_PIN:
+        fail(f"shard passivity pin: sim_txn_per_sec "
+             f"{pin['sim_txn_per_sec']} != {SIM_TXN_PER_SEC_PIN} — the "
+             f"1-shard cluster path perturbed the unsharded schedule")
+    if pin["tpc_started"] != 0 or pin["cross_shard_submitted"] != 0:
+        fail("shard passivity pin: 2PC machinery fired on a 1-shard run")
+    print(f"OK  shard 1-shard pin: sim_txn_per_sec == "
+          f"{SIM_TXN_PER_SEC_PIN}, zero 2PC activity")
+
+    sweep = sorted(
+        (row for name, row in shard.items()
+         if name.startswith("shard_sweep_s")),
+        key=lambda r: r["shards"])
+    if len(sweep) < 3:
+        fail(f"shard: scaling sweep has {len(sweep)} points (need >= 3)")
+    for prev, cur in zip(sweep, sweep[1:]):
+        if cur["sim_txn_per_sec"] < prev["sim_txn_per_sec"] * 0.98:
+            fail(f"shard scaling not monotone: {cur['shards']:.0f} shards "
+                 f"at {cur['sim_txn_per_sec']:.0f} txn/s < "
+                 f"{prev['shards']:.0f} shards at "
+                 f"{prev['sim_txn_per_sec']:.0f}")
+        if cur["tpc_started"] != 0:
+            fail(f"shard scaling: 2PC ran at cross-shard ratio 0 "
+                 f"({cur['shards']:.0f} shards)")
+    print(f"OK  shard scaling monotone over {len(sweep)} points "
+          f"({sweep[0]['sim_txn_per_sec']:.0f} -> "
+          f"{sweep[-1]['sim_txn_per_sec']:.0f} txn/s)")
+
+    ablation = sorted(
+        (row for name, row in shard.items()
+         if name.startswith("xshard_r")),
+        key=lambda r: r["cross_ratio"])
+    if len(ablation) < 2:
+        fail(f"shard: cross-shard ablation has {len(ablation)} points "
+             f"(need >= 2)")
+    for row in ablation:
+        ratio = row["cross_ratio"]
+        if ratio == 0:
+            if row["tpc_started"] != 0:
+                fail("shard ablation: 2PC ran at ratio 0")
+            continue
+        if row["tpc_started"] <= 0 or row["tpc_committed"] <= 0:
+            fail(f"shard ablation: no 2PC commits at ratio {ratio}")
+        observed = row["cross_shard_submitted"] / row["commits"]
+        if not (ratio * 0.5 <= observed <= ratio * 2.0):
+            fail(f"shard ablation: observed cross-shard fraction "
+                 f"{observed:.4f} far from configured {ratio}")
+    top = ablation[-1]
+    print(f"OK  shard ablation: {len(ablation)} ratios, top ratio "
+          f"{top['cross_ratio']} committed {top['tpc_committed']:.0f} "
+          f"2PC txns")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="bionicdb wall-clock bench gate")
@@ -267,6 +341,11 @@ def main():
         "--overload", default=None, metavar="OVERLOAD_JSON",
         help="bench/overload output; enables the open-loop saturation "
              "gates (shed-rate monotonicity + closed-loop passivity pin)")
+    parser.add_argument(
+        "--shard", default=None, metavar="SHARD_JSON",
+        help="bench/shard_scaling output; enables the scale-out gates "
+             "(1-shard passivity pin, monotone shard scaling, cross-shard "
+             "2PC ablation)")
     args = parser.parse_args()
 
     with open(args.wallclock) as f:
@@ -283,6 +362,9 @@ def main():
     if args.overload is not None:
         with open(args.overload) as f:
             check_overload(json.load(f))
+    if args.shard is not None:
+        with open(args.shard) as f:
+            check_shard(json.load(f))
     sys.exit(0)
 
 
