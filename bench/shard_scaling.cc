@@ -6,7 +6,13 @@
 //                      partitions, WAL device, and group-commit stream;
 //   * cross-shard mix  (0..10% distributed writes at 4 shards): the
 //                      price of 2PC — two prepares + a decision record,
-//                      all durably ordered, per distributed transaction;
+//                      all durably ordered, per distributed transaction.
+//                      Run twice: parallel branch fan-out (xshard_r*) and
+//                      the sequential PR 9 protocol (xshard_seq_r*), so
+//                      check_bench can gate fan-out strictly faster;
+//   * snapshot reads   (xsnap_r*: read-only cross-shard pairs): served
+//                      by the prepare-free path — tpc_started must stay
+//                      0 while snap_committed carries the traffic;
 //   * population       (10k..10M subscribers at 4 shards, compact
 //                      storage): the memory-lean store keeps a
 //                      million-subscriber cluster resident.
@@ -29,6 +35,7 @@
 
 #include "common/parallel_for.h"
 #include "engine/engine.h"
+#include "obs/timeline.h"
 #include "shard/cluster.h"
 #include "sim/simulator.h"
 #include "workload/driver.h"
@@ -44,6 +51,8 @@ struct RowSpec {
   uint64_t subscribers = 100000;
   int shards = 4;
   double cross_ratio = 0.0;
+  double cross_read_ratio = 0.0;
+  bool fanout = true;
   bool compact = false;
   int clients = 32;
   uint64_t warmup_txns = 2000;
@@ -70,11 +79,13 @@ Row RunShardedTatp(const RowSpec& spec) {
   shard::ClusterConfig cc;
   cc.num_shards = spec.shards;
   cc.engine = ShardEngineConfig(spec.compact);
+  cc.fanout_2pc = spec.fanout;
   shard::Cluster cluster(&sim, cc);
 
   workload::ShardedTatpConfig wc;
   wc.subscribers = spec.subscribers;
   wc.cross_shard_ratio = spec.cross_ratio;
+  wc.cross_read_ratio = spec.cross_read_ratio;
   workload::ShardedTatp tatp(&cluster, wc);
   BIONICDB_CHECK(tatp.Load().ok());
 
@@ -115,6 +126,26 @@ Row RunShardedTatp(const RowSpec& spec) {
   row.fields.emplace_back("tpc_committed",
                           static_cast<double>(tpc.committed));
   row.fields.emplace_back("tpc_aborted", static_cast<double>(tpc.aborted));
+  row.fields.emplace_back("tpc_retired",
+                          static_cast<double>(tpc.decisions_retired));
+  const shard::SnapshotReadStats& snap = cluster.snap_stats();
+  row.fields.emplace_back("snap_started", static_cast<double>(snap.started));
+  row.fields.emplace_back("snap_committed",
+                          static_cast<double>(snap.committed));
+  row.fields.emplace_back("fanout", spec.fanout ? 1.0 : 0.0);
+  // Per-phase 2PC attribution, mean over shard 0's finished transactions
+  // (zero on rows with no cross-shard traffic): where the distributed
+  // commit path spends its time, and what fan-out removed.
+  const obs::FlightRecorder* fr = cluster.shard(0)->flight_recorder();
+  if (fr != nullptr && fr->enabled()) {
+    for (obs::Stage st : {obs::Stage::kTwoPCExec, obs::Stage::kTwoPCPrepare,
+                          obs::Stage::kTwoPCDecision,
+                          obs::Stage::kTwoPCFinish}) {
+      row.fields.emplace_back(
+          std::string("stage_") + obs::StageKey(st) + "_mean_ns",
+          fr->stage_hist(st).Mean());
+    }
+  }
   // Per-shard attribution (satellite: no single aggregate hiding a hot
   // shard) — submitted/retries/gave_up per home shard.
   for (int i = 0; i < spec.shards; ++i) {
@@ -220,18 +251,46 @@ std::vector<RowSpec> BuildSpecs(bool smoke) {
     specs.push_back(s);
   }
 
-  // Cross-shard ratio ablation at 4 shards.
+  // Cross-shard ratio ablation at 4 shards: fan-out (xshard_r*) plus the
+  // sequential baseline (xshard_seq_r*, positive ratios only — at ratio 0
+  // the two protocols never run). check_bench gates fan-out strictly
+  // faster at the top shared ratio.
   const std::vector<double> ratios =
       smoke ? std::vector<double>{0.0, 0.05}
             : std::vector<double>{0.0, 0.005, 0.01, 0.02, 0.05, 0.1};
-  for (double r : ratios) {
+  for (bool fanout : {true, false}) {
+    for (double r : ratios) {
+      if (!fanout && r == 0.0) continue;
+      RowSpec s;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", r);
+      s.name = std::string(fanout ? "xshard_r" : "xshard_seq_r") + buf;
+      s.subscribers = sweep_subs;
+      s.shards = 4;
+      s.cross_ratio = r;
+      s.fanout = fanout;
+      s.compact = true;
+      s.clients = 64;
+      s.warmup_txns = 2000;
+      s.measured_txns = 8000;
+      specs.push_back(s);
+    }
+  }
+
+  // Read-only cross-shard pairs at 4 shards: the prepare-free snapshot
+  // path. check_bench gates tpc_started == 0 on every xsnap row.
+  const std::vector<double> read_ratios =
+      smoke ? std::vector<double>{0.05}
+            : std::vector<double>{0.01, 0.05, 0.1};
+  for (double r : read_ratios) {
     RowSpec s;
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", r);
-    s.name = std::string("xshard_r") + buf;
+    s.name = std::string("xsnap_r") + buf;
     s.subscribers = sweep_subs;
     s.shards = 4;
-    s.cross_ratio = r;
+    s.cross_ratio = 0.0;
+    s.cross_read_ratio = r;
     s.compact = true;
     s.clients = 64;
     s.warmup_txns = 2000;

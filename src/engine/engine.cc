@@ -1359,7 +1359,8 @@ sim::Task<Status> Engine::ExecuteBranch(BranchHandle* h, TxnSpec spec,
   co_return st;
 }
 
-sim::Task<Status> Engine::PrepareBranch(BranchHandle* h, uint64_t gtid) {
+sim::Task<Status> Engine::PrepareBranch(BranchHandle* h, uint64_t gtid,
+                                        bool wait_durable) {
   obs::TxnTimeline* tl = h->tl;
   const SimTime p0 = tl != nullptr ? sim_->Now() : 0;
   co_await CpuWorkNoCore(platform_->cost().XctCommitNs(), Component::kXct);
@@ -1375,10 +1376,13 @@ sim::Task<Status> Engine::PrepareBranch(BranchHandle* h, uint64_t gtid) {
     platform_->meter().ChargeBusy(platform_->cpu_component(), elapsed, 0);
     breakdown_.Charge(Component::kLog, elapsed);
   }
-  Status st = co_await xm_->WaitPrepareDurable(prepare_lsn);
+  Status st = Status::OK();
+  if (wait_durable) {
+    st = co_await xm_->WaitPrepareDurable(prepare_lsn);
+  }
   if (tl != nullptr) {
-    tl->Charge(obs::Stage::kTwoPC, sim_->Now() - p0);
-    if (hw_log) tl->TagHw(obs::Stage::kTwoPC);
+    tl->Charge(obs::Stage::kTwoPCPrepare, sim_->Now() - p0);
+    if (hw_log) tl->TagHw(obs::Stage::kTwoPCPrepare);
   }
   co_return st;
 }
@@ -1390,8 +1394,14 @@ sim::Task<Status> Engine::LogCoordCommit(BranchHandle* coord, uint64_t gtid) {
   // durability wait dominate inside LogCommitDecision.
   co_await CpuWorkNoCore(platform_->cost().InstrNs(40.0), Component::kLog);
   Status st = co_await xm_->LogCommitDecision(gtid, coord->socket);
-  if (tl != nullptr) tl->Charge(obs::Stage::kTwoPC, sim_->Now() - d0);
+  if (tl != nullptr) tl->Charge(obs::Stage::kTwoPCDecision, sim_->Now() - d0);
   co_return st;
+}
+
+sim::Task<Status> Engine::LogCoordForget(uint64_t gtid, int socket) {
+  BIONICDB_CHECK(threaded_ == nullptr);
+  co_await CpuWorkNoCore(platform_->cost().InstrNs(40.0), Component::kLog);
+  co_return co_await xm_->LogForgetDecision(gtid, socket);
 }
 
 sim::Task<Status> Engine::FinishBranch(BranchHandle* h, bool commit) {

@@ -222,11 +222,22 @@ class Engine {
   sim::Task<Status> ExecuteBranch(BranchHandle* h, TxnSpec spec, int socket,
                                   uint64_t* priority);
   /// 2PC phase 1 on this branch: durable yes-vote for `gtid` (read-only
-  /// branches vote for free). Charged to the timeline's 2pc stage.
-  sim::Task<Status> PrepareBranch(BranchHandle* h, uint64_t gtid);
+  /// branches vote for free). Charged to the timeline's 2pc_prepare stage.
+  /// `wait_durable = false` appends the prepare without waiting: the
+  /// coordinator-colocated branch uses this because the decision record —
+  /// appended later to the SAME log at a higher LSN — cannot become durable
+  /// without the prepare preceding it (monotone durable prefix), and a
+  /// crash before the decision is durable resolves presumed-abort whether
+  /// or not the prepare survived.
+  sim::Task<Status> PrepareBranch(BranchHandle* h, uint64_t gtid,
+                                  bool wait_durable = true);
   /// Coordinator decision record for `gtid`, appended to THIS engine's log
-  /// and made durable; charged to `coord`'s 2pc stage.
+  /// and made durable; charged to `coord`'s 2pc_decision stage.
   sim::Task<Status> LogCoordCommit(BranchHandle* coord, uint64_t gtid);
+  /// Decision-record GC marker for `gtid` on THIS engine's log: append
+  /// only, no durability wait. Call only after every branch of the
+  /// transaction finished committing (their kCommit records are durable).
+  sim::Task<Status> LogCoordForget(uint64_t gtid, int socket);
   /// 2PC phase 2: commit (commit record + durability wait) or abort (undo
   /// + CLRs). Releases locks, records latency/metrics, frees the slot.
   sim::Task<Status> FinishBranch(BranchHandle* h, bool commit);

@@ -10,12 +10,14 @@ namespace bionicdb::obs {
 namespace {
 
 constexpr const char* kStageKeys[kNumStages] = {
-    "admit",      "route",      "queue_wait", "lock_wait", "execute",
-    "wal_append", "flush_wait", "commit",     "2pc",
+    "admit",      "route",      "queue_wait",   "lock_wait",
+    "execute",    "wal_append", "flush_wait",   "commit",
+    "2pc_exec",   "2pc_prepare", "2pc_decision", "2pc_finish",
 };
 constexpr const char* kStageLabels[kNumStages] = {
-    "Admission wait", "Routing",    "Queue wait", "Lock wait", "Execution",
-    "WAL append",     "Flush wait", "Commit",     "2PC",
+    "Admission wait", "Routing",      "Queue wait",   "Lock wait",
+    "Execution",      "WAL append",   "Flush wait",   "Commit",
+    "2PC branch join", "2PC prepare", "2PC decision", "2PC finish",
 };
 
 /// Retention order for the slowest-reservoir: higher total first, earlier

@@ -3,7 +3,7 @@
 //
 //  * TxnTimeline — a fixed-size, alloc-free record threaded through the
 //    engine's txn lifecycle (txn::Xct::timeline). Every layer that makes a
-//    transaction wait or work charges virtual time to one of eight stages,
+//    transaction wait or work charges virtual time to one of twelve stages,
 //    so each transaction ends with a machine-readable waterfall of where
 //    its latency went. A null pointer disables everything: each charge
 //    site is one predicted-not-taken branch, preserving the PR 4 contract
@@ -46,9 +46,15 @@ enum class Stage : uint8_t {
   kWalAppend,   ///< WAL append ordering (reserve/copy or hw descriptor).
   kFlushWait,   ///< Group-commit durability wait.
   kCommit,      ///< Commit bookkeeping + commit-record append.
-  kTwoPC,       ///< 2PC coordination: prepare votes + decision durability.
+  // 2PC coordination, split so the cross-shard ablation can attribute the
+  // distributed commit path's cost to its phases (all four are zero for
+  // single-shard transactions):
+  kTwoPCExec,      ///< Branch-join stall: own fragment done, siblings not.
+  kTwoPCPrepare,   ///< Prepare-record append + durability wait (phase 1).
+  kTwoPCDecision,  ///< Coordinator decision append + durability wait.
+  kTwoPCFinish,    ///< Stall between decision durable and branch finish.
 };
-inline constexpr int kNumStages = 9;
+inline constexpr int kNumStages = 12;
 
 /// Stable lowercase key, used in metric names ("engine.txn.stage.<key>_ns")
 /// and JSON fields ("stage_<key>_p999_us").

@@ -6,7 +6,7 @@
 // cross-shard transaction's prepare on shard 2 and decision on shard 0
 // interleave with single-shard traffic on the same calendar queue, so
 // 2PC latency shows up in the same timelines and histograms as
-// everything else (obs::Stage::kTwoPC).
+// everything else (the obs::Stage::kTwoPC* stage quartet).
 //
 // Passivity: a 1-shard cluster is the unsharded engine. Execute() on a
 // single-fragment transaction forwards straight into Engine::Execute —
@@ -31,6 +31,12 @@ struct ClusterConfig {
   /// Template applied to every shard (partitions, mode, log device,
   /// compact storage, ... are per-shard).
   engine::EngineConfig engine;
+  /// Parallel 2PC branch fan-out (default). false = the PR 9 sequential
+  /// ascending-shard protocol, kept as the ablation baseline.
+  bool fanout_2pc = true;
+  /// Route fully read-only cross-shard transactions through the
+  /// prepare-free snapshot-read path instead of 2PC.
+  bool snapshot_reads = true;
 };
 
 class Cluster {
@@ -43,9 +49,12 @@ class Cluster {
   const Router& router() const { return router_; }
   sim::Simulator* simulator() { return sim_; }
   const TwoPhaseCommitStats& tpc_stats() const { return tpc_.stats(); }
+  const SnapshotReadStats& snap_stats() const { return tpc_.snap_stats(); }
 
   /// Routes one transaction: single fragment -> that shard's
-  /// Engine::Execute (the passivity-critical fast path), otherwise 2PC.
+  /// Engine::Execute (the passivity-critical fast path); fully read-only
+  /// multi-fragment -> prepare-free snapshot read (when enabled);
+  /// otherwise 2PC.
   sim::Task<Status> Execute(ShardedTxn txn, int socket = 0,
                             uint64_t* priority = nullptr);
 
@@ -65,6 +74,7 @@ class Cluster {
   std::vector<std::unique_ptr<engine::Engine>> shards_;
   Router router_;
   TwoPhaseCommit tpc_;
+  bool snapshot_reads_;
 };
 
 }  // namespace bionicdb::shard

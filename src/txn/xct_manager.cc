@@ -130,6 +130,18 @@ sim::Task<Status> XctManager::LogCommitDecision(uint64_t gtid, int socket) {
   co_return st;
 }
 
+sim::Task<Status> XctManager::LogForgetDecision(uint64_t gtid, int socket) {
+  wal::LogRecord rec;
+  rec.type = wal::RecordType::kCoordForget;
+  rec.txn_id = gtid;
+  rec.prev_lsn = wal::kInvalidLsn;
+  co_await log_->Append(std::move(rec), socket);
+  // No WaitDurable: the marker is advisory. If it never becomes durable the
+  // kCoordCommit it retires simply stays live across the next recovery.
+  ++stats_.decisions_retired;
+  co_return Status::OK();
+}
+
 sim::Task<Status> XctManager::Abort(Xct* xct, const UndoApplier& applier,
                                     int socket) {
   BIONICDB_CHECK(xct->state == XctState::kActive);

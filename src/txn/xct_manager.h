@@ -22,6 +22,7 @@ struct XctManagerStats {
   uint64_t read_only_commits = 0;  ///< Commits that skipped the log entirely.
   uint64_t prepared = 0;           ///< 2PC yes-votes logged (write branches).
   uint64_t decisions_logged = 0;   ///< Coordinator commit decisions logged.
+  uint64_t decisions_retired = 0;  ///< kCoordForget GC markers appended.
 };
 
 class XctManager {
@@ -76,6 +77,18 @@ class XctManager {
   /// manager's log and waits for durability. Presumed abort means no
   /// record is ever written for the abort decision.
   sim::Task<Status> LogCommitDecision(uint64_t gtid, int socket);
+
+  /// Decision-record GC: appends kCoordForget for `gtid` once every
+  /// participant's branch commit record is durable. Append-only, no
+  /// durability wait — losing the marker in a crash merely means the
+  /// decision survives one recovery longer than necessary.
+  sim::Task<Status> LogForgetDecision(uint64_t gtid, int socket);
+
+  /// Draws a fresh transaction id for use as a shared wait-die priority
+  /// WITHOUT starting a transaction. The distributed layer pins one
+  /// priority across all branches of a cluster-wide transaction and must
+  /// fix it before branches race to Begin() on their home shards.
+  TxnId DrawPriority() { return next_txn_++; }
 
   const XctManagerStats& stats() const { return stats_; }
   wal::LogManager* log() { return log_; }

@@ -63,6 +63,8 @@ const char* RecordTypeName(RecordType t) {
       return "Prepare";
     case RecordType::kCoordCommit:
       return "CoordCommit";
+    case RecordType::kCoordForget:
+      return "CoordForget";
   }
   return "?";
 }

@@ -34,6 +34,12 @@ enum class RecordType : uint8_t {
   /// ever written for aborts, so a prepared branch whose gtid has no
   /// decision anywhere resolves to abort at recovery.
   kCoordCommit,
+  /// Decision-record GC: the coordinator appended this (txn_id == gtid)
+  /// only after EVERY participant's branch commit record became durable,
+  /// so the kCoordCommit decision for that gtid is no longer needed —
+  /// each branch now resolves through its own local kCommit. Appended
+  /// without a durability wait: losing it merely delays retirement.
+  kCoordForget,
 };
 
 const char* RecordTypeName(RecordType t);

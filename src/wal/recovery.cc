@@ -27,6 +27,14 @@ Status CollectDecisions(Slice stream, DistributedDecisions* out) {
   for (const LogRecord& rec : *parsed) {
     if (rec.type == RecordType::kCoordCommit) {
       out->committed_gtids.insert(rec.txn_id);
+      ++out->collected;
+    } else if (rec.type == RecordType::kCoordForget) {
+      // GC marker: every branch of this gtid has a durable local kCommit,
+      // so the decision is redundant. Both records live on the
+      // coordinator's own log and ParseLogStream yields LSN order, so the
+      // erase always follows its insert.
+      out->committed_gtids.erase(rec.txn_id);
+      ++out->retired;
     }
   }
   return Status::OK();
@@ -65,7 +73,8 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats,
     // Decision records carry a GLOBAL id, not a local txn id, so they stay
     // out of loser accounting like checkpoints do.
     if (rec.type != RecordType::kCheckpoint &&
-        rec.type != RecordType::kCoordCommit && rec.txn_id != 0) {
+        rec.type != RecordType::kCoordCommit &&
+        rec.type != RecordType::kCoordForget && rec.txn_id != 0) {
       seen.insert(rec.txn_id);
     }
     switch (rec.type) {
@@ -85,6 +94,12 @@ Status Recover(Slice stream, RecoveryTarget* target, RecoveryStats* stats,
             decisions->committed_gtids.count(PrepareGtid(rec)) > 0) {
           committed.insert(rec.txn_id);
         }
+        break;
+      case RecordType::kCoordCommit:
+        ++stats->decision_records;
+        break;
+      case RecordType::kCoordForget:
+        ++stats->forget_records;
         break;
       default:
         break;

@@ -41,6 +41,10 @@ struct RecoveryStats {
   /// prepared in-doubt (no decision anywhere -> presumed abort).
   uint64_t prepared_committed = 0;
   uint64_t prepared_aborted = 0;
+  /// Coordinator records seen in THIS log: commit decisions and the
+  /// forget markers that retire them (decision GC).
+  uint64_t decision_records = 0;
+  uint64_t forget_records = 0;
   /// LSN (stream offset) of the last checkpoint record, if any.
   Lsn checkpoint_lsn = kInvalidLsn;
   /// How the stream ended; kind == kNone means a clean record boundary.
@@ -48,16 +52,21 @@ struct RecoveryStats {
 };
 
 /// Cluster-wide commit decisions for distributed (2PC) recovery: the union
-/// of kCoordCommit gtids found in every shard's durable log prefix. Built
-/// by CollectDecisions over each log, then passed to every shard's
+/// of kCoordCommit gtids found in every shard's durable log prefix, MINUS
+/// the gtids retired by a later kCoordForget (decision GC — the forget is
+/// only appended once every participant's branch commit record is durable,
+/// so a retired gtid's branches all resolve through their local kCommit).
+/// Built by CollectDecisions over each log, then passed to every shard's
 /// Recover call so prepared-but-undecided branches resolve presumed-abort.
 struct DistributedDecisions {
   std::unordered_set<uint64_t> committed_gtids;
+  uint64_t collected = 0;  ///< kCoordCommit records seen (pre-GC total).
+  uint64_t retired = 0;    ///< kCoordForget records seen (gtids erased).
 };
 
-/// Scans `stream` for coordinator decision records (kCoordCommit) and adds
-/// their gtids to `*out`. Tolerates a torn tail exactly like Recover; run
-/// it over EVERY shard log before any shard recovers.
+/// Scans `stream` for coordinator decision records (kCoordCommit inserts
+/// the gtid, kCoordForget erases it). Tolerates a torn tail exactly like
+/// Recover; run it over EVERY shard log before any shard recovers.
 Status CollectDecisions(Slice stream, DistributedDecisions* out);
 
 /// Decodes the gtid a prepare record carries (8 bytes, big-endian, in

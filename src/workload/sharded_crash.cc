@@ -20,6 +20,7 @@ shard::ClusterConfig HarnessClusterConfig(const ShardedCrashConfig& cfg) {
   cc.num_shards = cfg.num_shards;
   cc.engine = engine::EngineConfig::Dora();
   cc.engine.num_partitions = 4;
+  cc.fanout_2pc = cfg.fanout;
   return cc;
 }
 
@@ -243,6 +244,8 @@ std::string ShardedCrashHarness::CheckCut(size_t index,
       agg->redo_skipped += stats.redo_skipped;
       agg->prepared_committed += stats.prepared_committed;
       agg->prepared_aborted += stats.prepared_aborted;
+      agg->decision_records += stats.decision_records;
+      agg->forget_records += stats.forget_records;
     }
     if (!st.ok()) {
       return "shard " + std::to_string(i) + ": recover failed: " +

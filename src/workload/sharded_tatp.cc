@@ -7,7 +7,8 @@ ShardedTatp::ShardedTatp(shard::Cluster* cluster,
     : cluster_(cluster),
       config_(config),
       mix_rng_(config.seed),
-      cross_rng_(config.seed ^ 0xc705c4a2d1ull) {
+      cross_rng_(config.seed ^ 0xc705c4a2d1ull),
+      snap_rng_(config.seed ^ 0x5e4d0caf37ull) {
   const int n = cluster->num_shards();
   // Every shard must own at least one subscriber, and a cross-shard pair
   // must exist (subscribers 0 and 1 land on different shards when n > 1).
@@ -49,6 +50,27 @@ shard::ShardedTxn ShardedTatp::NextTransaction() {
     return txn;
   }
   const shard::Router& router = cluster_->router();
+  if (config_.cross_read_ratio > 0.0 &&
+      snap_rng_.Bernoulli(config_.cross_read_ratio)) {
+    // Two-shard read-only pair: GetSubscriberData against subscribers on
+    // different shards. Every step is read-only, so the cluster routes it
+    // through the prepare-free snapshot-read path.
+    const uint64_t s1 = snap_rng_.Uniform(config_.subscribers);
+    uint64_t s2 = snap_rng_.Uniform(config_.subscribers);
+    while (router.OwnerOf(s2) == router.OwnerOf(s1)) {
+      s2 = snap_rng_.Uniform(config_.subscribers);
+    }
+    ++cross_read_generated_;
+    const int sh1 = router.OwnerOf(s1);
+    const int sh2 = router.OwnerOf(s2);
+    txn.fragments.push_back(
+        {sh1, tatp_[static_cast<size_t>(sh1)]->BuildTransaction(
+                  TatpTxnType::kGetSubscriberData, s1)});
+    txn.fragments.push_back(
+        {sh2, tatp_[static_cast<size_t>(sh2)]->BuildTransaction(
+                  TatpTxnType::kGetSubscriberData, s2)});
+    return txn;
+  }
   if (config_.cross_shard_ratio > 0.0 &&
       cross_rng_.Bernoulli(config_.cross_shard_ratio)) {
     // Two-shard distributed write: UpdateSubscriberData on two

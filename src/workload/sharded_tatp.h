@@ -15,7 +15,11 @@
 //    cross_shard_ratio (drawn from a separate RNG, touched only when
 //    the ratio is positive) the transaction instead becomes a two-shard
 //    distributed write: UpdateSubscriberData against two subscribers on
-//    different shards, committed via 2PC.
+//    different shards, committed via 2PC. Independently, with probability
+//    cross_read_ratio (its own RNG, touched only when positive) it
+//    becomes a two-shard READ-ONLY transaction — GetSubscriberData on two
+//    subscribers on different shards — which the cluster serves through
+//    the prepare-free snapshot-read path instead of 2PC.
 #pragma once
 
 #include <memory>
@@ -33,6 +37,10 @@ struct ShardedTatpConfig {
   /// Probability that a transaction is a two-shard distributed write.
   /// Only meaningful with >= 2 shards.
   double cross_shard_ratio = 0.0;
+  /// Probability that a transaction is a two-shard read-only
+  /// GetSubscriberData pair (snapshot-read path). Drawn before the write
+  /// coin, from its own RNG. Only meaningful with >= 2 shards.
+  double cross_read_ratio = 0.0;
 };
 
 class ShardedTatp {
@@ -46,6 +54,7 @@ class ShardedTatp {
   shard::ShardedTxn NextTransaction();
 
   uint64_t cross_shard_generated() const { return cross_shard_generated_; }
+  uint64_t cross_read_generated() const { return cross_read_generated_; }
   const ShardedTatpConfig& config() const { return config_; }
   TatpWorkload* shard_workload(int i) {
     return tatp_[static_cast<size_t>(i)].get();
@@ -58,8 +67,10 @@ class ShardedTatp {
   ShardedTatpConfig config_;
   Rng mix_rng_;    ///< (s_id, type) draws — mirrors TatpWorkload's mix.
   Rng cross_rng_;  ///< Cross-shard coin + partner draws; idle at ratio 0.
+  Rng snap_rng_;   ///< Read-only coin + partner draws; idle at ratio 0.
   std::vector<std::unique_ptr<TatpWorkload>> tatp_;  ///< One per shard.
   uint64_t cross_shard_generated_ = 0;
+  uint64_t cross_read_generated_ = 0;
 };
 
 }  // namespace bionicdb::workload

@@ -43,6 +43,29 @@ TEST(ShardedCrashTest, EveryConsistentCutRecoversAtomically) {
   EXPECT_GT(agg.redo_applied, 0u);
 }
 
+/// Same sweep with fan-out disabled: crash windows inside the sequential
+/// PR 9 protocol stay covered (it remains reachable as the ablation
+/// baseline), and decision-record GC must be cut-safe there too.
+TEST(ShardedCrashTest, SequentialProtocolCutsRecoverAtomically) {
+  ShardedCrashConfig cfg;
+  cfg.fanout = false;
+  cfg.txns = 200;
+  cfg.seed = 3;
+  ShardedCrashHarness harness(cfg);
+  ASSERT_GT(harness.run_2pc_commits(), 0u) << "no distributed commits ran";
+
+  wal::RecoveryStats agg;
+  for (size_t i = 0; i < harness.samples().size(); ++i) {
+    const std::string diff = harness.CheckCut(i, &agg);
+    ASSERT_EQ(diff, "") << "cut " << i << "/" << harness.samples().size()
+                        << ": " << diff;
+  }
+  EXPECT_GT(agg.prepared_aborted + agg.prepared_committed, 0u);
+  // GC fired during the run, and no cut ever held a forget without every
+  // branch commit it implies (CheckCut would have failed the oracle).
+  EXPECT_GT(agg.decision_records + agg.forget_records, 0u);
+}
+
 TEST(ShardedCrashTest, SamplesAreConsistentAndMonotone) {
   ShardedCrashConfig cfg;
   cfg.txns = 120;

@@ -5,11 +5,13 @@
 // records in the WAL, and distributed recovery from the decision set.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "index/codec.h"
 #include "shard/cluster.h"
 #include "shard/router.h"
 #include "sim/simulator.h"
@@ -130,6 +132,41 @@ TEST(ShardClusterTest, SingleShardPassivityBitIdentical) {
   EXPECT_EQ(report.cross_shard_submitted, 0u);
 }
 
+/// The bench pin, as a unit test: the shard_closed_1 row's exact
+/// configuration must still print 2192905.5 sim txn/s after the fan-out
+/// rework — the cluster path through a 1-shard run adds no events, no
+/// RNG draws, and no timeline charges.
+TEST(ShardClusterTest, SingleShardThroughputPinExact) {
+  Simulator sim;
+  ClusterConfig cc;
+  cc.num_shards = 1;
+  cc.engine = EngineConfig();  // default DORA commodity server
+  cc.engine.flight.enabled = true;
+  Cluster cluster(&sim, cc);
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 5000;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  DriverConfig dcfg;
+  dcfg.clients = 32;
+  dcfg.warmup_txns = 2000;
+  dcfg.measured_txns = 6000;
+  ShardedDriverReport report;
+  sim.Spawn(RunShardedClosedLoop(
+      &cluster, [&] { return tatp.NextTransaction(); }, dcfg, &report));
+  sim.Run();
+
+  const double elapsed_ns =
+      static_cast<double>(cluster.shard(0)->metrics().elapsed_ns);
+  ASSERT_GT(elapsed_ns, 0.0);
+  const double tps =
+      static_cast<double>(cluster.TotalCommits()) * 1e9 / elapsed_ns;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", tps);
+  EXPECT_STREQ(buf, "2192905.5");
+}
+
 // ------------------------------------------------------------ loading --
 
 /// Sharded loading must partition the unsharded database exactly: the
@@ -208,17 +245,25 @@ TEST(TwoPhaseCommitTest, CrossShardCommitWritesPrepareAndDecision) {
   EXPECT_EQ(cluster.tpc_stats().committed, 1u);
   EXPECT_EQ(cluster.tpc_stats().aborted, 0u);
 
+  EXPECT_EQ(cluster.tpc_stats().decisions_retired, 1u);
+
   // Both shards hold a durable kPrepare for the same gtid; the
-  // coordinator (lowest shard id = 0) additionally holds the decision.
+  // coordinator (lowest shard id = 0) additionally holds the decision —
+  // and, because both branch commits became durable, the kCoordForget
+  // marker that retires it.
   std::vector<uint64_t> gtids;
   for (int i = 0; i < 2; ++i) {
     auto recs = wal::ParseLogStream(Slice(cluster.shard(i)->log()->buffer()));
     ASSERT_TRUE(recs.ok());
     uint64_t gtid = 0;
     bool commit = false;
+    int coord_commits = 0;
+    int coord_forgets = 0;
     for (const wal::LogRecord& rec : *recs) {
       if (rec.type == wal::RecordType::kPrepare) gtid = wal::PrepareGtid(rec);
       if (rec.type == wal::RecordType::kCommit) commit = true;
+      if (rec.type == wal::RecordType::kCoordCommit) ++coord_commits;
+      if (rec.type == wal::RecordType::kCoordForget) ++coord_forgets;
     }
     EXPECT_NE(gtid, 0u) << "no prepare on shard " << i;
     EXPECT_TRUE(commit) << "no branch commit on shard " << i;
@@ -229,11 +274,17 @@ TEST(TwoPhaseCommitTest, CrossShardCommitWritesPrepareAndDecision) {
                     Slice(cluster.shard(i)->log()->buffer()), &decisions)
                     .ok());
     if (i == 0) {
-      EXPECT_EQ(decisions.committed_gtids.count(gtid), 1u)
-          << "coordinator decision missing";
+      EXPECT_EQ(coord_commits, 1) << "coordinator decision missing";
+      EXPECT_EQ(coord_forgets, 1) << "decision never retired";
+      EXPECT_EQ(decisions.collected, 1u);
+      EXPECT_EQ(decisions.retired, 1u);
+      // GC already retired the decision: every branch's commit is
+      // durable, so the live decision set is empty again.
+      EXPECT_TRUE(decisions.committed_gtids.empty());
     } else {
-      EXPECT_TRUE(decisions.committed_gtids.empty())
-          << "participant wrote a decision record";
+      EXPECT_EQ(coord_commits, 0) << "participant wrote a decision record";
+      EXPECT_EQ(coord_forgets, 0) << "participant wrote a forget record";
+      EXPECT_TRUE(decisions.committed_gtids.empty());
     }
   }
   EXPECT_EQ(gtids[0], gtids[1]);
@@ -275,6 +326,234 @@ TEST(TwoPhaseCommitTest, FailedBranchAbortsAtomicallyOnAllShards) {
                     Slice(cluster.shard(i)->log()->buffer()), &decisions)
                     .ok());
     EXPECT_TRUE(decisions.committed_gtids.empty());
+  }
+}
+
+/// The decision-GC crash window: crash AFTER every branch commit is
+/// durable but BEFORE the kCoordForget marker — the decision must still
+/// be live in the surviving prefix, and recovery with it must commit the
+/// prepared branches. (The window after the forget is covered by
+/// CrossShardCommitWritesPrepareAndDecision: branches win via their own
+/// local kCommit once the decision is retired.)
+TEST(TwoPhaseCommitTest, DecisionLiveUntilForgetDurable) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 40;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  TxnResult result;
+  cluster.Start();
+  sim.Spawn(DriveOne(&cluster, CrossShardUpdate(&tatp, 2, 3, 0, 1), &result));
+  sim.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(cluster.tpc_stats().decisions_retired, 1u);
+
+  // Truncate the coordinator's log at the forget record's byte offset:
+  // the crash image holds both prepares, both branch commits, and the
+  // decision — but not the GC marker.
+  const std::string coord_log = cluster.shard(0)->log()->buffer();
+  auto coord_recs = wal::ParseLogStream(Slice(coord_log));
+  ASSERT_TRUE(coord_recs.ok());
+  wal::Lsn forget_at = wal::kInvalidLsn;
+  for (const wal::LogRecord& rec : *coord_recs) {
+    if (rec.type == wal::RecordType::kCoordForget) forget_at = rec.lsn;
+  }
+  ASSERT_NE(forget_at, wal::kInvalidLsn);
+  const std::string crash_image = coord_log.substr(0, static_cast<size_t>(forget_at));
+
+  wal::DistributedDecisions decisions;
+  ASSERT_TRUE(wal::CollectDecisions(Slice(crash_image), &decisions).ok());
+  ASSERT_TRUE(wal::CollectDecisions(
+                  Slice(cluster.shard(1)->log()->buffer()), &decisions)
+                  .ok());
+  EXPECT_EQ(decisions.collected, 1u);
+  EXPECT_EQ(decisions.retired, 0u);
+  EXPECT_EQ(decisions.committed_gtids.size(), 1u);
+
+  // Recovery from the crash image commits the coordinator's prepared
+  // branch off the still-live decision and reproduces the live state.
+  Simulator fresh_sim;
+  Cluster fresh(&fresh_sim, SmallCluster(2));
+  ShardedTatp fresh_tatp(&fresh, wcfg);
+  ASSERT_TRUE(fresh_tatp.Load().ok());
+  class DbTarget : public wal::RecoveryTarget {
+   public:
+    explicit DbTarget(engine::Database* db) : db_(db) {}
+    void RedoInsert(uint32_t t, Slice k, Slice v) override {
+      ASSERT_TRUE(db_->GetTable(t)->BasePut(k, v).ok());
+    }
+    void RedoUpdate(uint32_t t, Slice k, Slice v) override {
+      ASSERT_TRUE(db_->GetTable(t)->BasePut(k, v).ok());
+    }
+    void RedoDelete(uint32_t t, Slice k) override {
+      (void)db_->GetTable(t)->BaseDelete(k);
+    }
+
+   private:
+    engine::Database* db_;
+  };
+  DbTarget target(&fresh.shard(0)->db());
+  wal::RecoveryStats stats;
+  ASSERT_TRUE(
+      wal::Recover(Slice(crash_image), &target, &stats, &decisions).ok());
+  EXPECT_EQ(stats.prepared_committed, 1u);
+  EXPECT_EQ(stats.prepared_aborted, 0u);
+  EXPECT_EQ(stats.decision_records, 1u);
+  EXPECT_EQ(stats.forget_records, 0u);
+  EXPECT_EQ(StateOf(fresh.shard(0)->db()), StateOf(cluster.shard(0)->db()))
+      << "coordinator crash image diverged from live state";
+}
+
+// ----------------------------------------------------- snapshot reads --
+
+/// Two-fragment read-only pair — routed through the prepare-free
+/// snapshot path by Cluster::Execute.
+ShardedTxn CrossShardRead(ShardedTatp* tatp, uint64_t s0, uint64_t s1,
+                          int shard0, int shard1) {
+  ShardedTxn txn;
+  txn.fragments.push_back(
+      {shard0, tatp->shard_workload(shard0)->MakeGetSubscriberData(s0)});
+  txn.fragments.push_back(
+      {shard1, tatp->shard_workload(shard1)->MakeGetSubscriberData(s1)});
+  return txn;
+}
+
+TEST(SnapshotReadTest, SkipsTwoPCAndWritesNothing) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 40;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  std::vector<std::string> before;
+  for (int i = 0; i < 2; ++i) before.push_back(cluster.shard(i)->log()->buffer());
+
+  TxnResult result;
+  cluster.Start();
+  sim.Spawn(DriveOne(&cluster, CrossShardRead(&tatp, 2, 3, 0, 1), &result));
+  sim.Run();
+
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(cluster.snap_stats().started, 1u);
+  EXPECT_EQ(cluster.snap_stats().committed, 1u);
+  EXPECT_EQ(cluster.snap_stats().aborted, 0u);
+  // No 2PC machinery fired — and nothing hit either WAL: no kPrepare, no
+  // decision, no branch commit record (read-only commits are log-free).
+  EXPECT_EQ(cluster.tpc_stats().started, 0u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.shard(i)->log()->buffer(),
+              before[static_cast<size_t>(i)])
+        << "snapshot read appended to shard " << i << "'s WAL";
+  }
+}
+
+/// Custom read step capturing one subscriber's vlr_location.
+Engine::TxnSpec ReadLocation(Engine* eng, engine::Table* table, uint64_t s_id,
+                             uint32_t* out) {
+  Engine::TxnSpec spec;
+  const std::string key = index::EncodeKeyU64(s_id);
+  Engine::TxnStep step;
+  step.table = table;
+  step.keys = {key};
+  step.read_only = true;
+  step.fn = [eng, table, key, out](Engine::ExecContext& ctx) -> Task<Status> {
+    auto r = co_await eng->ReadView(ctx, table, key);
+    if (!r.ok()) co_return r.status();
+    *out = workload::DecodeRow<workload::SubscriberRow>(*r).vlr_location;
+    co_return Status::OK();
+  };
+  spec.phases.push_back({std::move(step)});
+  return spec;
+}
+
+/// 2PC write pair setting BOTH subscribers' vlr_location to the same
+/// value — the invariant the snapshot reader checks.
+ShardedTxn SameValueUpdate(ShardedTatp* tatp, uint64_t s0, uint64_t s1,
+                           uint32_t value) {
+  ShardedTxn txn;
+  TatpWorkload* w0 = tatp->shard_workload(0);
+  TatpWorkload* w1 = tatp->shard_workload(1);
+  txn.fragments.push_back({0, w0->MakeUpdateLocation(w0->SubNbr(s0), value)});
+  txn.fragments.push_back({1, w1->MakeUpdateLocation(w1->SubNbr(s1), value)});
+  return txn;
+}
+
+struct CutProbe {
+  std::vector<std::pair<uint32_t, uint32_t>> observed;
+  bool seeded = false;
+  bool writer_done = false;
+  bool reader_done = false;
+};
+
+Task<void> SameValueWriterLoop(Cluster* cluster, ShardedTatp* tatp, int n,
+                               CutProbe* probe) {
+  // i == 0 seeds the invariant; wait-die may abort a writer that loses to
+  // an older snapshot reader, so every write retries until it commits.
+  for (int i = 0; i <= n; ++i) {
+    for (;;) {
+      Status st = co_await cluster->Execute(
+          SameValueUpdate(tatp, 2, 3, 0xBEE00000u + static_cast<uint32_t>(i)));
+      if (st.ok()) break;
+    }
+    probe->seeded = true;
+  }
+  probe->writer_done = true;
+  if (probe->reader_done) co_await cluster->Shutdown();
+}
+
+Task<void> SnapshotReaderLoop(Cluster* cluster, ShardedTatp* tatp, int n,
+                              CutProbe* probe) {
+  sim::Simulator* sim = cluster->simulator();
+  while (!probe->seeded) co_await sim::Delay{sim, 1000};
+  for (int i = 0; i < n; ++i) {
+    uint32_t v0 = 0;
+    uint32_t v1 = 0;
+    for (;;) {
+      ShardedTxn txn;
+      txn.fragments.push_back(
+          {0, ReadLocation(cluster->shard(0),
+                           tatp->shard_workload(0)->subscriber(), 2, &v0)});
+      txn.fragments.push_back(
+          {1, ReadLocation(cluster->shard(1),
+                           tatp->shard_workload(1)->subscriber(), 3, &v1)});
+      Status st = co_await cluster->Execute(std::move(txn));
+      if (st.ok()) break;
+    }
+    probe->observed.emplace_back(v0, v1);
+  }
+  probe->reader_done = true;
+  if (probe->writer_done) co_await cluster->Shutdown();
+}
+
+/// Consistency: a snapshot read's join point is one virtual instant with
+/// every branch's shared locks held, so no committed 2PC write can be
+/// half-visible. The writer keeps both subscribers' vlr_location equal;
+/// every snapshot read must observe them equal.
+TEST(SnapshotReadTest, ObservesConsistentCutUnderConcurrentWriters) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster(2));
+  ShardedTatpConfig wcfg;
+  wcfg.subscribers = 40;
+  ShardedTatp tatp(&cluster, wcfg);
+  ASSERT_TRUE(tatp.Load().ok());
+
+  CutProbe probe;
+  cluster.Start();
+  sim.Spawn(SameValueWriterLoop(&cluster, &tatp, 40, &probe));
+  sim.Spawn(SnapshotReaderLoop(&cluster, &tatp, 40, &probe));
+  sim.Run();
+
+  ASSERT_EQ(probe.observed.size(), 40u);
+  EXPECT_GE(cluster.snap_stats().committed, 40u);
+  EXPECT_GE(cluster.tpc_stats().committed, 41u);
+  for (size_t i = 0; i < probe.observed.size(); ++i) {
+    const auto& [v0, v1] = probe.observed[i];
+    EXPECT_EQ(v0, v1) << "read " << i << " split a 2PC write: shard0 saw "
+                      << v0 << ", shard1 saw " << v1;
+    EXPECT_GE(v0, 0xBEE00000u) << "read " << i << " preceded the seed";
   }
 }
 
@@ -335,7 +614,11 @@ TEST(ShardClusterTest, DistributedRecoveryReplaysFullLog) {
                     Slice(cluster.shard(i)->log()->buffer()), &decisions)
                     .ok());
   }
-  EXPECT_GE(decisions.committed_gtids.size(), cluster.tpc_stats().committed);
+  // Decision GC retires a decision once every branch commit is durable,
+  // so the LIVE set can be (much) smaller than the commit count — but a
+  // kCoordCommit was collected for every 2PC commit before retirement.
+  EXPECT_GE(decisions.collected, cluster.tpc_stats().committed);
+  EXPECT_EQ(decisions.retired, cluster.tpc_stats().decisions_retired);
 
   uint64_t prepared_committed = 0;
   for (int i = 0; i < 2; ++i) {

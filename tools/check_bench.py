@@ -271,6 +271,13 @@ def check_shard(shard):
         transactions; every positive-ratio row starts AND commits 2PC
         transactions (the coordinator actually works), and the observed
         cross-shard submission fraction tracks the configured ratio.
+      * Fan-out vs sequential: at the top ratio present in BOTH sweeps,
+        parallel branch fan-out (xshard_r*) must be STRICTLY faster than
+        the sequential baseline (xshard_seq_r*). Machine-relative — the
+        two rows come from the same binary on the same host.
+      * Snapshot reads: every read-only cross-shard row (xsnap_r*) must
+        serve its traffic through the prepare-free path — snap_committed
+        positive, tpc_started exactly 0 (no prepare, no decision record).
     """
     pin = shard.get("shard_closed_1")
     if pin is None:
@@ -327,6 +334,48 @@ def check_shard(shard):
           f"{top['cross_ratio']} committed {top['tpc_committed']:.0f} "
           f"2PC txns")
 
+    sequential = {
+        row["cross_ratio"]: row
+        for name, row in shard.items() if name.startswith("xshard_seq_r")
+    }
+    if not sequential:
+        fail("shard: sequential-2PC baseline rows (xshard_seq_r*) missing")
+    paired = [r for r in ablation if r["cross_ratio"] in sequential]
+    if not paired:
+        fail("shard: no cross_ratio present in both the fan-out and the "
+             "sequential sweeps")
+    top_pair = paired[-1]
+    seq = sequential[top_pair["cross_ratio"]]
+    if top_pair["tpc_retired"] <= 0 or seq["tpc_retired"] <= 0:
+        fail("shard fan-out gate: decision-record GC never retired a "
+             "kCoordCommit on a positive-ratio row")
+    if top_pair["sim_txn_per_sec"] <= seq["sim_txn_per_sec"]:
+        fail(f"shard fan-out gate: parallel 2PC "
+             f"({top_pair['sim_txn_per_sec']:.0f} txn/s) does not beat the "
+             f"sequential baseline ({seq['sim_txn_per_sec']:.0f} txn/s) at "
+             f"ratio {top_pair['cross_ratio']}")
+    gain = top_pair["sim_txn_per_sec"] / seq["sim_txn_per_sec"]
+    print(f"OK  shard fan-out beats sequential at ratio "
+          f"{top_pair['cross_ratio']}: {top_pair['sim_txn_per_sec']:.0f} vs "
+          f"{seq['sim_txn_per_sec']:.0f} txn/s ({gain:.3f}x)")
+
+    snaps = sorted(
+        (row for name, row in shard.items() if name.startswith("xsnap_r")),
+        key=lambda r: r["snap_started"])
+    if not snaps:
+        fail("shard: snapshot-read rows (xsnap_r*) missing")
+    for row in snaps:
+        if row["snap_started"] <= 0 or row["snap_committed"] <= 0:
+            fail("shard snapshot gate: read-only cross-shard row ran no "
+                 "snapshot reads")
+        if row["tpc_started"] != 0:
+            fail(f"shard snapshot gate: read-only cross-shard row entered "
+                 f"2PC ({row['tpc_started']:.0f} started) — the prepare-free "
+                 f"path was bypassed")
+    print(f"OK  shard snapshot reads: {len(snaps)} rows, "
+          f"{sum(r['snap_committed'] for r in snaps):.0f} read-only "
+          f"cross-shard commits, zero 2PC entries")
+
 
 def main():
     parser = argparse.ArgumentParser(
@@ -345,7 +394,7 @@ def main():
         "--shard", default=None, metavar="SHARD_JSON",
         help="bench/shard_scaling output; enables the scale-out gates "
              "(1-shard passivity pin, monotone shard scaling, cross-shard "
-             "2PC ablation)")
+             "2PC ablation, fan-out vs sequential, snapshot reads)")
     args = parser.parse_args()
 
     with open(args.wallclock) as f:
