@@ -25,6 +25,17 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
         for (int i = 0; i < config.num_shards; ++i) {
           shards.push_back(
               std::make_unique<engine::Engine>(sim, config.engine));
+          // Disjoint wait-die priority domains (priority = id * N + shard):
+          // per-shard XctManager counters all start at 1, so without this
+          // two transactions with different home/coordinator shards could
+          // draw EQUAL priorities — and wait-die's strict `<` would let
+          // both wait, re-opening the cross-shard hold-and-wait cycle the
+          // shared pinned priority exists to break. At num_shards == 1
+          // this is stride 1 / offset 0: priority == id, bit-identical to
+          // the unsharded engine (the passivity pin).
+          shards.back()->xct_manager().SetPriorityDomain(
+              static_cast<uint64_t>(config.num_shards),
+              static_cast<uint64_t>(i));
         }
         return shards;
       }()),

@@ -36,8 +36,15 @@
 // blocks an OLDER (lower-priority-number) waiter behind a YOUNGER holder
 // — a younger waiter dies instead. Any hold-and-wait cycle across shards
 // would therefore need strictly increasing ages around the loop, which is
-// impossible. Fragments are still sorted ascending so the coordinator
-// choice (and the gtid draw) stays deterministic.
+// impossible — PROVIDED no two transactions ever tie. Per-shard XctManager
+// counters all start at 1, so ties across shards are real: the Cluster
+// constructor therefore gives each shard's manager a disjoint priority
+// residue class (priority = id * num_shards + shard_id, see
+// XctManager::SetPriorityDomain), making every priority in the cluster —
+// local or pinned-distributed — globally unique, so the strict `<` in
+// LockManager::ShouldDie always breaks a conflict one way. Fragments are
+// still sorted ascending so the coordinator choice (and the gtid draw)
+// stays deterministic.
 //
 // Because the decision is durable before any branch's commit record is
 // even appended, a crash cut at any consistent virtual-time point leaves

@@ -21,7 +21,7 @@ const char* XctStateName(XctState s) {
 std::unique_ptr<Xct> XctManager::Begin() {
   auto xct = std::make_unique<Xct>();
   xct->id = next_txn_++;
-  xct->priority = xct->id;
+  xct->priority = EncodePriority(xct->id);
   ++stats_.started;
   return xct;
 }

@@ -84,20 +84,43 @@ class XctManager {
   /// decision survives one recovery longer than necessary.
   sim::Task<Status> LogForgetDecision(uint64_t gtid, int socket);
 
-  /// Draws a fresh transaction id for use as a shared wait-die priority
-  /// WITHOUT starting a transaction. The distributed layer pins one
-  /// priority across all branches of a cluster-wide transaction and must
-  /// fix it before branches race to Begin() on their home shards.
-  TxnId DrawPriority() { return next_txn_++; }
+  /// Draws a fresh wait-die priority WITHOUT starting a transaction. The
+  /// distributed layer pins one priority across all branches of a
+  /// cluster-wide transaction and must fix it before branches race to
+  /// Begin() on their home shards. Consumes a transaction id, so the
+  /// priority is unique within this manager's domain slice (see
+  /// SetPriorityDomain).
+  uint64_t DrawPriority() { return EncodePriority(next_txn_++); }
+
+  /// Makes this manager's priorities globally unique across a cluster:
+  /// every priority it hands out (Begin() and DrawPriority()) becomes
+  /// `id * stride + offset`, so managers configured with the same stride
+  /// and distinct offsets draw from disjoint residue classes. Wait-die
+  /// needs this — LockManager::ShouldDie breaks conflicts with a strict
+  /// `<` on priority, so two distinct transactions that TIE (possible
+  /// when N per-shard counters all start at 1) would both wait and can
+  /// hold-and-wait in a cycle across shards that neither ever breaks.
+  /// The default (stride 1, offset 0) keeps priority == id exactly, so
+  /// single-engine behavior is bit-identical. Call before any Begin().
+  void SetPriorityDomain(uint64_t stride, uint64_t offset) {
+    BIONICDB_CHECK(stride >= 1 && offset < stride);
+    prio_stride_ = stride;
+    prio_offset_ = offset;
+  }
 
   const XctManagerStats& stats() const { return stats_; }
   wal::LogManager* log() { return log_; }
 
  private:
   sim::Task<Status> EnsureBeginLogged(Xct* xct, int socket);
+  uint64_t EncodePriority(TxnId id) const {
+    return id * prio_stride_ + prio_offset_;
+  }
 
   wal::LogManager* log_;
   TxnId next_txn_ = 1;
+  uint64_t prio_stride_ = 1;  ///< See SetPriorityDomain.
+  uint64_t prio_offset_ = 0;
   XctManagerStats stats_;
 };
 

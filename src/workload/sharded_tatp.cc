@@ -13,6 +13,13 @@ ShardedTatp::ShardedTatp(shard::Cluster* cluster,
   // Every shard must own at least one subscriber, and a cross-shard pair
   // must exist (subscribers 0 and 1 land on different shards when n > 1).
   BIONICDB_CHECK(config.subscribers >= static_cast<uint64_t>(n));
+  // The cross-shard partner draws rejection-sample until OwnerOf(s2) !=
+  // OwnerOf(s1), which only terminates when a second shard owns
+  // subscribers — reject the config outright on a 1-shard cluster rather
+  // than silently ignoring the ratios through the n == 1 fast path.
+  BIONICDB_CHECK_MSG(n > 1 || (config.cross_shard_ratio == 0.0 &&
+                               config.cross_read_ratio == 0.0),
+                     "cross_shard_ratio/cross_read_ratio need num_shards > 1");
   tatp_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     TatpConfig tc;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -404,6 +405,49 @@ TEST(TwoPhaseCommitTest, DecisionLiveUntilForgetDurable) {
   EXPECT_EQ(stats.forget_records, 0u);
   EXPECT_EQ(StateOf(fresh.shard(0)->db()), StateOf(cluster.shard(0)->db()))
       << "coordinator crash image diverged from live state";
+}
+
+/// Fan-out deadlock freedom rests on wait-die over a TOTAL age order:
+/// LockManager::ShouldDie breaks conflicts with a strict `<`, so two
+/// distinct transactions holding EQUAL priorities would both wait — and
+/// with per-shard XctManager counters all starting at 1, equal draws
+/// across shards are exactly what would happen without the per-shard
+/// priority domain the Cluster constructor installs. Pin that domain:
+/// every priority in the cluster is globally unique (disjoint residue
+/// classes mod num_shards), and a 1-shard cluster keeps priority == id
+/// bit-for-bit (the passivity pin).
+TEST(TwoPhaseCommitTest, WaitDiePrioritiesGloballyUnique) {
+  Simulator sim;
+  const int kShards = 4;
+  Cluster cluster(&sim, SmallCluster(kShards));
+
+  std::set<uint64_t> seen;
+  for (int round = 0; round < 16; ++round) {
+    for (int s = 0; s < kShards; ++s) {
+      txn::XctManager& xm = cluster.shard(s)->xct_manager();
+      // Both draw paths: a local transaction's Begin() and the pinned
+      // distributed draw TwoPhaseCommit::PinPriority uses.
+      const uint64_t begun = xm.Begin()->priority;
+      const uint64_t drawn = xm.DrawPriority();
+      for (uint64_t p : {begun, drawn}) {
+        EXPECT_EQ(p % static_cast<uint64_t>(kShards),
+                  static_cast<uint64_t>(s))
+            << "shard " << s << " left its residue class";
+        EXPECT_TRUE(seen.insert(p).second)
+            << "duplicate wait-die priority " << p
+            << " — ties stall both sides of a conflict";
+      }
+    }
+  }
+
+  Simulator one_sim;
+  Cluster one(&one_sim, SmallCluster(1));
+  for (uint64_t i = 1; i <= 8; ++i) {
+    auto xct = one.shard(0)->xct_manager().Begin();
+    EXPECT_EQ(xct->id, i);
+    EXPECT_EQ(xct->priority, i);  // stride 1 / offset 0: unchanged
+  }
+  EXPECT_EQ(one.shard(0)->xct_manager().DrawPriority(), 9u);
 }
 
 // ----------------------------------------------------- snapshot reads --
